@@ -1,0 +1,404 @@
+// Repository-level benchmarks: one per table and figure of the paper's
+// evaluation, each driving the corresponding experiment in
+// internal/experiments against a shared synthetic world. Run them with
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for the paper-vs-measured comparison. The world is
+// generated once per process at the experiment scale (a bench-scale world
+// would drown the numbers in generation time).
+package frappe_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"frappe/internal/experiments"
+)
+
+const benchScale = 0.15
+
+var (
+	benchOnce   sync.Once
+	benchRunner *experiments.Runner
+	benchErr    error
+)
+
+func runner(b *testing.B) *experiments.Runner {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchRunner, benchErr = experiments.New(benchScale, 0)
+	})
+	if benchErr != nil {
+		b.Fatalf("world generation: %v", benchErr)
+	}
+	return benchRunner
+}
+
+func BenchmarkWorldGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.New(0.01, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1DatasetSummary(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := r.Table1()
+		if res.DTotal == 0 {
+			b.Fatal("empty D-Total")
+		}
+	}
+}
+
+func BenchmarkTable2TopMaliciousApps(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := r.Table2(); len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable3TopHostingDomains(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := r.Table3(); len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable5FRAppELiteCV(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.RenderTable5(rows))
+		}
+	}
+}
+
+func BenchmarkTable6SingleFeature(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.RenderTable6(rows))
+		}
+	}
+}
+
+func BenchmarkFRAppEFullCV(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.FRAppE()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkTable8Validation(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Table8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkTable9Piggybacking(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := r.Table9(); len(rows) == 0 {
+			b.Fatal("no victims")
+		}
+	}
+}
+
+func BenchmarkFig1AppNetSnapshot(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := r.Fig1()
+		if res.Summary.Apps == 0 {
+			b.Fatal("empty graph")
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkFig3BitlyClicks(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := r.Fig3(); res.N == 0 {
+			b.Fatal("no samples")
+		}
+	}
+}
+
+func BenchmarkFig4MAU(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := r.Fig4(); res.Median.N == 0 {
+			b.Fatal("no samples")
+		}
+	}
+}
+
+func BenchmarkFig5SummaryFields(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := r.Fig5(); len(rows) != 3 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+func BenchmarkFig6TopPermissions(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := r.Fig6(); len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig7PermissionCount(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := r.Fig7(); res.MalOne == 0 {
+			b.Fatal("no data")
+		}
+	}
+}
+
+func BenchmarkFig8WOTScores(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := r.Fig8(); res.Malicious.N == 0 {
+			b.Fatal("no data")
+		}
+	}
+}
+
+func BenchmarkFig9ProfilePosts(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := r.Fig9(); res.Malicious.N == 0 {
+			b.Fatal("no data")
+		}
+	}
+}
+
+func BenchmarkFig10NameClustering(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := r.Fig10(); len(rows) != 5 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+func BenchmarkFig11ClusterSizes(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := r.Fig11(); res.MalClusters == 0 {
+			b.Fatal("no clusters")
+		}
+	}
+}
+
+func BenchmarkFig12ExternalLinkRatio(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := r.Fig12(); res.Malicious.N == 0 {
+			b.Fatal("no data")
+		}
+	}
+}
+
+func BenchmarkFig13PromoterRoles(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := r.Fig1() // Fig. 13's role split is part of the graph summary
+		if res.Summary.Promoters == 0 {
+			b.Fatal("no promoters")
+		}
+	}
+}
+
+func BenchmarkFig14ClusteringCoefficient(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := r.Fig14(); res.CDF.N == 0 {
+			b.Fatal("no data")
+		}
+	}
+}
+
+func BenchmarkFig16PiggybackRatio(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := r.Fig16(); res.CDF.N == 0 {
+			b.Fatal("no data")
+		}
+	}
+}
+
+func BenchmarkIndirection(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := r.Indirection(); res.Report.Sites == 0 {
+			b.Fatal("no sites")
+		}
+	}
+}
+
+func BenchmarkPrevalence(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := r.Prevalence()
+		if res.FlaggedPostsTotal == 0 {
+			b.Fatal("no flagged posts")
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkRobustFeatures(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Robust()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkAblationKernels(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := r.AblationKernels()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.RenderKernels(rows))
+		}
+	}
+}
+
+func BenchmarkAblationLabelNoise(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := r.AblationLabelNoise()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.RenderNoise(rows))
+		}
+	}
+}
+
+func BenchmarkAblationGridSearch(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.AblationGridSearch()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkAblationLearnedMPK(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.AblationLearnedMPK()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkCountermeasures(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := r.Countermeasures()
+		if res.Hardened.PromotionEdges != 0 {
+			b.Fatal("promotion ban failed")
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// Example output sanity for the shared world, printed once under -v.
+func BenchmarkWorldStats(b *testing.B) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fmt.Sprintf("%d apps / %d posts", r.World.Platform.NumApps(), r.World.TotalStreamPosts)
+	}
+}

@@ -1,0 +1,77 @@
+// Command frappe evaluates Facebook-style app IDs on demand against a
+// Graph-API endpoint and a WOT endpoint, using a trained classifier — the
+// paper's "browser extension" scenario (§5.1). Pair it with frappeserve,
+// which runs the simulated services and writes the model file.
+//
+// Usage:
+//
+//	frappe -graph URL -wot URL -model frappe-model.gob APPID [APPID...]
+//
+// Exit status is 2 when any evaluated app is classified malicious.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"frappe"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("frappe: ")
+	graphURL := flag.String("graph", "", "Graph API base URL (required)")
+	wotURL := flag.String("wot", "", "WOT base URL (required)")
+	modelPath := flag.String("model", "frappe-model.gob", "trained classifier file")
+	jsonOut := flag.Bool("json", false, "emit one JSON assessment per line")
+	flag.Parse()
+
+	if *graphURL == "" || *wotURL == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: frappe -graph URL -wot URL [-model FILE] APPID...")
+		os.Exit(1)
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wd, err := frappe.NewWatchdogFrom(f, *graphURL, *wotURL)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	anyMalicious := false
+	for _, appID := range flag.Args() {
+		if *jsonOut {
+			a := wd.Assess(context.Background(), appID)
+			if a.Malicious {
+				anyMalicious = true
+			}
+			if err := enc.Encode(a); err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
+		v, err := wd.Evaluate(context.Background(), appID)
+		switch {
+		case errors.Is(err, frappe.ErrNotClassifiable):
+			fmt.Printf("%s\tDELETED (removed from the graph — the paper treats this as confirmation)\n", appID)
+		case err != nil:
+			log.Fatalf("evaluating %s: %v", appID, err)
+		case v.Malicious:
+			anyMalicious = true
+			fmt.Printf("%s\tMALICIOUS (score %+.3f)\n", appID, v.Score)
+		default:
+			fmt.Printf("%s\tbenign (score %+.3f)\n", appID, v.Score)
+		}
+	}
+	if anyMalicious {
+		os.Exit(2)
+	}
+}

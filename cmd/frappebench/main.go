@@ -1,0 +1,135 @@
+// Command frappebench regenerates every table and figure of the paper's
+// evaluation section from a synthetic world and prints them in the paper's
+// shape, with the original headline numbers cited inline for comparison.
+//
+// Usage:
+//
+//	frappebench [-scale 0.15] [-seed 20121210] [-quick]
+//
+// -quick skips the classifier cross-validation experiments (the slowest
+// part) and prints only the measurement and forensics results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"frappe/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("frappebench: ")
+	scale := flag.Float64("scale", experiments.DefaultScale,
+		"world scale (1.0 = the paper's 111K-app corpus)")
+	seed := flag.Int64("seed", 0, "world seed (0 = paper-calibrated default)")
+	quick := flag.Bool("quick", false, "skip the classifier experiments")
+	dotPath := flag.String("dot", "", "write the Fig. 1 snapshot component as Graphviz DOT to this file")
+	flag.Parse()
+
+	start := time.Now()
+	fmt.Printf("Generating synthetic world at scale %.2f ...\n", *scale)
+	r, err := experiments.New(*scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("World ready in %v: %d apps, %d monitored users, %d posts streamed.\n\n",
+		time.Since(start).Round(time.Millisecond),
+		r.World.Platform.NumApps(), r.World.Platform.Users(), r.World.TotalStreamPosts)
+
+	section := func(s string) { fmt.Println(s) }
+
+	// Measurement study (§2-§4).
+	section(r.Table1().Render())
+	section(experiments.RenderTable2(r.Table2()))
+	section(r.Table3().Render())
+	section(experiments.Table4())
+	section(r.Prevalence().Render())
+	section(r.Fig3().Render())
+	fig4 := r.Fig4()
+	section(fig4.Median.Render() + fig4.Max.Render())
+	section(experiments.RenderFig5(r.Fig5()))
+	section(experiments.RenderFig6(r.Fig6()))
+	section(r.Fig7().Render())
+	section(r.Fig8().Render())
+	section(r.Fig9().Render())
+	section(experiments.RenderFig10(r.Fig10()))
+	section(r.Fig11().Render())
+	section(r.Fig12().Render())
+
+	// Classification (§5).
+	if !*quick {
+		t5, err := r.Table5()
+		if err != nil {
+			log.Fatal(err)
+		}
+		section(experiments.RenderTable5(t5))
+		t6, err := r.Table6()
+		if err != nil {
+			log.Fatal(err)
+		}
+		section(experiments.RenderTable6(t6))
+		head, err := r.FRAppE()
+		if err != nil {
+			log.Fatal(err)
+		}
+		section(head.Render())
+		t8, err := r.Table8()
+		if err != nil {
+			log.Fatal(err)
+		}
+		section(t8.Render())
+		robust, err := r.Robust()
+		if err != nil {
+			log.Fatal(err)
+		}
+		section(robust.Render())
+		kernels, err := r.AblationKernels()
+		if err != nil {
+			log.Fatal(err)
+		}
+		section(experiments.RenderKernels(kernels))
+		noise, err := r.AblationLabelNoise()
+		if err != nil {
+			log.Fatal(err)
+		}
+		section(experiments.RenderNoise(noise))
+		gs, err := r.AblationGridSearch()
+		if err != nil {
+			log.Fatal(err)
+		}
+		section(gs.Render())
+		lm, err := r.AblationLearnedMPK()
+		if err != nil {
+			log.Fatal(err)
+		}
+		section(lm.Render())
+		section(r.Countermeasures().Render())
+	}
+
+	// Ecosystem forensics (§6).
+	section(r.Fig1().Render())
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := r.WriteFig1DOT(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Fig 1 snapshot written to %s (render with: dot -Tpng %s)\n\n", *dotPath, *dotPath)
+	}
+	section(r.Indirection().Render())
+	section(r.Fig14().Render())
+	section(r.Fig15().Render())
+	section(r.Fig16().Render())
+	section(experiments.RenderTable9(r.Table9()))
+
+	fmt.Fprintf(os.Stderr, "total runtime: %v\n", time.Since(start).Round(time.Millisecond))
+}

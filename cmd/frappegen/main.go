@@ -1,0 +1,137 @@
+// Command frappegen generates a synthetic world and dumps its observable
+// corpus as JSON: one record per app with the crawlable profile, the
+// MyPageKeeper aggregation view, and (optionally) the hidden ground truth.
+//
+// Usage:
+//
+//	frappegen [-scale 0.01] [-seed 20121210] [-truth] [-o corpus.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+
+	"frappe/internal/datasets"
+	"frappe/internal/synth"
+)
+
+// appDump is one serialised app record.
+type appDump struct {
+	ID            string   `json:"id"`
+	Name          string   `json:"name,omitempty"`
+	Description   string   `json:"description,omitempty"`
+	Company       string   `json:"company,omitempty"`
+	Category      string   `json:"category,omitempty"`
+	Permissions   []string `json:"permissions,omitempty"`
+	RedirectURI   string   `json:"redirect_uri,omitempty"`
+	ClientID      string   `json:"client_id,omitempty"`
+	WOTScore      *int     `json:"wot_score,omitempty"`
+	ProfilePosts  *int     `json:"profile_posts,omitempty"`
+	Deleted       bool     `json:"deleted"`
+	Posts         int      `json:"posts"`
+	FlaggedPosts  int      `json:"flagged_posts"`
+	ExternalLinks int      `json:"external_links"`
+
+	// Hidden ground truth, emitted only with -truth.
+	Malicious *bool `json:"malicious,omitempty"`
+	HackerID  *int  `json:"hacker_id,omitempty"`
+}
+
+type dump struct {
+	Scale     float64   `json:"scale"`
+	Seed      int64     `json:"seed"`
+	Users     int       `json:"users"`
+	Months    int       `json:"months"`
+	Apps      []appDump `json:"apps"`
+	DSampleM  []string  `json:"d_sample_malicious"`
+	DSampleB  []string  `json:"d_sample_benign"`
+	Whitelist []string  `json:"whitelisted"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("frappegen: ")
+	scale := flag.Float64("scale", 0.01, "world scale (1.0 = paper scale)")
+	seed := flag.Int64("seed", 0, "world seed (0 = default)")
+	truth := flag.Bool("truth", false, "include hidden ground-truth labels")
+	out := flag.String("o", "-", "output file (- = stdout)")
+	flag.Parse()
+
+	cfg := synth.Default(*scale)
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	w := synth.Generate(cfg)
+	b := &datasets.Builder{World: w}
+	d, err := b.Build(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	doc := dump{
+		Scale:     *scale,
+		Seed:      cfg.Seed,
+		Users:     w.Platform.Users(),
+		Months:    cfg.Months,
+		DSampleM:  d.Malicious,
+		DSampleB:  d.Benign,
+		Whitelist: d.Whitelisted,
+	}
+	for _, id := range d.DTotal {
+		app, err := w.Platform.App(id)
+		if err != nil {
+			continue
+		}
+		as := d.Stats[id]
+		rec := appDump{
+			ID:            id,
+			Name:          app.Name,
+			Deleted:       app.Deleted,
+			Posts:         as.Posts,
+			FlaggedPosts:  as.FlaggedPosts,
+			ExternalLinks: as.ExternalLinks,
+		}
+		if cr, ok := d.Crawl[id]; ok && cr.SummaryErr == nil {
+			rec.Description = cr.Summary.Description
+			rec.Company = cr.Summary.Company
+			rec.Category = cr.Summary.Category
+			if cr.InstallErr == nil {
+				rec.Permissions = cr.Install.Permissions
+				rec.RedirectURI = cr.Install.RedirectURI
+				rec.ClientID = cr.Install.ClientID
+				score := cr.WOTScore
+				rec.WOTScore = &score
+			}
+			if cr.FeedErr == nil {
+				n := len(cr.Feed)
+				rec.ProfilePosts = &n
+			}
+		}
+		if *truth {
+			m := app.Truth.Malicious
+			h := app.Truth.HackerID
+			rec.Malicious = &m
+			rec.HackerID = &h
+		}
+		doc.Apps = append(doc.Apps, rec)
+	}
+
+	var f *os.File
+	if *out == "-" {
+		f = os.Stdout
+	} else {
+		f, err = os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+}

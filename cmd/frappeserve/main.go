@@ -1,0 +1,95 @@
+// Command frappeserve generates a synthetic world, exposes its services
+// (Graph API, bit.ly, WOT, Social Bakers, indirection redirector) as
+// loopback HTTP servers, trains a FRAppE Lite classifier on the world's
+// D-Sample, writes the model to disk, and then serves until interrupted.
+//
+// Together with cmd/frappe it forms the paper's envisioned deployment: a
+// watchdog that evaluates any app ID on demand.
+//
+// Usage:
+//
+//	frappeserve [-scale 0.02] [-seed ...] [-model frappe-model.gob]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"frappe"
+	"frappe/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("frappeserve: ")
+	scale := flag.Float64("scale", 0.02, "world scale")
+	seed := flag.Int64("seed", 0, "world seed (0 = default)")
+	modelPath := flag.String("model", "frappe-model.gob", "where to write the trained classifier")
+	flag.Parse()
+
+	cfg := synth.Default(*scale)
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	log.Printf("generating world at scale %.2f ...", *scale)
+	w := frappe.GenerateWorld(cfg)
+
+	d, err := frappe.BuildDatasets(context.Background(), w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	records, labels := frappe.LabeledSample(d)
+	clf, err := frappe.Train(records, labels, frappe.Options{Features: frappe.LiteFeatures()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := clf.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	st, err := frappe.StartServices(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	fmt.Printf("model written to %s\n", *modelPath)
+	fmt.Printf("graph API:    %s\n", st.GraphURL)
+	fmt.Printf("WOT:          %s\n", st.WOTURL)
+	fmt.Printf("bit.ly:       %s\n", st.BitlyURL)
+	fmt.Printf("social bakers:%s\n", st.SocialBakersURL)
+	fmt.Printf("redirector:   %s\n", st.RedirectorURL)
+
+	// Offer one live app of each class to try.
+	var benign, malicious string
+	for _, id := range w.BenignIDs {
+		if _, err := w.Platform.Lookup(id); err == nil {
+			benign = id
+			break
+		}
+	}
+	for _, id := range w.MaliciousIDs {
+		if _, err := w.Platform.Lookup(id); err == nil {
+			malicious = id
+			break
+		}
+	}
+	fmt.Printf("\ntry:\n  frappe -graph %s -wot %s -model %s %s %s\n",
+		st.GraphURL, st.WOTURL, *modelPath, benign, malicious)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	<-ctx.Done()
+	log.Print("shutting down")
+}

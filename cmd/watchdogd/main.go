@@ -1,0 +1,60 @@
+// Command watchdogd serves FRAppE as the paper's envisioned "independent
+// watchdog for app assessment and ranking": an HTTP service that crawls
+// any app ID on demand against a Graph-API/WOT endpoint pair and returns a
+// verdict.
+//
+// Usage:
+//
+//	watchdogd -graph URL -wot URL -model frappe-model.gob [-listen :8080]
+//
+// Endpoints:
+//
+//	GET /check?app=APPID         one assessment
+//	GET /rank?app=A&app=B        ranked assessments, most suspicious first
+//	GET /healthz                 liveness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"frappe"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("watchdogd: ")
+	graphURL := flag.String("graph", "", "Graph API base URL (required)")
+	wotURL := flag.String("wot", "", "WOT base URL (required)")
+	modelPath := flag.String("model", "frappe-model.gob", "trained classifier file")
+	listen := flag.String("listen", "127.0.0.1:8466", "listen address")
+	flag.Parse()
+
+	if *graphURL == "" || *wotURL == "" {
+		fmt.Fprintln(os.Stderr, "usage: watchdogd -graph URL -wot URL [-model FILE] [-listen ADDR]")
+		os.Exit(1)
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wd, err := frappe.NewWatchdogFrom(f, *graphURL, *wotURL)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           frappe.WatchdogHandler(wd, 15*time.Second),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("assessing apps on http://%s (try /check?app=APPID)", *listen)
+	if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+// Piggyback: demonstrates the §6.2 prompt_feed weakness and its detection.
+// First it reproduces the exploit live — anyone can attribute a post to a
+// popular app's ID, and the monitoring service has no way to tell — then it
+// runs the Fig. 16 analysis to surface the victims: flagged apps whose
+// malicious-to-all-posts ratio is suspiciously low.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"frappe"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	world := frappe.GenerateWorld(frappe.DefaultConfig(0.03))
+
+	// ---- The exploit, step by step ----
+	victim := world.PopularIDs[0]
+	victimApp, err := world.Platform.App(victim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacker := world.MaliciousIDs[0]
+	// The prompt_feed API accepts ANY api_key: Facebook never authenticates
+	// that the post really originates from that application.
+	post, err := world.Platform.PromptFeedPost(
+		victim,   // api_key: the popular app being impersonated
+		attacker, // the app actually making the post
+		42,       // the lured user
+		"WOW I just got 5000 Facebook Credits for Free",
+		"http://offers5000credit.example.net/claim", 3, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prompt_feed exploit: post attributed to %q, truly from app %s\n",
+		victimApp.Name, post.SourceAppID)
+	fmt.Printf("the monitor sees only the attribution: AppID=%s\n\n", post.AppID)
+
+	// ---- Detection (Fig. 16 / Table 9) ----
+	if _, err := frappe.BuildDatasets(context.Background(), world); err != nil {
+		log.Fatal(err)
+	}
+	findings := frappe.DetectPiggybacking(world, 0.2)
+	fmt.Println("suspected piggybacking victims (flagged ratio < 0.2, by volume):")
+	fmt.Printf("%-24s %-10s %-8s %s\n", "App name", "posts", "flagged", "sample lure")
+	for i, f := range findings {
+		if i == 5 {
+			break
+		}
+		lure := f.SampleMessage
+		if len(lure) > 45 {
+			lure = lure[:45] + "..."
+		}
+		fmt.Printf("%-24s %-10d %-8d %q\n", f.Name, f.Posts, f.FlaggedPosts, lure)
+	}
+	fmt.Printf("\n(paper Table 9: FarmVille, Links, Facebook for iPhone, Mobile, Facebook for Android)\n")
+	fmt.Printf("recommendation to Facebook (§7): authenticate the api_key of prompt_feed posts\n")
+}

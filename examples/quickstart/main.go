@@ -1,0 +1,63 @@
+// Quickstart: generate a small synthetic Facebook-like world, assemble the
+// paper's datasets, train FRAppE, cross-validate it, and classify a few
+// apps — the minimal end-to-end tour of the library.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"frappe"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A world at 3% of the paper's scale: ~3,300 apps, ~430 of them
+	// controlled by AppNet operators, nine months of posting behaviour.
+	cfg := frappe.DefaultConfig(0.03)
+	world := frappe.GenerateWorld(cfg)
+	fmt.Printf("world: %d apps (%d malicious), %d monitored users, %d posts streamed\n",
+		world.Platform.NumApps(), len(world.MaliciousIDs),
+		world.Platform.Users(), world.TotalStreamPosts)
+
+	// 2. Datasets, exactly as §2.3 builds them: MyPageKeeper's flagged
+	// posts give the malicious labels, Social Bakers vetting the benign
+	// side, and the crawl fills in on-demand features.
+	data, err := frappe.BuildDatasets(context.Background(), world)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("D-Sample: %d malicious + %d benign (whitelisted %d popular apps)\n",
+		len(data.Malicious), len(data.Benign), len(data.Whitelisted))
+
+	// 3. Five-fold cross-validation of full FRAppE on D-Complete.
+	records, labels := frappe.CompleteSample(data)
+	metrics, err := frappe.CrossValidate(records, labels, 5,
+		frappe.Options{Features: frappe.FullFeatures()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FRAppE 5-fold CV: %v  (paper: 99.5%% accuracy, 0 FP, 4.1%% FN)\n", metrics)
+
+	// 4. Train on everything and classify one app of each kind.
+	allRecords, allLabels := frappe.LabeledSample(data)
+	clf, err := frappe.Train(allRecords, allLabels, frappe.Options{Features: frappe.FullFeatures()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, rec := range allRecords {
+		verdict, err := clf.Classify(rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if verdict.Malicious == allLabels[i] {
+			fmt.Printf("app %s: labelled %v, classified %v (score %+.3f)\n",
+				rec.ID, allLabels[i], verdict.Malicious, verdict.Score)
+		}
+		if i >= 1 {
+			break
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Tokenflow: the anatomy of a malicious app, following §2.1 and Fig. 2 of
+// the paper step by step — install, permission grant, OAuth token issuance,
+// token forwarding to the hackers, personal-data harvest, and spam posting
+// on the victim's wall — and then the defender's view: MyPageKeeper flags
+// the posts and FRAppE's ground-truth heuristic marks the app.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"frappe/internal/fbplatform"
+	"frappe/internal/mypagekeeper"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	platform := fbplatform.New(1000)
+	scam := &fbplatform.App{
+		ID:   "666000111",
+		Name: "What Does Your Name Mean?",
+		// §4.1.2: 97% of malicious apps request only publish_stream —
+		// exactly enough to spam, little enough not to scare the victim.
+		Permissions: []string{fbplatform.PermPublishStream},
+		RedirectURI: "http://thenamemeans2.com/install",
+		Truth:       fbplatform.Truth{Malicious: true},
+	}
+	if err := platform.Register(scam); err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1-2: the victim, lured by a fake promise, requests the install;
+	// the platform shows the permission set.
+	victim := 42
+	info, err := platform.InstallInfo(scam.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("install prompt for %q: requests %v\n", scam.Name, info.Permissions)
+
+	// Step 3-4: the victim allows the permissions; Facebook issues an
+	// OAuth token to the application server.
+	token, err := platform.InstallApp(victim, scam.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("token issued to the app server: %s (scopes %v)\n", token.Token, token.Scopes)
+
+	// Step 5: the application server forwards the token to the hackers.
+	// A bearer token needs no further ceremony — the string IS the power.
+	hackersCopy := token.Token
+
+	// The app tries to harvest personal data (§2.1 step 3): this one only
+	// asked for publish_stream, so there is nothing to take.
+	loot, err := platform.ReadProfileWithToken(hackersCopy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("personal data harvested: %d fields %v\n", len(loot), loot)
+
+	// Step 6: using the token, the hackers post spam on the victim's wall
+	// to lure the victim's friends (§2.1 step 4).
+	monitor := mypagekeeper.New(mypagekeeper.DefaultClassifierConfig())
+	monitor.SubscribeRange(0, 1000)
+	monitor.AddBlacklistedDomain("thenamemeans2.com")
+	for i := 0; i < 3; i++ {
+		post, err := platform.PostWithToken(hackersCopy,
+			"WOW find out what your name means - FREE!",
+			"http://thenamemeans2.com/offer", 1, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		flagged := monitor.Observe(post)
+		fmt.Printf("wall post %d on user %d's wall (flagged by MyPageKeeper: %v)\n",
+			i+1, post.UserID, flagged)
+	}
+
+	// The defender's view: one flagged post is enough for the paper's
+	// ground-truth heuristic to mark the application malicious.
+	fmt.Printf("\napp flagged malicious by the post-level heuristic: %v\n",
+		monitor.AppFlagged(scam.ID))
+	fmt.Printf("flagged posts attributed to the app: %d\n",
+		monitor.FlaggedPostCount(scam.ID))
+
+	// Epilogue: the user uninstalls; the token dies.
+	if err := platform.RevokeToken(token.Token); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := platform.PostWithToken(hackersCopy, "one more", "", 2, true); err != nil {
+		fmt.Printf("after uninstall, the forwarded token is dead: %v\n", err)
+	}
+}

@@ -1,0 +1,84 @@
+// Watchdog: the deployment §5.1 of the paper envisions — a browser
+// extension that evaluates any app ID at install time. This example runs
+// the full networking stack: the simulated Graph API and WOT services are
+// real HTTP servers, a FRAppE Lite classifier is trained, serialised, and
+// loaded into a watchdog that crawls each app's on-demand features over
+// HTTP before classifying it.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+
+	"frappe"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	world := frappe.GenerateWorld(frappe.DefaultConfig(0.02))
+	data, err := frappe.BuildDatasets(context.Background(), world)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train FRAppE Lite — on-demand features only, since a browser
+	// extension has no cross-user aggregation view.
+	records, labels := frappe.LabeledSample(data)
+	clf, err := frappe.Train(records, labels, frappe.Options{Features: frappe.LiteFeatures()})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ship the model: serialise, then load it in the "extension".
+	var model bytes.Buffer
+	if err := clf.Save(&model); err != nil {
+		log.Fatal(err)
+	}
+
+	// Expose the world's services over loopback HTTP.
+	stack, err := frappe.StartServices(world)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stack.Close()
+	fmt.Printf("graph API at %s, WOT at %s\n", stack.GraphURL, stack.WOTURL)
+
+	watchdog, err := frappe.NewWatchdogFrom(&model, stack.GraphURL, stack.WOTURL)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Evaluate a handful of live apps of each class.
+	evaluate := func(ids []string, class string, want bool) {
+		shown := 0
+		correct := 0
+		for _, id := range ids {
+			if _, err := world.Platform.Lookup(id); err != nil {
+				continue // deleted from the graph
+			}
+			v, err := watchdog.Evaluate(context.Background(), id)
+			if err != nil {
+				log.Fatalf("evaluating %s: %v", id, err)
+			}
+			if v.Malicious == want {
+				correct++
+			}
+			if shown < 3 {
+				app, _ := world.Platform.App(id)
+				fmt.Printf("  %-22q -> malicious=%v (score %+.3f)\n", app.Name, v.Malicious, v.Score)
+			}
+			shown++
+			if shown == 40 {
+				break
+			}
+		}
+		fmt.Printf("%s apps: %d/%d classified correctly\n\n", class, correct, shown)
+	}
+	fmt.Println("evaluating malicious apps on demand:")
+	evaluate(world.MaliciousIDs, "malicious", true)
+	fmt.Println("evaluating benign apps on demand:")
+	evaluate(world.BenignIDs, "benign", false)
+}

@@ -1,0 +1,177 @@
+package appgraph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DegreeHistogram returns the undirected degree distribution as a sorted
+// slice of (degree, count) pairs — the data behind degree-CCDF plots of
+// collusion intensity (§6.1's "70% of the apps collude with more than 10
+// other apps").
+func (g *Graph) DegreeHistogram() []DegreeCount {
+	hist := map[int]int{}
+	for _, d := range g.Degrees() {
+		hist[d]++
+	}
+	out := make([]DegreeCount, 0, len(hist))
+	for d, c := range hist {
+		out = append(out, DegreeCount{Degree: d, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Degree < out[j].Degree })
+	return out
+}
+
+// DegreeCount is one row of a degree histogram.
+type DegreeCount struct {
+	Degree int
+	Count  int
+}
+
+// KCore returns the maximal subgraph in which every node has undirected
+// degree >= k (computed by iterative peeling). The k-core is the standard
+// measure of the "large and highly-dense connected components" the paper
+// highlights: a dense AppNet survives aggressive peeling.
+func (g *Graph) KCore(k int) *Graph {
+	alive := map[string]bool{}
+	for _, v := range g.Nodes() {
+		alive[v] = true
+	}
+	deg := map[string]int{}
+	for v := range alive {
+		deg[v] = g.Degree(v)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for v := range alive {
+			if deg[v] < k {
+				delete(alive, v)
+				changed = true
+				for u := range g.neighbors(v) {
+					if alive[u] {
+						deg[u]--
+					}
+				}
+			}
+		}
+	}
+	keep := make([]string, 0, len(alive))
+	for v := range alive {
+		keep = append(keep, v)
+	}
+	return g.Subgraph(keep)
+}
+
+// Coreness returns, for every node, the largest k such that the node
+// belongs to the k-core.
+func (g *Graph) Coreness() map[string]int {
+	// Batagelj–Zaveršnik style peeling over degree buckets.
+	deg := g.Degrees()
+	core := make(map[string]int, len(deg))
+	// Bucket nodes by current degree.
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	buckets := make([][]string, maxDeg+1)
+	for v, d := range deg {
+		buckets[d] = append(buckets[d], v)
+	}
+	removed := map[string]bool{}
+	cur := map[string]int{}
+	for v, d := range deg {
+		cur[v] = d
+	}
+	for d := 0; d <= maxDeg; d++ {
+		for i := 0; i < len(buckets[d]); i++ {
+			v := buckets[d][i]
+			if removed[v] || cur[v] != d {
+				continue
+			}
+			removed[v] = true
+			core[v] = d
+			for u := range g.neighbors(v) {
+				if removed[u] || cur[u] <= d {
+					continue
+				}
+				cur[u]--
+				if cur[u] >= 0 && cur[u] <= maxDeg {
+					buckets[cur[u]] = append(buckets[cur[u]], u)
+				}
+			}
+		}
+	}
+	// Coreness is monotone: a node's value is at least the peel level it
+	// survived to; patch any missed stragglers defensively.
+	for v := range deg {
+		if _, ok := core[v]; !ok {
+			core[v] = cur[v]
+		}
+	}
+	return core
+}
+
+// WriteDOT renders the undirected collaboration view of the graph in
+// Graphviz DOT format — `dot -Tpng` turns the Fig. 1 snapshot into the
+// paper's hairball. labels maps node IDs to display names (nil keeps IDs);
+// nodes limits the output to a subset (nil renders everything).
+func (g *Graph) WriteDOT(w io.Writer, labels map[string]string, nodes []string) error {
+	keep := map[string]bool{}
+	if nodes == nil {
+		for _, v := range g.Nodes() {
+			keep[v] = true
+		}
+	} else {
+		for _, v := range nodes {
+			keep[v] = true
+		}
+	}
+	if _, err := fmt.Fprintln(w, "graph appnet {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, `  node [shape=point];`); err != nil {
+		return err
+	}
+	for v := range keep {
+		if label, ok := labels[v]; ok {
+			if _, err := fmt.Fprintf(w, "  %q [label=%q shape=ellipse];\n", v, label); err != nil {
+				return err
+			}
+		}
+	}
+	// Emit each undirected pair once, in sorted order for determinism.
+	var edges []string
+	seen := map[string]bool{}
+	for _, v := range g.Nodes() {
+		if !keep[v] {
+			continue
+		}
+		for u := range g.neighbors(v) {
+			if !keep[u] {
+				continue
+			}
+			a, b := v, u
+			if a > b {
+				a, b = b, a
+			}
+			key := a + "--" + b
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			edges = append(edges, fmt.Sprintf("  %q -- %q;", a, b))
+		}
+	}
+	sort.Strings(edges)
+	for _, e := range edges {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

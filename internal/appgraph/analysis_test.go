@@ -1,0 +1,135 @@
+package appgraph
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func clique(n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(fmt.Sprintf("c%d", i), fmt.Sprintf("c%d", j))
+		}
+	}
+	return g
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("a", "c")
+	// degrees: a=2, b=1, c=1
+	h := g.DegreeHistogram()
+	if len(h) != 2 {
+		t.Fatalf("hist = %v", h)
+	}
+	if h[0].Degree != 1 || h[0].Count != 2 || h[1].Degree != 2 || h[1].Count != 1 {
+		t.Errorf("hist = %v", h)
+	}
+	total := 0
+	for _, dc := range h {
+		total += dc.Count
+	}
+	if total != g.NumNodes() {
+		t.Errorf("histogram covers %d of %d nodes", total, g.NumNodes())
+	}
+}
+
+func TestKCoreOnCliqueWithTail(t *testing.T) {
+	g := clique(5) // every clique node has degree 4
+	// Attach a tail: t1 - t2 - c0.
+	g.AddEdge("t1", "t2")
+	g.AddEdge("t2", "c0")
+
+	core3 := g.KCore(3)
+	if core3.NumNodes() != 5 {
+		t.Errorf("3-core nodes = %d, want the 5-clique", core3.NumNodes())
+	}
+	if core3.HasEdge("t2", "c0") || core3.Degree("t2") != 0 {
+		t.Error("tail survived the 3-core")
+	}
+	// 5-core of a 5-clique (degree 4) is empty.
+	if n := g.KCore(5).NumNodes(); n != 0 {
+		t.Errorf("5-core nodes = %d, want 0", n)
+	}
+	// 0-core keeps everything.
+	if n := g.KCore(0).NumNodes(); n != g.NumNodes() {
+		t.Errorf("0-core nodes = %d, want %d", n, g.NumNodes())
+	}
+}
+
+func TestCoreness(t *testing.T) {
+	g := clique(4) // coreness 3 for all
+	g.AddEdge("tail", "c0")
+	core := g.Coreness()
+	for i := 0; i < 4; i++ {
+		if got := core[fmt.Sprintf("c%d", i)]; got != 3 {
+			t.Errorf("coreness(c%d) = %d, want 3", i, got)
+		}
+	}
+	if core["tail"] != 1 {
+		t.Errorf("coreness(tail) = %d, want 1", core["tail"])
+	}
+}
+
+func TestCorenessMatchesKCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := New()
+	for i := 0; i < 150; i++ {
+		g.AddEdge(fmt.Sprintf("n%d", rng.Intn(30)), fmt.Sprintf("n%d", rng.Intn(30)))
+	}
+	core := g.Coreness()
+	for k := 1; k <= 4; k++ {
+		inKCore := map[string]bool{}
+		for _, v := range g.KCore(k).Nodes() {
+			inKCore[v] = true
+		}
+		for v, c := range core {
+			if (c >= k) != inKCore[v] {
+				t.Fatalf("k=%d node %s: coreness %d but kcore membership %v", k, v, c, inKCore[v])
+			}
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "a") // same undirected edge
+	g.AddEdge("b", "c")
+
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, map[string]string{"a": "Death Predictor"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "graph appnet {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Errorf("not a DOT document:\n%s", out)
+	}
+	if strings.Count(out, `"a" -- "b"`) != 1 {
+		t.Errorf("undirected edge should appear once:\n%s", out)
+	}
+	if !strings.Contains(out, `"Death Predictor"`) {
+		t.Error("label missing")
+	}
+	// Subset rendering drops external edges.
+	buf.Reset()
+	if err := g.WriteDOT(&buf, nil, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"c"`) {
+		t.Error("excluded node rendered")
+	}
+	// Determinism.
+	var buf2 bytes.Buffer
+	if err := g.WriteDOT(&buf2, nil, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("DOT output not deterministic")
+	}
+}

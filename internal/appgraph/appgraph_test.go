@@ -1,0 +1,291 @@
+package appgraph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("a", "b") // duplicate collapses
+	g.AddEdge("b", "c")
+	g.AddEdge("x", "x") // self-loop ignored
+
+	if got := g.NumEdges(); got != 2 {
+		t.Errorf("NumEdges = %d, want 2", got)
+	}
+	if got := g.NumNodes(); got != 3 {
+		t.Errorf("NumNodes = %d, want 3", got)
+	}
+	if !g.HasEdge("a", "b") || g.HasEdge("b", "a") {
+		t.Error("edge direction wrong")
+	}
+	if g.HasEdge("x", "x") {
+		t.Error("self-loop should be ignored")
+	}
+}
+
+func TestZeroValueGraph(t *testing.T) {
+	var g Graph
+	g.AddEdge("a", "b")
+	if !g.HasEdge("a", "b") {
+		t.Error("zero-value graph should accept edges")
+	}
+	if g.NumNodes() != 2 {
+		t.Errorf("NumNodes = %d", g.NumNodes())
+	}
+}
+
+func TestRoles(t *testing.T) {
+	g := New()
+	// p1 -> m1, p1 -> d1, d1 -> m1, d1 -> m2
+	g.AddEdge("p1", "m1")
+	g.AddEdge("p1", "d1")
+	g.AddEdge("d1", "m1")
+	g.AddEdge("d1", "m2")
+
+	r := g.Roles()
+	if len(r.Promoters) != 1 || r.Promoters[0] != "p1" {
+		t.Errorf("Promoters = %v", r.Promoters)
+	}
+	if len(r.Promotees) != 2 {
+		t.Errorf("Promotees = %v", r.Promotees)
+	}
+	if len(r.Dual) != 1 || r.Dual[0] != "d1" {
+		t.Errorf("Dual = %v", r.Dual)
+	}
+	// Paper-style overlapping totals.
+	if g.PromoterCount() != 2 { // p1 and d1
+		t.Errorf("PromoterCount = %d, want 2", g.PromoterCount())
+	}
+	if g.PromoteeCount() != 3 { // m1, m2, d1
+		t.Errorf("PromoteeCount = %d, want 3", g.PromoteeCount())
+	}
+}
+
+func TestDegree(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "a") // same undirected pair
+	g.AddEdge("a", "c")
+	if d := g.Degree("a"); d != 2 {
+		t.Errorf("Degree(a) = %d, want 2", d)
+	}
+	if d := g.Degree("b"); d != 1 {
+		t.Errorf("Degree(b) = %d, want 1", d)
+	}
+	if d := g.Degree("missing"); d != 0 {
+		t.Errorf("Degree(missing) = %d, want 0", d)
+	}
+}
+
+func TestLocalClusteringCoefficient(t *testing.T) {
+	// Triangle: every node has coefficient 1.
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "a")
+	for _, v := range []string{"a", "b", "c"} {
+		if c := g.LocalClusteringCoefficient(v); c != 1 {
+			t.Errorf("triangle lcc(%s) = %v, want 1", v, c)
+		}
+	}
+
+	// Star: centre has coefficient 0.
+	s := New()
+	s.AddEdge("hub", "x")
+	s.AddEdge("hub", "y")
+	s.AddEdge("hub", "z")
+	if c := s.LocalClusteringCoefficient("hub"); c != 0 {
+		t.Errorf("star hub lcc = %v, want 0", c)
+	}
+	// Leaves have <2 neighbours -> 0.
+	if c := s.LocalClusteringCoefficient("x"); c != 0 {
+		t.Errorf("leaf lcc = %v, want 0", c)
+	}
+}
+
+func TestClusteringCoefficientPartial(t *testing.T) {
+	// v connected to a,b,c; only a-b among neighbours -> 1/3.
+	g := New()
+	g.AddEdge("v", "a")
+	g.AddEdge("v", "b")
+	g.AddEdge("v", "c")
+	g.AddEdge("a", "b")
+	got := g.LocalClusteringCoefficient("v")
+	if math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("lcc = %v, want 1/3", got)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("x", "y")
+	g.AddEdge("p", "q")
+	g.AddEdge("q", "r")
+	g.AddEdge("r", "s")
+
+	comps := g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	if comps[0].Size() != 4 || comps[1].Size() != 3 || comps[2].Size() != 2 {
+		t.Errorf("sizes = %d,%d,%d want 4,3,2",
+			comps[0].Size(), comps[1].Size(), comps[2].Size())
+	}
+}
+
+func TestComponentsPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		n := 30
+		for i := 0; i < 60; i++ {
+			a := fmt.Sprintf("app%d", rng.Intn(n))
+			b := fmt.Sprintf("app%d", rng.Intn(n))
+			g.AddEdge(a, b)
+		}
+		comps := g.ConnectedComponents()
+		seen := map[string]int{}
+		total := 0
+		for i, c := range comps {
+			total += c.Size()
+			for _, m := range c.Members {
+				if prev, dup := seen[m]; dup {
+					t.Logf("node %s in components %d and %d", m, prev, i)
+					return false
+				}
+				seen[m] = i
+			}
+		}
+		return total == g.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComponentsAreConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := New()
+	for i := 0; i < 100; i++ {
+		g.AddEdge(fmt.Sprintf("a%d", rng.Intn(40)), fmt.Sprintf("a%d", rng.Intn(40)))
+	}
+	for _, c := range g.ConnectedComponents() {
+		if c.Size() == 1 {
+			continue
+		}
+		// BFS within the component must reach every member.
+		set := map[string]bool{}
+		for _, m := range c.Members {
+			set[m] = true
+		}
+		visited := map[string]bool{c.Members[0]: true}
+		queue := []string{c.Members[0]}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.Neighborhood(v) {
+				if set[u] && !visited[u] {
+					visited[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+		if len(visited) != c.Size() {
+			t.Fatalf("component of size %d only reaches %d nodes", c.Size(), len(visited))
+		}
+	}
+}
+
+func TestAverageDegree(t *testing.T) {
+	g := New()
+	if d := g.AverageDegree(); d != 0 {
+		t.Errorf("empty graph avg degree = %v", d)
+	}
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	// degrees: a=1, b=2, c=1 -> 4/3
+	if d := g.AverageDegree(); math.Abs(d-4.0/3) > 1e-9 {
+		t.Errorf("avg degree = %v, want 4/3", d)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "d")
+	sub := g.Subgraph([]string{"a", "b", "c"})
+	if !sub.HasEdge("a", "b") || !sub.HasEdge("b", "c") {
+		t.Error("subgraph lost internal edges")
+	}
+	if sub.HasEdge("c", "d") || sub.NumNodes() != 3 {
+		t.Error("subgraph kept external edge")
+	}
+}
+
+func TestNeighborhood(t *testing.T) {
+	g := New()
+	g.AddEdge("v", "a")
+	g.AddEdge("b", "v")
+	nb := g.Neighborhood("v")
+	if len(nb) != 2 || nb[0] != "a" || nb[1] != "b" {
+		t.Errorf("Neighborhood = %v", nb)
+	}
+}
+
+func TestDenseCliqueCoefficients(t *testing.T) {
+	// A clique of 10: every lcc = 1, avg degree = 9.
+	g := New()
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			g.AddEdge(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", j))
+		}
+	}
+	for v, c := range g.ClusteringCoefficients() {
+		if c != 1 {
+			t.Errorf("clique lcc(%s) = %v", v, c)
+		}
+	}
+	if d := g.AverageDegree(); d != 9 {
+		t.Errorf("clique avg degree = %v", d)
+	}
+}
+
+func TestCoefficientRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		for i := 0; i < 40; i++ {
+			g.AddEdge(fmt.Sprintf("n%d", rng.Intn(15)), fmt.Sprintf("n%d", rng.Intn(15)))
+		}
+		for _, c := range g.ClusteringCoefficients() {
+			if c < 0 || c > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := New()
+	for i := 0; i < 20000; i++ {
+		g.AddEdge(fmt.Sprintf("a%d", rng.Intn(6000)), fmt.Sprintf("a%d", rng.Intn(6000)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ConnectedComponents()
+	}
+}

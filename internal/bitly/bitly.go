@@ -1,0 +1,301 @@
+// Package bitly simulates the bit.ly URL-shortening service the paper
+// relies on in §3: hackers shorten their scam links (92% of shortened URLs
+// in the paper's dataset are bit.ly), and the measurement queries bit.ly's
+// public API for the total click count of every link posted by a malicious
+// app (Fig. 3) and for the expansion of shortened links back to their long
+// form (§4.2.2, §6.1).
+//
+// The Service is an http.Handler exposing a v3-style JSON API plus the
+// redirecting short links themselves; the Client is what the measurement
+// pipeline uses.
+package bitly
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound is returned for unknown short links.
+var ErrNotFound = errors.New("bitly: link not found")
+
+// Service is an in-memory URL shortener with click accounting. It is safe
+// for concurrent use. The zero value is not usable; construct with
+// NewService.
+type Service struct {
+	mu      sync.RWMutex
+	byCode  map[string]*link
+	byLong  map[string]string // long URL -> code
+	nextID  uint64
+	baseURL string
+	// oldBases remembers every base URL ever used, so links issued before
+	// a SetBaseURL (e.g. when a live HTTP endpoint replaces the canonical
+	// "http://bit.ly" prefix) are still recognised by IsShort.
+	oldBases []string
+}
+
+type link struct {
+	long   string
+	clicks int64
+}
+
+// NewService returns an empty shortener. baseURL is the public prefix of
+// issued short links, e.g. "http://bit.ly"; it may be updated later with
+// SetBaseURL once a test server's address is known.
+func NewService(baseURL string) *Service {
+	return &Service{
+		byCode:  make(map[string]*link),
+		byLong:  make(map[string]string),
+		baseURL: strings.TrimRight(baseURL, "/"),
+	}
+}
+
+// SetBaseURL changes the public prefix of issued short links. Links issued
+// under earlier prefixes remain valid and recognised.
+func (s *Service) SetBaseURL(base string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.baseURL != "" {
+		s.oldBases = append(s.oldBases, s.baseURL)
+	}
+	s.baseURL = strings.TrimRight(base, "/")
+}
+
+// encode converts a counter into the base62 alphabet bit.ly uses.
+const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+func encode(n uint64) string {
+	if n == 0 {
+		return string(alphabet[0])
+	}
+	var b []byte
+	for n > 0 {
+		b = append(b, alphabet[n%62])
+		n /= 62
+	}
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	return string(b)
+}
+
+// Shorten returns the short URL for long, issuing a new code on first use
+// and reusing the existing code afterwards (bit.ly deduplicates per-URL).
+func (s *Service) Shorten(long string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if code, ok := s.byLong[long]; ok {
+		return s.baseURL + "/" + code
+	}
+	code := encode(s.nextID)
+	s.nextID++
+	s.byCode[code] = &link{long: long}
+	s.byLong[long] = code
+	return s.baseURL + "/" + code
+}
+
+// Expand returns the long URL behind a short URL or bare code.
+func (s *Service) Expand(short string) (string, error) {
+	code := codeOf(short)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.byCode[code]
+	if !ok {
+		return "", ErrNotFound
+	}
+	return l.long, nil
+}
+
+// Clicks returns the accumulated click count of a short URL or bare code.
+func (s *Service) Clicks(short string) (int64, error) {
+	code := codeOf(short)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.byCode[code]
+	if !ok {
+		return 0, ErrNotFound
+	}
+	return l.clicks, nil
+}
+
+// AddClicks records n clicks against a short URL, as the synthetic world
+// generator does when it simulates users (on and off Facebook) following a
+// link. n must be non-negative.
+func (s *Service) AddClicks(short string, n int64) error {
+	if n < 0 {
+		return fmt.Errorf("bitly: negative click count %d", n)
+	}
+	code := codeOf(short)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.byCode[code]
+	if !ok {
+		return ErrNotFound
+	}
+	l.clicks += n
+	return nil
+}
+
+// NumLinks reports how many distinct links have been shortened.
+func (s *Service) NumLinks() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byCode)
+}
+
+// codeOf strips any scheme/host prefix, leaving the bare short code.
+func codeOf(short string) string {
+	if i := strings.LastIndex(short, "/"); i >= 0 {
+		return short[i+1:]
+	}
+	return short
+}
+
+// IsShort reports whether raw looks like a link issued by this service
+// under its current or any previous base URL.
+func (s *Service) IsShort(raw string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.baseURL != "" && strings.HasPrefix(raw, s.baseURL+"/") {
+		return true
+	}
+	for _, base := range s.oldBases {
+		if base != "" && strings.HasPrefix(raw, base+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// apiResponse mirrors the bit.ly v3 envelope.
+type apiResponse struct {
+	StatusCode int         `json:"status_code"`
+	StatusTxt  string      `json:"status_txt"`
+	Data       interface{} `json:"data"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, resp apiResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		// Connection-level failure; nothing more we can do.
+		return
+	}
+}
+
+// ServeHTTP implements the API:
+//
+//	GET /v3/shorten?longUrl=U   -> {"data":{"url": shortURL}}
+//	GET /v3/expand?shortUrl=U   -> {"data":{"long_url": longURL}}
+//	GET /v3/clicks?shortUrl=U   -> {"data":{"clicks": N}}
+//	GET /{code}                 -> 301 redirect to the long URL (counts a click)
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/v3/shorten":
+		long := r.URL.Query().Get("longUrl")
+		if long == "" {
+			writeJSON(w, http.StatusBadRequest, apiResponse{StatusCode: 400, StatusTxt: "MISSING_ARG_LONGURL"})
+			return
+		}
+		short := s.Shorten(long)
+		writeJSON(w, http.StatusOK, apiResponse{StatusCode: 200, StatusTxt: "OK", Data: map[string]string{"url": short}})
+	case r.URL.Path == "/v3/expand":
+		long, err := s.Expand(r.URL.Query().Get("shortUrl"))
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, apiResponse{StatusCode: 404, StatusTxt: "NOT_FOUND"})
+			return
+		}
+		writeJSON(w, http.StatusOK, apiResponse{StatusCode: 200, StatusTxt: "OK", Data: map[string]string{"long_url": long}})
+	case r.URL.Path == "/v3/clicks":
+		clicks, err := s.Clicks(r.URL.Query().Get("shortUrl"))
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, apiResponse{StatusCode: 404, StatusTxt: "NOT_FOUND"})
+			return
+		}
+		writeJSON(w, http.StatusOK, apiResponse{StatusCode: 200, StatusTxt: "OK", Data: map[string]int64{"clicks": clicks}})
+	case strings.HasPrefix(r.URL.Path, "/v3/"):
+		writeJSON(w, http.StatusNotFound, apiResponse{StatusCode: 404, StatusTxt: "UNKNOWN_ENDPOINT"})
+	default:
+		code := strings.TrimPrefix(r.URL.Path, "/")
+		long, err := s.Expand(code)
+		if err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		if err := s.AddClicks(code, 1); err != nil {
+			http.Error(w, "click accounting failed", http.StatusInternalServerError)
+			return
+		}
+		http.Redirect(w, r, long, http.StatusMovedPermanently)
+	}
+}
+
+// Client queries a bit.ly-compatible API over HTTP.
+type Client struct {
+	// BaseURL is the API endpoint, e.g. "http://127.0.0.1:PORT".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) get(path string, params url.Values, out interface{}) error {
+	u := strings.TrimRight(c.BaseURL, "/") + path
+	if len(params) > 0 {
+		u += "?" + params.Encode()
+	}
+	resp, err := c.httpClient().Get(u)
+	if err != nil {
+		return fmt.Errorf("bitly: %w", err)
+	}
+	defer resp.Body.Close()
+	var env apiResponse
+	env.Data = out
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return fmt.Errorf("bitly: decoding response: %w", err)
+	}
+	if env.StatusCode == 404 {
+		return ErrNotFound
+	}
+	if env.StatusCode != 200 {
+		return fmt.Errorf("bitly: API error %d %s", env.StatusCode, env.StatusTxt)
+	}
+	return nil
+}
+
+// Shorten asks the service to shorten long.
+func (c *Client) Shorten(long string) (string, error) {
+	var data struct {
+		URL string `json:"url"`
+	}
+	err := c.get("/v3/shorten", url.Values{"longUrl": {long}}, &data)
+	return data.URL, err
+}
+
+// Expand resolves a short URL to its long form.
+func (c *Client) Expand(short string) (string, error) {
+	var data struct {
+		LongURL string `json:"long_url"`
+	}
+	err := c.get("/v3/expand", url.Values{"shortUrl": {short}}, &data)
+	return data.LongURL, err
+}
+
+// Clicks returns the click count of a short URL.
+func (c *Client) Clicks(short string) (int64, error) {
+	var data struct {
+		Clicks int64 `json:"clicks"`
+	}
+	err := c.get("/v3/clicks", url.Values{"shortUrl": {short}}, &data)
+	return data.Clicks, err
+}

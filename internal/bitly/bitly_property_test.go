@@ -1,0 +1,66 @@
+package bitly
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Shorten/Expand round-trips any URL, and re-shortening is
+// idempotent (same short link).
+func TestShortenExpandProperty(t *testing.T) {
+	s := NewService("http://bit.ly")
+	f := func(raw string) bool {
+		long := "http://example.com/" + fmt.Sprintf("%x", raw)
+		short := s.Shorten(long)
+		if !s.IsShort(short) {
+			return false
+		}
+		got, err := s.Expand(short)
+		if err != nil || got != long {
+			return false
+		}
+		return s.Shorten(long) == short
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: click counts accumulate exactly.
+func TestClickAccumulationProperty(t *testing.T) {
+	s := NewService("http://bit.ly")
+	short := s.Shorten("http://example.com/clicks")
+	f := func(increments []uint8) bool {
+		before, err := s.Clicks(short)
+		if err != nil {
+			return false
+		}
+		var sum int64
+		for _, inc := range increments {
+			if err := s.AddClicks(short, int64(inc)); err != nil {
+				return false
+			}
+			sum += int64(inc)
+		}
+		after, err := s.Clicks(short)
+		return err == nil && after == before+sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distinct long URLs get distinct short codes.
+func TestDistinctCodesProperty(t *testing.T) {
+	s := NewService("http://bit.ly")
+	seen := map[string]string{}
+	for i := 0; i < 5000; i++ {
+		long := fmt.Sprintf("http://example.com/page/%d", i)
+		short := s.Shorten(long)
+		if prev, dup := seen[short]; dup {
+			t.Fatalf("code collision: %q and %q both map to %s", prev, long, short)
+		}
+		seen[short] = long
+	}
+}

@@ -1,0 +1,185 @@
+package bitly
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestEncodeBase62(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want string
+	}{
+		{0, "a"},
+		{1, "b"},
+		{61, "9"},
+		{62, "ba"},
+		{62*62 + 1, "bab"},
+	}
+	for _, c := range cases {
+		if got := encode(c.n); got != c.want {
+			t.Errorf("encode(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestShortenExpandRoundTrip(t *testing.T) {
+	s := NewService("http://bit.ly")
+	short := s.Shorten("http://scam.example.com/ipad")
+	if short != "http://bit.ly/a" {
+		t.Errorf("short = %q", short)
+	}
+	long, err := s.Expand(short)
+	if err != nil || long != "http://scam.example.com/ipad" {
+		t.Errorf("Expand = %q, %v", long, err)
+	}
+	// Deduplication.
+	if again := s.Shorten("http://scam.example.com/ipad"); again != short {
+		t.Errorf("dedup failed: %q vs %q", again, short)
+	}
+	if s.NumLinks() != 1 {
+		t.Errorf("NumLinks = %d", s.NumLinks())
+	}
+	if _, err := s.Expand("http://bit.ly/zzzz"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown expand err = %v", err)
+	}
+}
+
+func TestClickAccounting(t *testing.T) {
+	s := NewService("http://bit.ly")
+	short := s.Shorten("http://example.com")
+	if err := s.AddClicks(short, 41); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClicks(short, 1); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Clicks(short)
+	if err != nil || n != 42 {
+		t.Errorf("Clicks = %d, %v", n, err)
+	}
+	if err := s.AddClicks(short, -1); err == nil {
+		t.Error("negative clicks: want error")
+	}
+	if err := s.AddClicks("http://bit.ly/nope", 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown AddClicks err = %v", err)
+	}
+}
+
+func TestIsShort(t *testing.T) {
+	s := NewService("http://bit.ly")
+	short := s.Shorten("http://example.com")
+	if !s.IsShort(short) {
+		t.Error("issued link not recognised")
+	}
+	if s.IsShort("http://tinyurl.com/abc") {
+		t.Error("foreign link recognised")
+	}
+}
+
+func TestHTTPAPI(t *testing.T) {
+	svc := NewService("")
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	svc.SetBaseURL(srv.URL)
+
+	c := &Client{BaseURL: srv.URL}
+	short, err := c.Shorten("http://survey-scam.example.com/")
+	if err != nil {
+		t.Fatalf("Shorten: %v", err)
+	}
+	long, err := c.Expand(short)
+	if err != nil || long != "http://survey-scam.example.com/" {
+		t.Fatalf("Expand = %q, %v", long, err)
+	}
+	if n, err := c.Clicks(short); err != nil || n != 0 {
+		t.Fatalf("Clicks = %d, %v", n, err)
+	}
+
+	// Following the short link redirects and counts a click.
+	hc := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := hc.Get(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMovedPermanently {
+		t.Errorf("redirect status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Location"); got != "http://survey-scam.example.com/" {
+		t.Errorf("Location = %q", got)
+	}
+	if n, _ := c.Clicks(short); n != 1 {
+		t.Errorf("clicks after redirect = %d, want 1", n)
+	}
+}
+
+func TestHTTPAPIErrors(t *testing.T) {
+	svc := NewService("")
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	svc.SetBaseURL(srv.URL)
+	c := &Client{BaseURL: srv.URL}
+
+	if _, err := c.Expand(srv.URL + "/doesnotexist"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Expand unknown err = %v", err)
+	}
+	if _, err := c.Clicks(srv.URL + "/doesnotexist"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Clicks unknown err = %v", err)
+	}
+	if _, err := c.Shorten(""); err == nil {
+		t.Error("empty longUrl: want error")
+	}
+	resp, err := http.Get(srv.URL + "/v3/bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown endpoint status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/neverissued")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown code status = %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentShorten(t *testing.T) {
+	s := NewService("http://bit.ly")
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			short := s.Shorten(fmt.Sprintf("http://example.com/%d", i%10))
+			if err := s.AddClicks(short, 1); err != nil {
+				t.Errorf("AddClicks: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.NumLinks() != 10 {
+		t.Errorf("NumLinks = %d, want 10", s.NumLinks())
+	}
+	total := int64(0)
+	for i := 0; i < 10; i++ {
+		n, err := s.Clicks(s.Shorten(fmt.Sprintf("http://example.com/%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total != 50 {
+		t.Errorf("total clicks = %d, want 50", total)
+	}
+}

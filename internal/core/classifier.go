@@ -1,0 +1,149 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"frappe/internal/svm"
+)
+
+// Options configures FRAppE training.
+type Options struct {
+	// Features selects the feature set; nil means FullFeatures().
+	Features []Feature
+	// SVM overrides the SVM parameters; the zero value means libsvm
+	// defaults (RBF, gamma = 1/#features, C = 1), as in §5.1.
+	SVM *svm.Params
+	// Seed drives sampling and SMO tie-breaking (default 1).
+	Seed int64
+}
+
+func (o Options) features() []Feature {
+	if len(o.Features) == 0 {
+		return FullFeatures()
+	}
+	return o.Features
+}
+
+func (o Options) svmParams(dim int) svm.Params {
+	if o.SVM != nil {
+		return *o.SVM
+	}
+	p := svm.DefaultParams(dim)
+	if o.Seed != 0 {
+		p.Seed = o.Seed
+	}
+	return p
+}
+
+// Classifier is a trained FRAppE instance.
+type Classifier struct {
+	extractor Extractor
+	scaler    *svm.Scaler
+	model     *svm.Model
+}
+
+// Verdict is a classification outcome.
+type Verdict struct {
+	AppID string
+	// Malicious is the classifier's decision.
+	Malicious bool
+	// Score is the SVM decision value; positive means malicious, and its
+	// magnitude is the confidence.
+	Score float64
+}
+
+// Train fits FRAppE on labelled records (true = malicious). The
+// known-malicious name set for the aggregation feature is built from the
+// malicious training records only.
+func Train(records []AppRecord, labels []bool, opts Options) (*Classifier, error) {
+	if len(records) == 0 {
+		return nil, errors.New("core: no training records")
+	}
+	if len(records) != len(labels) {
+		return nil, errors.New("core: records/labels length mismatch")
+	}
+	var maliciousRecords []AppRecord
+	for i, r := range records {
+		if labels[i] {
+			maliciousRecords = append(maliciousRecords, r)
+		}
+	}
+	counts, contributed := NameCounts(maliciousRecords)
+	ext := Extractor{
+		Features:            opts.features(),
+		MaliciousNameCounts: counts,
+		ContributedIDs:      contributed,
+	}
+	if err := ext.FitImputation(records); err != nil {
+		return nil, fmt.Errorf("core: fitting imputation: %w", err)
+	}
+	var xs [][]float64
+	var ys []float64
+	for i, r := range records {
+		v, err := ext.Vector(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: extracting %s: %w", r.ID, err)
+		}
+		xs = append(xs, v)
+		y := -1.0
+		if labels[i] {
+			y = 1
+		}
+		ys = append(ys, y)
+	}
+	scaler, err := svm.FitScaler(xs)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	scaled := scaler.ApplyAll(xs)
+	model, err := svm.Train(scaled, ys, opts.svmParams(len(ext.Features)))
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Classifier{extractor: ext, scaler: scaler, model: model}, nil
+}
+
+// Features returns the feature set the classifier was trained with.
+func (c *Classifier) Features() []Feature {
+	return append([]Feature(nil), c.extractor.Features...)
+}
+
+// Classify evaluates one record.
+func (c *Classifier) Classify(r AppRecord) (Verdict, error) {
+	v, err := c.extractor.Vector(r)
+	if err != nil {
+		return Verdict{AppID: r.ID}, err
+	}
+	score := c.model.DecisionValue(c.scaler.Apply(v))
+	return Verdict{AppID: r.ID, Malicious: score >= 0, Score: score}, nil
+}
+
+// ClassifyAll evaluates many records, skipping unclassifiable ones (no
+// summary). It returns the verdicts and the IDs that were skipped.
+func (c *Classifier) ClassifyAll(records []AppRecord) (verdicts []Verdict, skipped []string, err error) {
+	for _, r := range records {
+		v, cerr := c.Classify(r)
+		if errors.Is(cerr, ErrNotClassifiable) {
+			skipped = append(skipped, r.ID)
+			continue
+		}
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		verdicts = append(verdicts, v)
+	}
+	return verdicts, skipped, nil
+}
+
+// Save serialises the trained classifier (feature set, known-malicious
+// names, scaler, SVM model) for reuse by a watchdog process.
+func (c *Classifier) Save(w io.Writer) error {
+	return encodeClassifier(w, c)
+}
+
+// Load reads a classifier written by Save.
+func Load(r io.Reader) (*Classifier, error) {
+	return decodeClassifier(r)
+}

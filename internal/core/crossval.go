@@ -1,0 +1,188 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Metrics are the three measures the paper reports for every classifier
+// experiment (Tables 5 and 6, §5.2, §7).
+type Metrics struct {
+	TP, TN, FP, FN int
+}
+
+// Total returns the number of evaluated samples.
+func (m Metrics) Total() int { return m.TP + m.TN + m.FP + m.FN }
+
+// Accuracy is the fraction of correctly classified apps.
+func (m Metrics) Accuracy() float64 {
+	t := m.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(m.TP+m.TN) / float64(t)
+}
+
+// FPRate is the fraction of benign apps classified malicious.
+func (m Metrics) FPRate() float64 {
+	n := m.FP + m.TN
+	if n == 0 {
+		return 0
+	}
+	return float64(m.FP) / float64(n)
+}
+
+// FNRate is the fraction of malicious apps classified benign.
+func (m Metrics) FNRate() float64 {
+	n := m.FN + m.TP
+	if n == 0 {
+		return 0
+	}
+	return float64(m.FN) / float64(n)
+}
+
+// String formats the metrics the way the paper's tables read.
+func (m Metrics) String() string {
+	return fmt.Sprintf("accuracy=%.1f%% FP=%.1f%% FN=%.1f%% (n=%d)",
+		100*m.Accuracy(), 100*m.FPRate(), 100*m.FNRate(), m.Total())
+}
+
+// add accumulates fold results.
+func (m *Metrics) add(o Metrics) {
+	m.TP += o.TP
+	m.TN += o.TN
+	m.FP += o.FP
+	m.FN += o.FN
+}
+
+// SampleRatio draws a benign:malicious = ratio:1 subsample (Table 5's
+// training-ratio experiments). It uses as much of the data as the ratio
+// permits and returns parallel record/label slices in shuffled order.
+func SampleRatio(records []AppRecord, labels []bool, ratio int, seed int64) ([]AppRecord, []bool, error) {
+	if ratio < 1 {
+		return nil, nil, errors.New("core: ratio must be >= 1")
+	}
+	if len(records) != len(labels) {
+		return nil, nil, errors.New("core: records/labels length mismatch")
+	}
+	var benign, malicious []int
+	for i, l := range labels {
+		if l {
+			malicious = append(malicious, i)
+		} else {
+			benign = append(benign, i)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(benign), func(i, j int) { benign[i], benign[j] = benign[j], benign[i] })
+	rng.Shuffle(len(malicious), func(i, j int) { malicious[i], malicious[j] = malicious[j], malicious[i] })
+
+	nMal := len(malicious)
+	if max := len(benign) / ratio; nMal > max {
+		nMal = max
+	}
+	if nMal == 0 {
+		return nil, nil, errors.New("core: not enough data for requested ratio")
+	}
+	nBen := nMal * ratio
+
+	idx := append(append([]int(nil), benign[:nBen]...), malicious[:nMal]...)
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	outR := make([]AppRecord, len(idx))
+	outL := make([]bool, len(idx))
+	for i, j := range idx {
+		outR[i] = records[j]
+		outL[i] = labels[j]
+	}
+	return outR, outL, nil
+}
+
+// CrossValidate runs stratified k-fold cross-validation (the paper uses
+// k = 5) and returns metrics accumulated over all folds. The
+// known-malicious name set is rebuilt from each training fold, so the
+// aggregation feature never leaks test labels.
+func CrossValidate(records []AppRecord, labels []bool, k int, opts Options) (Metrics, error) {
+	var m Metrics
+	if k < 2 {
+		return m, errors.New("core: k must be >= 2")
+	}
+	if len(records) != len(labels) {
+		return m, errors.New("core: records/labels length mismatch")
+	}
+	if len(records) < k {
+		return m, fmt.Errorf("core: %d records cannot fill %d folds", len(records), k)
+	}
+	// Stratified fold assignment keeps each fold's class mix stable.
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	fold := make([]int, len(records))
+	assign := func(idx []int) {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for i, j := range idx {
+			fold[j] = i % k
+		}
+	}
+	var benign, malicious []int
+	for i, l := range labels {
+		if l {
+			malicious = append(malicious, i)
+		} else {
+			benign = append(benign, i)
+		}
+	}
+	assign(benign)
+	assign(malicious)
+
+	for f := 0; f < k; f++ {
+		var trR, teR []AppRecord
+		var trL, teL []bool
+		for i := range records {
+			if fold[i] == f {
+				teR = append(teR, records[i])
+				teL = append(teL, labels[i])
+			} else {
+				trR = append(trR, records[i])
+				trL = append(trL, labels[i])
+			}
+		}
+		clf, err := Train(trR, trL, opts)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("core: fold %d: %w", f, err)
+		}
+		fm, err := Evaluate(clf, teR, teL)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("core: fold %d: %w", f, err)
+		}
+		m.add(fm)
+	}
+	return m, nil
+}
+
+// Evaluate classifies labelled records and tallies the confusion matrix.
+func Evaluate(c *Classifier, records []AppRecord, labels []bool) (Metrics, error) {
+	var m Metrics
+	if len(records) != len(labels) {
+		return m, errors.New("core: records/labels length mismatch")
+	}
+	for i, r := range records {
+		v, err := c.Classify(r)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("core: classifying %s: %w", r.ID, err)
+		}
+		switch {
+		case labels[i] && v.Malicious:
+			m.TP++
+		case labels[i] && !v.Malicious:
+			m.FN++
+		case !labels[i] && v.Malicious:
+			m.FP++
+		default:
+			m.TN++
+		}
+	}
+	return m, nil
+}

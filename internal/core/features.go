@@ -1,0 +1,276 @@
+// Package core implements the paper's contribution: FRAppE, a classifier
+// that decides from an app's profile whether it is malicious. FRAppE Lite
+// uses the seven on-demand features of Table 4; full FRAppE adds the two
+// aggregation-based features of Table 7 (name similarity to known malicious
+// apps and the external-link-to-post ratio). §7's robustness discussion
+// singles out a three-feature subset hard for hackers to obfuscate.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"frappe/internal/crawler"
+	"frappe/internal/mypagekeeper"
+	"frappe/internal/textdist"
+)
+
+// Feature identifies one input feature.
+type Feature int
+
+const (
+	// FeatCategory: is the category field specified? (Table 4)
+	FeatCategory Feature = iota
+	// FeatCompany: is the company name specified?
+	FeatCompany
+	// FeatDescription: is the description specified?
+	FeatDescription
+	// FeatProfilePosts: any posts in the app profile page?
+	FeatProfilePosts
+	// FeatPermissionCount: number of permissions required at install.
+	FeatPermissionCount
+	// FeatClientIDDiffers: is the install client_id different from the
+	// app ID?
+	FeatClientIDDiffers
+	// FeatWOTScore: WOT reputation of the redirect-URI domain (-1 if
+	// unknown).
+	FeatWOTScore
+	// FeatNameSimilarity: is the app's name identical to a known
+	// malicious app's? (aggregation-based, Table 7)
+	FeatNameSimilarity
+	// FeatExternalLinkRatio: fraction of the app's posts carrying links
+	// outside facebook.com (aggregation-based, Table 7)
+	FeatExternalLinkRatio
+
+	numFeatures
+)
+
+// String returns the feature's short name.
+func (f Feature) String() string {
+	switch f {
+	case FeatCategory:
+		return "category-specified"
+	case FeatCompany:
+		return "company-specified"
+	case FeatDescription:
+		return "description-specified"
+	case FeatProfilePosts:
+		return "posts-in-profile"
+	case FeatPermissionCount:
+		return "permission-count"
+	case FeatClientIDDiffers:
+		return "client-id-differs"
+	case FeatWOTScore:
+		return "wot-trust-score"
+	case FeatNameSimilarity:
+		return "app-name-similarity"
+	case FeatExternalLinkRatio:
+		return "external-link-to-post-ratio"
+	default:
+		return fmt.Sprintf("Feature(%d)", int(f))
+	}
+}
+
+// LiteFeatures returns FRAppE Lite's on-demand feature set (Table 4).
+func LiteFeatures() []Feature {
+	return []Feature{
+		FeatCategory, FeatCompany, FeatDescription, FeatProfilePosts,
+		FeatPermissionCount, FeatClientIDDiffers, FeatWOTScore,
+	}
+}
+
+// FullFeatures returns full FRAppE's feature set (Table 4 + Table 7).
+func FullFeatures() []Feature {
+	return append(LiteFeatures(), FeatNameSimilarity, FeatExternalLinkRatio)
+}
+
+// RobustFeatures returns the §7 subset that is costly for hackers to
+// obfuscate: redirect-URI reputation, permission count, and client-ID
+// indirection.
+func RobustFeatures() []Feature {
+	return []Feature{FeatPermissionCount, FeatClientIDDiffers, FeatWOTScore}
+}
+
+// AppRecord bundles everything FRAppE may know about one app: the
+// on-demand crawl result and, when a monitoring entity provides it, the
+// cross-user aggregation view.
+type AppRecord struct {
+	ID string
+	// Crawl is the on-demand feature source; must have a successful
+	// summary fetch to be classifiable.
+	Crawl *crawler.Result
+	// Stats is the aggregation view (zero value when unavailable).
+	Stats mypagekeeper.AppStats
+}
+
+// Name returns the app's crawled name, or "".
+func (r AppRecord) Name() string {
+	if r.Crawl == nil || r.Crawl.Summary == nil {
+		return ""
+	}
+	return r.Crawl.Summary.Name
+}
+
+// ErrNotClassifiable is returned when an app lacks even a summary crawl
+// (e.g. it is already deleted from the graph).
+var ErrNotClassifiable = errors.New("core: app has no crawlable summary")
+
+// Extractor turns AppRecords into numeric vectors.
+//
+// MaliciousNameCounts maps canonical known-malicious names to the number
+// of distinct apps using them (built from the training fold only, to keep
+// cross-validation honest), and ContributedIDs records which app IDs were
+// counted: the name-similarity feature asks whether the app shares a name
+// with *another* known malicious app, so an app never matches itself.
+//
+// Imputed holds per-feature fill-in values for crawl surfaces that are
+// missing (install or feed failures); Train computes them as training-set
+// means over the rows where the surface was available, which keeps a
+// missing feature uninformative instead of biased.
+type Extractor struct {
+	Features            []Feature
+	MaliciousNameCounts map[string]int
+	ContributedIDs      map[string]bool
+	Imputed             map[Feature]float64
+}
+
+// canonicalName normalises an app name for similarity matching, stripping
+// campaign version suffixes ('Profile Watchers v4.32' ≡ 'Profile
+// Watchers').
+func canonicalName(name string) string {
+	base, _ := textdist.StripVersion(name)
+	return textdist.Normalize(base)
+}
+
+// NameCounts builds the canonical-name multiplicity map from records and
+// the set of app IDs that contributed to it.
+func NameCounts(records []AppRecord) (counts map[string]int, contributed map[string]bool) {
+	counts = make(map[string]int, len(records))
+	contributed = make(map[string]bool, len(records))
+	for _, r := range records {
+		if n := r.Name(); n != "" {
+			counts[canonicalName(n)]++
+			contributed[r.ID] = true
+		}
+	}
+	return counts, contributed
+}
+
+// Vector extracts the configured features from one record. Features whose
+// crawl surface is missing (install or feed failure) are filled from
+// e.Imputed so they carry no class signal of their own; the large §5.3
+// sweep over partially-crawlable apps is then driven by the features that
+// ARE observable.
+func (e *Extractor) Vector(r AppRecord) ([]float64, error) {
+	v, missing, err := e.VectorMask(r)
+	if err != nil {
+		return nil, err
+	}
+	for i, f := range e.Features {
+		if !missing[i] {
+			continue
+		}
+		if imp, ok := e.Imputed[f]; ok {
+			v[i] = imp
+		}
+	}
+	return v, nil
+}
+
+// VectorMask extracts features and reports which of them are missing
+// (crawl surface unavailable). Missing entries hold a placeholder zero.
+func (e *Extractor) VectorMask(r AppRecord) (vec []float64, missing []bool, err error) {
+	if r.Crawl == nil || r.Crawl.SummaryErr != nil || r.Crawl.Summary == nil {
+		return nil, nil, ErrNotClassifiable
+	}
+	c := r.Crawl
+	vec = make([]float64, 0, len(e.Features))
+	missing = make([]bool, len(e.Features))
+	for i, f := range e.Features {
+		var v float64
+		switch f {
+		case FeatCategory:
+			v = boolFeature(c.Summary.Category != "")
+		case FeatCompany:
+			v = boolFeature(c.Summary.Company != "")
+		case FeatDescription:
+			v = boolFeature(c.Summary.Description != "")
+		case FeatProfilePosts:
+			if c.FeedErr != nil {
+				missing[i] = true
+			} else {
+				v = boolFeature(len(c.Feed) > 0)
+			}
+		case FeatPermissionCount:
+			if c.InstallErr != nil {
+				missing[i] = true
+			} else {
+				v = float64(len(c.Install.Permissions))
+			}
+		case FeatClientIDDiffers:
+			if c.InstallErr != nil {
+				missing[i] = true
+			} else {
+				v = boolFeature(c.Install.ClientID != "" && c.Install.ClientID != c.Install.AppID)
+			}
+		case FeatWOTScore:
+			if c.InstallErr != nil {
+				missing[i] = true
+			} else {
+				v = float64(c.WOTScore)
+			}
+		case FeatNameSimilarity:
+			// The app must share its name with another known-malicious
+			// app; apps that contributed to the count exclude themselves.
+			need := 1
+			if e.ContributedIDs[r.ID] {
+				need = 2
+			}
+			v = boolFeature(e.MaliciousNameCounts[canonicalName(c.Summary.Name)] >= need)
+		case FeatExternalLinkRatio:
+			if r.Stats.Posts > 0 {
+				v = float64(r.Stats.ExternalLinks) / float64(r.Stats.Posts)
+			} else {
+				missing[i] = true
+			}
+		default:
+			return nil, nil, fmt.Errorf("core: unknown feature %v", f)
+		}
+		vec = append(vec, v)
+	}
+	return vec, missing, nil
+}
+
+// FitImputation computes per-feature means over the records where each
+// surface is observable and stores them as the extractor's fill-ins.
+func (e *Extractor) FitImputation(records []AppRecord) error {
+	sums := make(map[Feature]float64, len(e.Features))
+	counts := make(map[Feature]int, len(e.Features))
+	for _, r := range records {
+		vec, missing, err := e.VectorMask(r)
+		if err != nil {
+			return err
+		}
+		for i, f := range e.Features {
+			if missing[i] {
+				continue
+			}
+			sums[f] += vec[i]
+			counts[f]++
+		}
+	}
+	e.Imputed = make(map[Feature]float64, len(e.Features))
+	for _, f := range e.Features {
+		if counts[f] > 0 {
+			e.Imputed[f] = sums[f] / float64(counts[f])
+		}
+	}
+	return nil
+}
+
+func boolFeature(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"frappe/internal/svm"
+)
+
+// persistedClassifier is the gob wire form of a trained classifier.
+type persistedClassifier struct {
+	Features            []Feature
+	MaliciousNameCounts map[string]int
+	ContributedIDs      map[string]bool
+	Imputed             map[Feature]float64
+	Scaler              *svm.Scaler
+	Model               *svm.Model
+}
+
+func encodeClassifier(w io.Writer, c *Classifier) error {
+	p := persistedClassifier{
+		Features:            c.extractor.Features,
+		MaliciousNameCounts: c.extractor.MaliciousNameCounts,
+		ContributedIDs:      c.extractor.ContributedIDs,
+		Imputed:             c.extractor.Imputed,
+		Scaler:              c.scaler,
+		Model:               c.model,
+	}
+	if err := gob.NewEncoder(w).Encode(&p); err != nil {
+		return fmt.Errorf("core: encoding classifier: %w", err)
+	}
+	return nil
+}
+
+func decodeClassifier(r io.Reader) (*Classifier, error) {
+	var p persistedClassifier
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("core: decoding classifier: %w", err)
+	}
+	if p.Model == nil || p.Scaler == nil || len(p.Features) == 0 {
+		return nil, fmt.Errorf("core: decoded classifier is incomplete")
+	}
+	return &Classifier{
+		extractor: Extractor{
+			Features:            p.Features,
+			MaliciousNameCounts: p.MaliciousNameCounts,
+			ContributedIDs:      p.ContributedIDs,
+			Imputed:             p.Imputed,
+		},
+		scaler: p.Scaler,
+		model:  p.Model,
+	}, nil
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+
+	"frappe/internal/textdist"
+)
+
+// ValidationTechnique is one of the complementary checks of §5.3 used to
+// validate apps newly flagged by FRAppE (Table 8).
+type ValidationTechnique int
+
+const (
+	// ValDeleted: the app has since been removed from the Facebook graph.
+	ValDeleted ValidationTechnique = iota
+	// ValNameSimilarity: the app's name matches multiple known-malicious
+	// apps (including version-suffix variants).
+	ValNameSimilarity
+	// ValPostSimilarity: the app posted a URL also posted by a known
+	// malicious app.
+	ValPostSimilarity
+	// ValTyposquat: the app's name typosquats a popular app.
+	ValTyposquat
+	// ValManual: validated manually, by checking one exemplar per
+	// same-name cluster of size > 4.
+	ValManual
+	// ValUnknown: no technique confirmed the verdict.
+	ValUnknown
+
+	numTechniques
+)
+
+// String names the technique as in Table 8.
+func (v ValidationTechnique) String() string {
+	switch v {
+	case ValDeleted:
+		return "deleted-from-facebook-graph"
+	case ValNameSimilarity:
+		return "app-name-similarity"
+	case ValPostSimilarity:
+		return "post-similarity"
+	case ValTyposquat:
+		return "typosquatting-of-popular-apps"
+	case ValManual:
+		return "manual-validation"
+	case ValUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("ValidationTechnique(%d)", int(v))
+	}
+}
+
+// ValidationConfig wires the §5.3 pipeline to its evidence sources.
+type ValidationConfig struct {
+	// DeletedNow reports whether the app is gone from the graph at
+	// validation time (months after classification).
+	DeletedNow func(appID string) bool
+	// KnownNameCounts maps canonical known-malicious names (D-Sample) to
+	// how many distinct apps used them; "matches multiple malicious apps"
+	// needs a count >= 2.
+	KnownNameCounts map[string]int
+	// KnownMaliciousLinks is the URL set posted by known-malicious apps.
+	KnownMaliciousLinks map[string]bool
+	// PopularNames are the popular benign app names for the typosquat
+	// check.
+	PopularNames []string
+	// TyposquatThreshold is the name-similarity cutoff (default 0.85).
+	TyposquatThreshold float64
+	// ManualClusterMin: same-name clusters larger than this get one
+	// exemplar manually verified (the paper used 4).
+	ManualClusterMin int
+}
+
+// ValidationReport summarises the pipeline outcome like Table 8: per
+// technique, how many flagged apps it validates (techniques overlap), plus
+// the cumulative count in pipeline order.
+type ValidationReport struct {
+	Total int
+	// ByTechnique counts every app each technique validates, standalone.
+	ByTechnique map[ValidationTechnique]int
+	// Cumulative counts newly validated apps in pipeline order.
+	Cumulative map[ValidationTechnique]int
+	// Validated is the total number of confirmed apps; Unknown the rest.
+	Validated int
+	Unknown   int
+	// Outcome maps each app to the first technique that validated it.
+	Outcome map[string]ValidationTechnique
+}
+
+// KnownNameCounts builds the canonical-name multiplicity map from known
+// malicious records.
+func KnownNameCounts(records []AppRecord) map[string]int {
+	counts := make(map[string]int, len(records))
+	for _, r := range records {
+		if n := r.Name(); n != "" {
+			counts[canonicalName(n)]++
+		}
+	}
+	return counts
+}
+
+// KnownLinks builds the posted-URL set from known malicious records.
+func KnownLinks(records []AppRecord) map[string]bool {
+	links := make(map[string]bool)
+	for _, r := range records {
+		for _, l := range r.Stats.Links {
+			links[l] = true
+		}
+	}
+	return links
+}
+
+// ValidateFlagged runs the §5.3 validation pipeline over FRAppE's newly
+// flagged apps.
+func ValidateFlagged(flagged []AppRecord, cfg ValidationConfig) ValidationReport {
+	if cfg.TyposquatThreshold == 0 {
+		cfg.TyposquatThreshold = 0.85
+	}
+	if cfg.ManualClusterMin == 0 {
+		cfg.ManualClusterMin = 4
+	}
+	rep := ValidationReport{
+		Total:       len(flagged),
+		ByTechnique: make(map[ValidationTechnique]int),
+		Cumulative:  make(map[ValidationTechnique]int),
+		Outcome:     make(map[string]ValidationTechnique),
+	}
+
+	checks := []struct {
+		tech  ValidationTechnique
+		apply func(AppRecord) bool
+	}{
+		{ValDeleted, func(r AppRecord) bool {
+			return cfg.DeletedNow != nil && cfg.DeletedNow(r.ID)
+		}},
+		{ValNameSimilarity, func(r AppRecord) bool {
+			return cfg.KnownNameCounts[canonicalName(r.Name())] >= 2
+		}},
+		{ValPostSimilarity, func(r AppRecord) bool {
+			for _, l := range r.Stats.Links {
+				if cfg.KnownMaliciousLinks[l] {
+					return true
+				}
+			}
+			return false
+		}},
+		{ValTyposquat, func(r AppRecord) bool {
+			_, ok := textdist.Typosquat(r.Name(), cfg.PopularNames, cfg.TyposquatThreshold)
+			return ok
+		}},
+	}
+
+	validated := make(map[string]bool, len(flagged))
+	for _, check := range checks {
+		for _, r := range flagged {
+			if !check.apply(r) {
+				continue
+			}
+			rep.ByTechnique[check.tech]++
+			if !validated[r.ID] {
+				validated[r.ID] = true
+				rep.Cumulative[check.tech]++
+				rep.Outcome[r.ID] = check.tech
+			}
+		}
+	}
+
+	// Manual step: cluster the remaining apps by canonical name; clusters
+	// larger than ManualClusterMin get an exemplar verified, which
+	// validates the whole cluster.
+	remainderNames := make(map[string][]string)
+	for _, r := range flagged {
+		if validated[r.ID] {
+			continue
+		}
+		cn := canonicalName(r.Name())
+		remainderNames[cn] = append(remainderNames[cn], r.ID)
+	}
+	for _, ids := range remainderNames {
+		if len(ids) <= cfg.ManualClusterMin {
+			continue
+		}
+		for _, id := range ids {
+			validated[id] = true
+			rep.ByTechnique[ValManual]++
+			rep.Cumulative[ValManual]++
+			rep.Outcome[id] = ValManual
+		}
+	}
+
+	for _, r := range flagged {
+		if !validated[r.ID] {
+			rep.Unknown++
+			rep.Outcome[r.ID] = ValUnknown
+		}
+	}
+	rep.Validated = len(flagged) - rep.Unknown
+	return rep
+}

@@ -1,0 +1,204 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"frappe/internal/fbplatform"
+	"frappe/internal/graphapi"
+	"frappe/internal/wot"
+)
+
+func testStack(t *testing.T) (*fbplatform.Platform, Config, func()) {
+	t.Helper()
+	p := fbplatform.New(100)
+	apps := []*fbplatform.App{
+		{
+			ID: "1", Name: "Good App",
+			Description: "d", Company: "c", Category: "Games",
+			Permissions: []string{fbplatform.PermPublishStream, fbplatform.PermEmail},
+			RedirectURI: "https://apps.facebook.com/good",
+			ProfileFeed: []fbplatform.ProfilePost{{Message: "hi"}},
+			Truth:       fbplatform.Truth{HackerID: -1},
+		},
+		{
+			ID: "2", Name: "Scam",
+			Permissions: []string{fbplatform.PermPublishStream},
+			RedirectURI: "http://unknownscam.example/x",
+			Truth:       fbplatform.Truth{Malicious: true},
+		},
+		{
+			ID: "3", Name: "Gone",
+			Permissions: []string{fbplatform.PermPublishStream},
+			Truth:       fbplatform.Truth{Malicious: true},
+		},
+	}
+	for _, a := range apps {
+		if err := p.Register(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Delete("3"); err != nil {
+		t.Fatal(err)
+	}
+
+	gsrv := httptest.NewServer(graphapi.NewServer(p))
+	wsvc := wot.NewService()
+	if err := wsvc.SetScore("apps.facebook.com", 92); err != nil {
+		t.Fatal(err)
+	}
+	wsrv := httptest.NewServer(wsvc)
+
+	cfg := Config{
+		Graph:   &graphapi.Client{BaseURL: gsrv.URL},
+		WOT:     &wot.Client{BaseURL: wsrv.URL},
+		Workers: 4,
+	}
+	return p, cfg, func() { gsrv.Close(); wsrv.Close() }
+}
+
+func TestCrawlBasic(t *testing.T) {
+	_, cfg, done := testStack(t)
+	defer done()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := c.Crawl(context.Background(), []string{"1", "2", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+
+	r1 := results["1"]
+	if r1.SummaryErr != nil || r1.Summary.Name != "Good App" {
+		t.Errorf("app 1 summary: %+v err=%v", r1.Summary, r1.SummaryErr)
+	}
+	if r1.FeedErr != nil || len(r1.Feed) != 1 {
+		t.Errorf("app 1 feed: %v err=%v", r1.Feed, r1.FeedErr)
+	}
+	if r1.InstallErr != nil || len(r1.Install.Permissions) != 2 {
+		t.Errorf("app 1 install: %+v err=%v", r1.Install, r1.InstallErr)
+	}
+	if r1.WOTScore != 92 {
+		t.Errorf("app 1 WOT = %d, want 92", r1.WOTScore)
+	}
+	if r1.Deleted() {
+		t.Error("live app reported deleted")
+	}
+
+	r2 := results["2"]
+	if r2.WOTScore != wot.UnknownScore {
+		t.Errorf("scam WOT = %d, want unknown", r2.WOTScore)
+	}
+
+	r3 := results["3"]
+	if !r3.Deleted() {
+		t.Error("deleted app not detected")
+	}
+	if !errors.Is(r3.InstallErr, graphapi.ErrDeleted) {
+		t.Errorf("deleted install err = %v", r3.InstallErr)
+	}
+}
+
+func TestFlakinessOracle(t *testing.T) {
+	_, cfg, done := testStack(t)
+	defer done()
+	cfg.Flakiness = func(appID string, kind Kind) bool {
+		return !(appID == "1" && kind == KindInstall)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := c.Crawl(context.Background(), []string{"1", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(results["1"].InstallErr, ErrNotCrawlable) {
+		t.Errorf("install err = %v, want ErrNotCrawlable", results["1"].InstallErr)
+	}
+	if results["1"].WOTScore != wot.UnknownScore {
+		t.Error("WOT should be unknown when install crawl fails")
+	}
+	if results["2"].InstallErr != nil {
+		t.Errorf("app 2 install err = %v", results["2"].InstallErr)
+	}
+}
+
+func TestRetryOnTransientFailure(t *testing.T) {
+	p := fbplatform.New(10)
+	if err := p.Register(&fbplatform.App{
+		ID: "1", Name: "App",
+		Permissions: []string{fbplatform.PermPublishStream},
+		Truth:       fbplatform.Truth{HackerID: -1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	inner := graphapi.NewServer(p)
+	var calls int32
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// First two requests fail; the crawl needs its retries.
+		if atomic.AddInt32(&calls, 1) <= 2 {
+			http.Error(w, "transient", http.StatusBadGateway)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	c, err := New(Config{Graph: &graphapi.Client{BaseURL: flaky.URL}, Workers: 1, Retries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := c.Crawl(context.Background(), []string{"1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results["1"].SummaryErr != nil {
+		t.Errorf("summary should succeed after retries: %v", results["1"].SummaryErr)
+	}
+}
+
+func TestCrawlContextCancel(t *testing.T) {
+	_, cfg, done := testStack(t)
+	defer done()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ids := make([]string, 500)
+	for i := range ids {
+		ids[i] = "1"
+	}
+	if _, err := c.Crawl(ctx, ids); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil graph client: want error")
+	}
+	c, err := New(Config{Graph: &graphapi.Client{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cfg.Workers != 8 || c.cfg.Retries != 2 {
+		t.Errorf("defaults: %+v", c.cfg)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSummary.String() != "summary" || KindFeed.String() != "feed" || KindInstall.String() != "install" {
+		t.Error("Kind names wrong")
+	}
+}

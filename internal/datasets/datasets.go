@@ -1,0 +1,369 @@
+// Package datasets assembles the paper's datasets (Table 1) from a
+// synthetic world:
+//
+//	D-Total       all apps observed posting
+//	D-Sample      MPK-flagged malicious apps (after whitelisting) plus an
+//	              equal number of benign apps (Social Bakers-vetted, topped
+//	              up with the highest-volume unflagged apps)
+//	D-Summary     D-Sample apps whose Open Graph summary crawl succeeded
+//	D-Inst        D-Sample apps whose install-permission crawl succeeded
+//	D-ProfileFeed D-Sample apps whose profile-feed crawl succeeded
+//	D-Complete    the intersection of the three
+//
+// The crawls run at the world's crawl month, after Facebook has deleted
+// a large share of the malicious apps — which is exactly why D-Summary
+// holds summaries for only ~40% of D-Sample's malicious apps.
+package datasets
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"frappe/internal/crawler"
+	"frappe/internal/graphapi"
+	"frappe/internal/mypagekeeper"
+	"frappe/internal/synth"
+	"frappe/internal/wot"
+)
+
+// Label is the D-Sample ground-truth class of an app.
+type Label int
+
+const (
+	// LabelBenign marks D-Sample benign apps.
+	LabelBenign Label = iota
+	// LabelMalicious marks D-Sample malicious apps.
+	LabelMalicious
+)
+
+// String names the label.
+func (l Label) String() string {
+	if l == LabelMalicious {
+		return "malicious"
+	}
+	return "benign"
+}
+
+// Datasets is the assembled corpus.
+type Datasets struct {
+	// DTotal is every app observed posting, sorted by ID.
+	DTotal []string
+
+	// Flagged is the raw MPK heuristic output (apps with >= 1 flagged
+	// post), before whitelisting.
+	Flagged []string
+	// Whitelisted are flagged apps cleared as popular/vetted (§2.3 —
+	// mostly piggybacking victims like 'Facebook for Android').
+	Whitelisted []string
+
+	// Malicious and Benign form D-Sample.
+	Malicious []string
+	Benign    []string
+
+	// Crawl holds the crawl result for every D-Sample app.
+	Crawl map[string]*crawler.Result
+
+	// Stats is MyPageKeeper's per-app aggregation for all observed apps.
+	Stats map[string]mypagekeeper.AppStats
+}
+
+// Labels returns the D-Sample label map.
+func (d *Datasets) Labels() map[string]Label {
+	out := make(map[string]Label, len(d.Malicious)+len(d.Benign))
+	for _, id := range d.Malicious {
+		out[id] = LabelMalicious
+	}
+	for _, id := range d.Benign {
+		out[id] = LabelBenign
+	}
+	return out
+}
+
+// inSummary reports whether the app's summary crawl succeeded.
+func (d *Datasets) inSummary(id string) bool {
+	r, ok := d.Crawl[id]
+	return ok && r.SummaryErr == nil
+}
+
+// inInst reports whether the app's permission crawl succeeded.
+func (d *Datasets) inInst(id string) bool {
+	r, ok := d.Crawl[id]
+	return ok && r.InstallErr == nil
+}
+
+// inFeed reports whether the app's profile-feed crawl succeeded.
+func (d *Datasets) inFeed(id string) bool {
+	r, ok := d.Crawl[id]
+	return ok && r.FeedErr == nil
+}
+
+func (d *Datasets) filter(ids []string, keep func(string) bool) []string {
+	var out []string
+	for _, id := range ids {
+		if keep(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// DSummary returns the benign and malicious halves of D-Summary.
+func (d *Datasets) DSummary() (benign, malicious []string) {
+	return d.filter(d.Benign, d.inSummary), d.filter(d.Malicious, d.inSummary)
+}
+
+// DInst returns the benign and malicious halves of D-Inst.
+func (d *Datasets) DInst() (benign, malicious []string) {
+	return d.filter(d.Benign, d.inInst), d.filter(d.Malicious, d.inInst)
+}
+
+// DProfileFeed returns the benign and malicious halves of D-ProfileFeed.
+func (d *Datasets) DProfileFeed() (benign, malicious []string) {
+	return d.filter(d.Benign, d.inFeed), d.filter(d.Malicious, d.inFeed)
+}
+
+// DComplete returns the benign and malicious halves of D-Complete: apps
+// with all three crawls successful.
+func (d *Datasets) DComplete() (benign, malicious []string) {
+	all := func(id string) bool { return d.inSummary(id) && d.inInst(id) && d.inFeed(id) }
+	return d.filter(d.Benign, all), d.filter(d.Malicious, all)
+}
+
+// Builder constructs Datasets from a world.
+type Builder struct {
+	World *synth.World
+	// Graph / WOT are the HTTP clients used for the feature crawl. If
+	// either is nil, Build uses the in-process fast path instead (same
+	// visibility rules, no sockets).
+	Graph *graphapi.Client
+	WOT   *wot.Client
+	// Workers is the crawl parallelism (default 16).
+	Workers int
+}
+
+// Build assembles the corpus. It advances the world clock to the crawl
+// month first, so deletions up to that point are in effect.
+func (b *Builder) Build(ctx context.Context) (*Datasets, error) {
+	w := b.World
+	w.AdvanceTo(w.Config.CrawlMonth)
+
+	d := &Datasets{
+		Crawl: make(map[string]*crawler.Result),
+		Stats: w.Monitor.Apps(),
+	}
+	for id := range d.Stats {
+		d.DTotal = append(d.DTotal, id)
+	}
+	sort.Strings(d.DTotal)
+
+	// Step 1: the MPK ground-truth heuristic — any flagged post marks the
+	// app (§2.3).
+	for _, id := range d.DTotal {
+		if d.Stats[id].FlaggedPosts > 0 {
+			d.Flagged = append(d.Flagged, id)
+		}
+	}
+
+	// Step 2: whitelisting. Popular, Social Bakers-vetted apps that got
+	// flagged are victims of piggybacking, not scams.
+	for _, id := range d.Flagged {
+		if _, err := w.SocialBakers.Rating(id); err == nil {
+			d.Whitelisted = append(d.Whitelisted, id)
+		} else {
+			d.Malicious = append(d.Malicious, id)
+		}
+	}
+
+	// Step 3: benign selection — vetted, never-flagged apps first, then
+	// the highest-volume unflagged apps to reach parity with malicious.
+	d.Benign = b.selectBenign(d)
+
+	// Step 4: crawl D-Sample.
+	sample := append(append([]string(nil), d.Malicious...), d.Benign...)
+	results, err := b.crawl(ctx, sample)
+	if err != nil {
+		return nil, err
+	}
+	d.Crawl = results
+	return d, nil
+}
+
+// selectBenign applies the §2.3 benign-side criteria. Whitelisted apps
+// stay eligible: the paper's D-Sample benign side is headed by FarmVille
+// and Facebook for iPhone, both of which had been flagged via piggybacked
+// posts and then cleared.
+func (b *Builder) selectBenign(d *Datasets) []string {
+	w := b.World
+	flagged := make(map[string]bool, len(d.Malicious))
+	for _, id := range d.Malicious {
+		flagged[id] = true
+	}
+	type cand struct {
+		id     string
+		stars  float64
+		vetted bool
+		posts  int
+	}
+	var cands []cand
+	for _, id := range d.DTotal {
+		if flagged[id] {
+			continue
+		}
+		c := cand{id: id, posts: d.Stats[id].Posts}
+		if r, err := w.SocialBakers.Rating(id); err == nil {
+			c.vetted = true
+			c.stars = r.Stars
+		}
+		cands = append(cands, c)
+	}
+	// Vetted apps first ("social marketing success" is popularity-driven),
+	// then the rest by posting volume.
+	sort.Slice(cands, func(i, j int) bool {
+		a, bb := cands[i], cands[j]
+		if a.vetted != bb.vetted {
+			return a.vetted
+		}
+		if a.posts != bb.posts {
+			return a.posts > bb.posts
+		}
+		if a.stars != bb.stars {
+			return a.stars > bb.stars
+		}
+		return a.id < bb.id
+	})
+	n := len(d.Malicious)
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]string, 0, n)
+	for _, c := range cands[:n] {
+		out = append(out, c.id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CrawlAll fetches features for arbitrary app IDs under the same
+// visibility and flakiness rules as the D-Sample crawl. The §5.3 sweep
+// over every untrained app uses this.
+func (b *Builder) CrawlAll(ctx context.Context, ids []string) (map[string]*crawler.Result, error) {
+	return b.crawl(ctx, ids)
+}
+
+// crawl fetches features for ids, over HTTP when clients are configured,
+// otherwise in-process.
+func (b *Builder) crawl(ctx context.Context, ids []string) (map[string]*crawler.Result, error) {
+	flakiness := func(id string, kind crawler.Kind) bool {
+		switch kind {
+		case crawler.KindInstall:
+			return b.World.InstallCrawlable(id)
+		case crawler.KindFeed:
+			return b.World.FeedCrawlable(id)
+		default:
+			return true
+		}
+	}
+	if b.Graph != nil && b.WOT != nil {
+		c, err := crawler.New(crawler.Config{
+			Graph:     b.Graph,
+			WOT:       b.WOT,
+			Workers:   b.workers(),
+			Flakiness: flakiness,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("datasets: %w", err)
+		}
+		return c.Crawl(ctx, ids)
+	}
+	return b.crawlDirect(ids, flakiness), nil
+}
+
+func (b *Builder) workers() int {
+	if b.Workers > 0 {
+		return b.Workers
+	}
+	return 16
+}
+
+// crawlDirect is the in-process equivalent of the HTTP crawl: identical
+// visibility rules (deleted apps fail, uncrawlable installs fail), no
+// sockets. Used for the large §5.3 sweep over every untrained app.
+func (b *Builder) crawlDirect(ids []string, flaky func(string, crawler.Kind) bool) map[string]*crawler.Result {
+	w := b.World
+	out := make(map[string]*crawler.Result, len(ids))
+	for _, id := range ids {
+		r := &crawler.Result{AppID: id, WOTScore: wot.UnknownScore}
+		app, err := w.Platform.Lookup(id)
+		if err != nil {
+			r.SummaryErr = graphapi.ErrDeleted
+			r.FeedErr = graphapi.ErrDeleted
+			r.InstallErr = graphapi.ErrDeleted
+			out[id] = r
+			continue
+		}
+		mau := 0
+		if len(app.MAU) > 0 {
+			mau = app.MAU[len(app.MAU)-1]
+		}
+		r.Summary = &graphapi.Summary{
+			ID:                 app.ID,
+			Name:               app.Name,
+			Description:        app.Description,
+			Company:            app.Company,
+			Category:           app.Category,
+			Link:               "https://www.facebook.com/apps/application.php?id=" + app.ID,
+			MonthlyActiveUsers: mau,
+		}
+		if flaky(id, crawler.KindFeed) {
+			for _, p := range app.ProfileFeed {
+				r.Feed = append(r.Feed, graphapi.FeedPost{Message: p.Message, Link: p.Link, CreatedTime: p.Month})
+			}
+		} else {
+			r.FeedErr = crawler.ErrNotCrawlable
+		}
+		if flaky(id, crawler.KindInstall) {
+			info, err := w.Platform.InstallInfo(id)
+			if err != nil {
+				r.InstallErr = err
+			} else {
+				r.Install = graphapi.InstallInfo{
+					AppID:       info.AppID,
+					ClientID:    info.ClientID,
+					Permissions: info.Permissions,
+					RedirectURI: info.RedirectURI,
+				}
+				if score, err := w.WOT.Score(wot.DomainOf(info.RedirectURI)); err == nil {
+					r.WOTScore = score
+				}
+			}
+		} else {
+			r.InstallErr = crawler.ErrNotCrawlable
+		}
+		out[id] = r
+	}
+	return out
+}
+
+// Table1Row is one line of the paper's Table 1.
+type Table1Row struct {
+	Name      string
+	Benign    int
+	Malicious int
+}
+
+// Table1 reproduces the dataset-summary table.
+func (d *Datasets) Table1() []Table1Row {
+	sb, sm := d.DSummary()
+	ib, im := d.DInst()
+	fb, fm := d.DProfileFeed()
+	cb, cm := d.DComplete()
+	return []Table1Row{
+		{Name: "D-Total", Benign: -1, Malicious: -1}, // reported as a single count
+		{Name: "D-Sample", Benign: len(d.Benign), Malicious: len(d.Malicious)},
+		{Name: "D-Summary", Benign: len(sb), Malicious: len(sm)},
+		{Name: "D-Inst", Benign: len(ib), Malicious: len(im)},
+		{Name: "D-ProfileFeed", Benign: len(fb), Malicious: len(fm)},
+		{Name: "D-Complete", Benign: len(cb), Malicious: len(cm)},
+	}
+}

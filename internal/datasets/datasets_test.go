@@ -1,0 +1,224 @@
+package datasets
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"frappe/internal/stack"
+	"frappe/internal/synth"
+)
+
+var (
+	once  sync.Once
+	world *synth.World
+	data  *Datasets
+)
+
+func sharedData(t *testing.T) (*synth.World, *Datasets) {
+	t.Helper()
+	once.Do(func() {
+		world = synth.Generate(synth.TestConfig())
+		b := &Builder{World: world}
+		var err error
+		data, err = b.Build(context.Background())
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+	})
+	if data == nil {
+		t.Fatal("shared dataset failed to build")
+	}
+	return world, data
+}
+
+func TestDTotalCoversAllObservedApps(t *testing.T) {
+	w, d := sharedData(t)
+	if len(d.DTotal) != w.Platform.NumApps() {
+		t.Errorf("DTotal = %d, want %d (every app posts at least once)",
+			len(d.DTotal), w.Platform.NumApps())
+	}
+}
+
+func TestDSampleBalance(t *testing.T) {
+	_, d := sharedData(t)
+	if len(d.Malicious) == 0 {
+		t.Fatal("no malicious apps in D-Sample")
+	}
+	if len(d.Benign) != len(d.Malicious) {
+		t.Errorf("D-Sample unbalanced: %d benign vs %d malicious",
+			len(d.Benign), len(d.Malicious))
+	}
+}
+
+func TestWhitelistCatchesVictims(t *testing.T) {
+	w, d := sharedData(t)
+	whitelisted := map[string]bool{}
+	for _, id := range d.Whitelisted {
+		whitelisted[id] = true
+	}
+	caught := 0
+	for _, victim := range w.PopularIDs {
+		if whitelisted[victim] {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Error("no piggybacking victim was whitelisted")
+	}
+	// No whitelisted app may end up labelled malicious.
+	for _, id := range d.Malicious {
+		if whitelisted[id] {
+			t.Errorf("whitelisted app %s labelled malicious", id)
+		}
+	}
+}
+
+func TestDSampleMaliciousGroundTruth(t *testing.T) {
+	w, d := sharedData(t)
+	wrong := 0
+	for _, id := range d.Malicious {
+		if !w.IsMalicious(id) {
+			wrong++
+		}
+	}
+	// §5.3 bounds the training-label false-positive rate at 2.6%.
+	if frac := float64(wrong) / float64(len(d.Malicious)); frac > 0.03 {
+		t.Errorf("malicious label noise = %.3f, want <= 0.03", frac)
+	}
+	wrongBenign := 0
+	for _, id := range d.Benign {
+		if w.IsMalicious(id) {
+			wrongBenign++
+		}
+	}
+	if frac := float64(wrongBenign) / float64(len(d.Benign)); frac > 0.05 {
+		t.Errorf("benign label noise = %.3f, want <= 0.05", frac)
+	}
+}
+
+func TestCrawlSubsetsShrinkLikeThePaper(t *testing.T) {
+	_, d := sharedData(t)
+	sb, sm := d.DSummary()
+	ib, im := d.DInst()
+	cb, cm := d.DComplete()
+
+	// Malicious summary success tracks the deleted-by-crawl rate (~40%
+	// alive), benign stays near-complete.
+	malFrac := float64(len(sm)) / float64(len(d.Malicious))
+	benFrac := float64(len(sb)) / float64(len(d.Benign))
+	if malFrac < 0.2 || malFrac > 0.6 {
+		t.Errorf("malicious summary fraction = %.2f, want ~0.4", malFrac)
+	}
+	if benFrac < 0.9 {
+		t.Errorf("benign summary fraction = %.2f, want >= 0.9", benFrac)
+	}
+	// D-Inst is a strict subset of live apps on both sides.
+	if len(im) > len(sm) || len(ib) > len(sb) {
+		t.Errorf("D-Inst larger than D-Summary: inst=(%d,%d) summary=(%d,%d)",
+			len(ib), len(im), len(sb), len(sm))
+	}
+	// D-Complete nests inside D-Inst.
+	if len(cm) > len(im) || len(cb) > len(ib) {
+		t.Error("D-Complete larger than D-Inst")
+	}
+	if len(cm) == 0 || len(cb) == 0 {
+		t.Error("empty D-Complete")
+	}
+}
+
+func TestCrawlResultsRespectDeletion(t *testing.T) {
+	w, d := sharedData(t)
+	for id, r := range d.Crawl {
+		deletedAtCrawl := w.DeleteMonthOf(id) > 0 && w.DeleteMonthOf(id) <= w.Config.CrawlMonth
+		if deletedAtCrawl && r.SummaryErr == nil {
+			t.Errorf("deleted app %s has a summary", id)
+		}
+		if !deletedAtCrawl && r.SummaryErr != nil {
+			t.Errorf("live app %s failed the summary crawl: %v", id, r.SummaryErr)
+		}
+	}
+}
+
+func TestHTTPAndDirectCrawlsAgree(t *testing.T) {
+	w, _ := sharedData(t)
+	st, err := stack.Start(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	graph, _, wotc, _ := st.Clients()
+
+	// Rebuild via HTTP and compare against the direct path.
+	direct := &Builder{World: w}
+	viaHTTP := &Builder{World: w, Graph: graph, WOT: wotc, Workers: 8}
+
+	dd, err := direct.Build(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dh, err := viaHTTP.Build(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dd.Malicious) != len(dh.Malicious) || len(dd.Benign) != len(dh.Benign) {
+		t.Fatalf("sample mismatch: direct=(%d,%d) http=(%d,%d)",
+			len(dd.Benign), len(dd.Malicious), len(dh.Benign), len(dh.Malicious))
+	}
+	for id, rd := range dd.Crawl {
+		rh, ok := dh.Crawl[id]
+		if !ok {
+			t.Fatalf("HTTP crawl missing %s", id)
+		}
+		if (rd.SummaryErr == nil) != (rh.SummaryErr == nil) {
+			t.Errorf("%s summary success differs: %v vs %v", id, rd.SummaryErr, rh.SummaryErr)
+		}
+		if (rd.InstallErr == nil) != (rh.InstallErr == nil) {
+			t.Errorf("%s install success differs", id)
+		}
+		if rd.InstallErr == nil && rh.InstallErr == nil {
+			if rd.Install.ClientID != rh.Install.ClientID {
+				t.Errorf("%s client ID differs: %q vs %q", id, rd.Install.ClientID, rh.Install.ClientID)
+			}
+			if len(rd.Install.Permissions) != len(rh.Install.Permissions) {
+				t.Errorf("%s permissions differ", id)
+			}
+			if rd.WOTScore != rh.WOTScore {
+				t.Errorf("%s WOT differs: %d vs %d", id, rd.WOTScore, rh.WOTScore)
+			}
+		}
+		if rd.Summary != nil && rh.Summary != nil && rd.Summary.Name != rh.Summary.Name {
+			t.Errorf("%s name differs", id)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	_, d := sharedData(t)
+	rows := d.Table1()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].Name != "D-Sample" || rows[5].Name != "D-Complete" {
+		t.Errorf("row names wrong: %+v", rows)
+	}
+	// Monotone shrinkage on the malicious side.
+	if rows[2].Malicious > rows[1].Malicious ||
+		rows[5].Malicious > rows[3].Malicious {
+		t.Errorf("malicious counts should shrink down the table: %+v", rows)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	_, d := sharedData(t)
+	labels := d.Labels()
+	if len(labels) != len(d.Malicious)+len(d.Benign) {
+		t.Errorf("labels = %d", len(labels))
+	}
+	if labels[d.Malicious[0]] != LabelMalicious || labels[d.Benign[0]] != LabelBenign {
+		t.Error("label assignment wrong")
+	}
+	if LabelMalicious.String() != "malicious" || LabelBenign.String() != "benign" {
+		t.Error("label names wrong")
+	}
+}

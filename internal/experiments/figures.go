@@ -1,0 +1,846 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"frappe/internal/appgraph"
+	"frappe/internal/forensics"
+	"frappe/internal/stats"
+	"frappe/internal/textdist"
+)
+
+// Table9Row is one piggybacked popular app.
+type Table9Row struct {
+	Name    string
+	Posts   int64 // the app's full post volume (paper: FarmVille 9.6M)
+	Message string
+}
+
+// Table9 lists the top piggybacking victims (paper Table 9).
+func (r *Runner) Table9() []Table9Row {
+	names := map[string]string{}
+	for id := range r.Data.Stats {
+		names[id] = r.appName(id)
+	}
+	findings := forensics.DetectPiggybacking(r.Data.Stats, names, 0.2)
+	var rows []Table9Row
+	for _, f := range findings {
+		if r.World.IsMalicious(f.AppID) {
+			continue // only popular benign victims, as in the paper
+		}
+		rows = append(rows, Table9Row{
+			Name:    f.Name,
+			Posts:   r.World.TruePosts[f.AppID],
+			Message: f.SampleMessage,
+		})
+		if len(rows) == 5 {
+			break
+		}
+	}
+	return rows
+}
+
+// RenderTable9 formats Table 9.
+func RenderTable9(rows []Table9Row) string {
+	tb := &table{header: []string{"App name", "# of posts", "Post msg"}}
+	for _, row := range rows {
+		tb.add(row.Name, fmt.Sprint(row.Posts), row.Message)
+	}
+	return "Table 9: popular apps abused by piggybacking (paper: FarmVille, 9.6M posts)\n" + tb.String()
+}
+
+// collaboration builds the §6 graph over D-Sample malicious apps once.
+func (r *Runner) collaboration() (*appgraph.Graph, []forensics.Promotion) {
+	return forensics.BuildGraph(r.Data.Malicious, r.Data.Stats, forensics.NewWorldResolver(r.World))
+}
+
+// Fig1Result is the AppNet snapshot: the paper renders its second-largest
+// component (770 apps, average degree 195).
+type Fig1Result struct {
+	Summary      forensics.GraphSummary
+	SnapshotSize int
+	SnapshotDeg  float64
+	// MaxCoreness is the deepest k-core in the collaboration graph, a
+	// compact density measure for the "highly-dense connected components".
+	MaxCoreness int
+}
+
+// Fig1 summarises the collaboration graph and its snapshot component.
+func (r *Runner) Fig1() Fig1Result {
+	g, promos := r.collaboration()
+	res := Fig1Result{Summary: forensics.Summarize(g, promos)}
+	comps := g.ConnectedComponents()
+	if len(comps) > 1 {
+		snap := g.Subgraph(comps[1].Members)
+		res.SnapshotSize = snap.NumNodes()
+		res.SnapshotDeg = snap.AverageDegree()
+	} else if len(comps) == 1 {
+		snap := g.Subgraph(comps[0].Members)
+		res.SnapshotSize = snap.NumNodes()
+		res.SnapshotDeg = snap.AverageDegree()
+	}
+	for _, c := range g.Coreness() {
+		if c > res.MaxCoreness {
+			res.MaxCoreness = c
+		}
+	}
+	return res
+}
+
+// WriteFig1DOT renders the snapshot component (the paper's hairball) in
+// Graphviz DOT format.
+func (r *Runner) WriteFig1DOT(w io.Writer) error {
+	g, _ := r.collaboration()
+	comps := g.ConnectedComponents()
+	if len(comps) == 0 {
+		return fmt.Errorf("experiments: empty collaboration graph")
+	}
+	snap := comps[0]
+	if len(comps) > 1 {
+		snap = comps[1] // the paper renders the second-largest component
+	}
+	return g.WriteDOT(w, nil, snap.Members)
+}
+
+// Render formats Fig. 1 / §6.1.
+func (f Fig1Result) Render() string {
+	s := f.Summary
+	return fmt.Sprintf(`Fig 1 / §6.1: AppNets (paper: 44 components, top sizes 3484/770/589/296/247; snapshot 770 apps, avg degree 195)
+  colluding apps: %d, edges: %d, components: %d, top sizes: %v
+  avg degree %.1f, max %d, %s collude with >10 apps, %s have clustering coeff > 0.74
+  snapshot component: %d apps, avg degree %.1f; deepest k-core: %d
+  promoters %d, promotees %d, dual %d; direct edges %d, indirect %d
+`,
+		s.Apps, s.Edges, s.Components, s.TopComponents,
+		s.AverageDegree, s.MaxDegree, pct(s.DegreeOver10), pct(s.LCCOverP74),
+		f.SnapshotSize, f.SnapshotDeg, f.MaxCoreness,
+		s.Promoters, s.Promotees, s.DualRole, s.DirectEdges, s.IndirectEdges)
+}
+
+// CDFResult is a generic one-curve figure: key quantile statistics plus a
+// plottable curve.
+type CDFResult struct {
+	Label string
+	N     int
+	Curve []stats.Point
+	Notes []string
+}
+
+// Render formats a CDF figure with its notes.
+func (c CDFResult) Render() string {
+	out := fmt.Sprintf("%s (n=%d)\n", c.Label, c.N)
+	for _, n := range c.Notes {
+		out += "  " + n + "\n"
+	}
+	return out
+}
+
+// Fig3 computes the distribution of total bit.ly clicks per malicious app
+// (paper: 60% above 100K, 20% above 1M; top app 1,742,359 clicks).
+func (r *Runner) Fig3() CDFResult {
+	var sums []float64
+	var maxClicks float64
+	for _, id := range r.Data.Malicious {
+		as, ok := r.Data.Stats[id]
+		if !ok {
+			continue
+		}
+		seen := map[string]bool{}
+		total := int64(0)
+		hasBitly := false
+		for _, link := range as.Links {
+			if !r.World.Bitly.IsShort(link) || seen[link] {
+				continue
+			}
+			seen[link] = true
+			hasBitly = true
+			if n, err := r.World.Bitly.Clicks(link); err == nil {
+				total += n
+			}
+		}
+		if hasBitly {
+			sums = append(sums, float64(total))
+			if float64(total) > maxClicks {
+				maxClicks = float64(total)
+			}
+		}
+	}
+	cdf := stats.NewCDF(sums)
+	return CDFResult{
+		Label: "Fig 3: bit.ly clicks per malicious app",
+		N:     len(sums),
+		Curve: cdf.Curve(stats.LogSpace(1, 7, 25)),
+		Notes: []string{
+			fmt.Sprintf("apps with >100K clicks: %s (paper: 60%%)", pct(cdf.FractionAtLeast(1e5))),
+			fmt.Sprintf("apps with >1M clicks:   %s (paper: 20%%)", pct(cdf.FractionAtLeast(1e6))),
+			fmt.Sprintf("top app: %.0f clicks (paper: 1,742,359)", maxClicks),
+		},
+	}
+}
+
+// Fig4Result carries both MAU curves.
+type Fig4Result struct {
+	Median CDFResult
+	Max    CDFResult
+}
+
+// Fig4 computes median and maximum MAU per malicious app in D-Summary
+// (paper: 40% with median >= 1000, 60% reach 1000 at some point; top app
+// median 20K / max 260K).
+func (r *Runner) Fig4() Fig4Result {
+	_, mal := r.Data.DSummary()
+	var medians, maxima []float64
+	for _, id := range mal {
+		app, err := r.World.Platform.App(id)
+		if err != nil {
+			continue
+		}
+		medians = append(medians, float64(app.MedianMAU()))
+		maxima = append(maxima, float64(app.MaxMAU()))
+	}
+	med := stats.NewCDF(medians)
+	mx := stats.NewCDF(maxima)
+	return Fig4Result{
+		Median: CDFResult{
+			Label: "Fig 4: median MAU of malicious apps",
+			N:     len(medians),
+			Curve: med.Curve(stats.LogSpace(0, 6, 25)),
+			Notes: []string{fmt.Sprintf("median MAU >= 1000: %s (paper: 40%%)", pct(med.FractionAtLeast(1000)))},
+		},
+		Max: CDFResult{
+			Label: "Fig 4: max MAU of malicious apps",
+			N:     len(maxima),
+			Curve: mx.Curve(stats.LogSpace(0, 6, 25)),
+			Notes: []string{fmt.Sprintf("max MAU >= 1000: %s (paper: 60%%)", pct(mx.FractionAtLeast(1000)))},
+		},
+	}
+}
+
+// Fig5Row is one summary-field comparison.
+type Fig5Row struct {
+	Field     string
+	Benign    float64
+	Malicious float64
+}
+
+// Fig5 compares summary completeness across classes in D-Summary (paper:
+// 93% of benign vs 1.4% of malicious apps specify a description).
+func (r *Runner) Fig5() []Fig5Row {
+	ben, mal := r.Data.DSummary()
+	frac := func(ids []string, has func(id string) bool) float64 {
+		if len(ids) == 0 {
+			return 0
+		}
+		n := 0
+		for _, id := range ids {
+			if has(id) {
+				n++
+			}
+		}
+		return float64(n) / float64(len(ids))
+	}
+	field := func(get func(id string) string) func(string) bool {
+		return func(id string) bool { return get(id) != "" }
+	}
+	category := field(func(id string) string { return r.Data.Crawl[id].Summary.Category })
+	company := field(func(id string) string { return r.Data.Crawl[id].Summary.Company })
+	desc := field(func(id string) string { return r.Data.Crawl[id].Summary.Description })
+	return []Fig5Row{
+		{Field: "Category", Benign: frac(ben, category), Malicious: frac(mal, category)},
+		{Field: "Company", Benign: frac(ben, company), Malicious: frac(mal, company)},
+		{Field: "Description", Benign: frac(ben, desc), Malicious: frac(mal, desc)},
+	}
+}
+
+// RenderFig5 formats Fig. 5.
+func RenderFig5(rows []Fig5Row) string {
+	tb := &table{header: []string{"Field", "Benign", "Malicious"}}
+	for _, row := range rows {
+		tb.add(row.Field, pct(row.Benign), pct(row.Malicious))
+	}
+	return "Fig 5: apps providing summary fields (paper: description 93% vs 1.4%)\n" + tb.String()
+}
+
+// Fig6Row is one permission's request rate per class.
+type Fig6Row struct {
+	Permission string
+	Benign     float64
+	Malicious  float64
+}
+
+// Fig6 reports the top-5 permissions by request rate (paper Fig. 6:
+// publish_stream dominates both classes).
+func (r *Runner) Fig6() []Fig6Row {
+	ben, mal := r.Data.DInst()
+	count := func(ids []string) (map[string]int, int) {
+		hist := map[string]int{}
+		for _, id := range ids {
+			for _, p := range r.Data.Crawl[id].Install.Permissions {
+				hist[p]++
+			}
+		}
+		return hist, len(ids)
+	}
+	bh, bn := count(ben)
+	mh, mn := count(mal)
+	// Rank by combined request rate.
+	combined := map[string]int{}
+	for p, n := range bh {
+		combined[p] += n
+	}
+	for p, n := range mh {
+		combined[p] += n
+	}
+	var rows []Fig6Row
+	for i, kv := range sortedCounts(combined) {
+		if i == 5 {
+			break
+		}
+		row := Fig6Row{Permission: kv.Key}
+		if bn > 0 {
+			row.Benign = float64(bh[kv.Key]) / float64(bn)
+		}
+		if mn > 0 {
+			row.Malicious = float64(mh[kv.Key]) / float64(mn)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderFig6 formats Fig. 6.
+func RenderFig6(rows []Fig6Row) string {
+	tb := &table{header: []string{"Permission", "Benign", "Malicious"}}
+	for _, row := range rows {
+		tb.add(row.Permission, pct(row.Benign), pct(row.Malicious))
+	}
+	return "Fig 6: top permissions requested (paper: malicious ~only publish_stream)\n" + tb.String()
+}
+
+// Fig7Result carries the permission-count CCDF per class.
+type Fig7Result struct {
+	Benign    CDFResult
+	Malicious CDFResult
+	BenignOne float64 // fraction requesting exactly one permission
+	MalOne    float64
+}
+
+// Fig7 computes permission-count distributions (paper: 97% of malicious vs
+// 62% of benign apps request exactly one).
+func (r *Runner) Fig7() Fig7Result {
+	ben, mal := r.Data.DInst()
+	counts := func(ids []string) []float64 {
+		var out []float64
+		for _, id := range ids {
+			out = append(out, float64(len(r.Data.Crawl[id].Install.Permissions)))
+		}
+		return out
+	}
+	bc, mc := counts(ben), counts(mal)
+	one := func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		n := 0
+		for _, x := range xs {
+			if x == 1 {
+				n++
+			}
+		}
+		return float64(n) / float64(len(xs))
+	}
+	axis := stats.LinSpace(1, 30, 30)
+	return Fig7Result{
+		Benign: CDFResult{Label: "Fig 7: benign permission count CCDF", N: len(bc),
+			Curve: stats.NewCDF(bc).CCDFCurve(axis)},
+		Malicious: CDFResult{Label: "Fig 7: malicious permission count CCDF", N: len(mc),
+			Curve: stats.NewCDF(mc).CCDFCurve(axis)},
+		BenignOne: one(bc),
+		MalOne:    one(mc),
+	}
+}
+
+// Render formats Fig. 7.
+func (f Fig7Result) Render() string {
+	return fmt.Sprintf("Fig 7: permissions requested (single-permission apps: malicious %s vs benign %s; paper: 97%% vs 62%%)\n",
+		pct(f.MalOne), pct(f.BenignOne))
+}
+
+// Fig8Result carries WOT score statistics per class.
+type Fig8Result struct {
+	Benign     CDFResult
+	Malicious  CDFResult
+	MalUnknown float64 // malicious redirect domains without a WOT score
+	MalBelow5  float64 // malicious apps with score < 5 (unknowns included)
+	BenHigh    float64 // benign apps with score >= 60
+}
+
+// Fig8 computes the WOT trust-score distributions (paper: 80% of malicious
+// redirect domains unknown to WOT, 95% below 5).
+func (r *Runner) Fig8() Fig8Result {
+	ben, mal := r.Data.DInst()
+	scores := func(ids []string) []float64 {
+		var out []float64
+		for _, id := range ids {
+			out = append(out, float64(r.Data.Crawl[id].WOTScore))
+		}
+		return out
+	}
+	bs, ms := scores(ben), scores(mal)
+	unknown := 0
+	below5 := 0
+	for _, s := range ms {
+		if s < 0 {
+			unknown++
+		}
+		if s < 5 {
+			below5++
+		}
+	}
+	high := 0
+	for _, s := range bs {
+		if s >= 60 {
+			high++
+		}
+	}
+	axis := stats.LinSpace(-1, 100, 25)
+	res := Fig8Result{
+		Benign: CDFResult{Label: "Fig 8: benign WOT scores", N: len(bs),
+			Curve: stats.NewCDF(bs).Curve(axis)},
+		Malicious: CDFResult{Label: "Fig 8: malicious WOT scores", N: len(ms),
+			Curve: stats.NewCDF(ms).Curve(axis)},
+	}
+	if len(ms) > 0 {
+		res.MalUnknown = float64(unknown) / float64(len(ms))
+		res.MalBelow5 = float64(below5) / float64(len(ms))
+	}
+	if len(bs) > 0 {
+		res.BenHigh = float64(high) / float64(len(bs))
+	}
+	return res
+}
+
+// Render formats Fig. 8.
+func (f Fig8Result) Render() string {
+	return fmt.Sprintf("Fig 8: WOT trust of redirect domains (malicious unknown %s, <5 %s; benign >=60 %s; paper: 80%%, 95%%, ~80%%)\n",
+		pct(f.MalUnknown), pct(f.MalBelow5), pct(f.BenHigh))
+}
+
+// Fig9Result carries the profile-post count distributions.
+type Fig9Result struct {
+	Benign    CDFResult
+	Malicious CDFResult
+	MalZero   float64 // malicious apps with an empty profile feed
+	BenZero   float64
+}
+
+// Fig9 computes profile-feed sizes (paper: 97% of malicious apps have no
+// posts in their profiles).
+func (r *Runner) Fig9() Fig9Result {
+	ben, mal := r.Data.DProfileFeed()
+	counts := func(ids []string) []float64 {
+		var out []float64
+		for _, id := range ids {
+			out = append(out, float64(len(r.Data.Crawl[id].Feed)))
+		}
+		return out
+	}
+	bc, mc := counts(ben), counts(mal)
+	axis := stats.LogSpace(0, 3, 20)
+	return Fig9Result{
+		Benign: CDFResult{Label: "Fig 9: benign profile posts", N: len(bc),
+			Curve: stats.NewCDF(bc).Curve(axis)},
+		Malicious: CDFResult{Label: "Fig 9: malicious profile posts", N: len(mc),
+			Curve: stats.NewCDF(mc).Curve(axis)},
+		MalZero: fracEqualZero(mc),
+		BenZero: fracEqualZero(bc),
+	}
+}
+
+// Render formats Fig. 9.
+func (f Fig9Result) Render() string {
+	return fmt.Sprintf("Fig 9: posts in app profile (empty profiles: malicious %s vs benign %s; paper: 97%% vs ~4%%)\n",
+		pct(f.MalZero), pct(f.BenZero))
+}
+
+// Fig10Row is the cluster-count reduction at one similarity threshold.
+type Fig10Row struct {
+	Threshold float64
+	Benign    float64 // clusters / apps
+	Malicious float64
+}
+
+// Fig10 clusters D-Sample app names at decreasing similarity thresholds
+// (paper: at threshold 1, malicious clusters < 1/5 of apps; benign ~1).
+func (r *Runner) Fig10() []Fig10Row {
+	names := func(ids []string) []string {
+		var out []string
+		for _, id := range ids {
+			out = append(out, r.appName(id))
+		}
+		return out
+	}
+	benNames, malNames := names(r.Data.Benign), names(r.Data.Malicious)
+	var rows []Fig10Row
+	for _, th := range []float64{1, 0.9, 0.8, 0.7, 0.6} {
+		_, bc := textdist.Cluster(benNames, th)
+		_, mc := textdist.Cluster(malNames, th)
+		row := Fig10Row{Threshold: th}
+		if len(benNames) > 0 {
+			row.Benign = float64(bc) / float64(len(benNames))
+		}
+		if len(malNames) > 0 {
+			row.Malicious = float64(mc) / float64(len(malNames))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderFig10 formats Fig. 10.
+func RenderFig10(rows []Fig10Row) string {
+	tb := &table{header: []string{"Similarity threshold", "Benign clusters/apps", "Malicious clusters/apps"}}
+	for _, row := range rows {
+		tb.add(fmt.Sprintf("%.1f", row.Threshold), pct(row.Benign), pct(row.Malicious))
+	}
+	return "Fig 10: name clustering (paper: malicious reduce to <20% at threshold 1)\n" + tb.String()
+}
+
+// Fig11Result carries identical-name cluster-size distributions.
+type Fig11Result struct {
+	MalClusters     int
+	MalOver10       float64 // fraction of malicious clusters with > 10 apps
+	MalLargest      int
+	MalLargestName  string
+	BenMaxCluster   int
+	SharedNameShare float64 // malicious apps sharing a name with another
+}
+
+// Fig11 measures identical-name cluster sizes (paper: ~10% of malicious
+// clusters exceed 10 apps; 627 apps share the name 'The App'; 87% of
+// malicious apps share a name).
+func (r *Runner) Fig11() Fig11Result {
+	malNames := make([]string, 0, len(r.Data.Malicious))
+	for _, id := range r.Data.Malicious {
+		malNames = append(malNames, r.appName(id))
+	}
+	assign, n := textdist.Cluster(malNames, 1)
+	sizes := textdist.ClusterSizes(assign, n)
+	res := Fig11Result{MalClusters: n}
+	over10 := 0
+	largestIdx := -1
+	for i, s := range sizes {
+		if s > 10 {
+			over10++
+		}
+		if s > res.MalLargest {
+			res.MalLargest = s
+			largestIdx = i
+		}
+	}
+	if n > 0 {
+		res.MalOver10 = float64(over10) / float64(n)
+	}
+	if largestIdx >= 0 {
+		for i, c := range assign {
+			if c == largestIdx {
+				res.MalLargestName = malNames[i]
+				break
+			}
+		}
+	}
+	shared := 0
+	for _, c := range assign {
+		if sizes[c] > 1 {
+			shared++
+		}
+	}
+	if len(assign) > 0 {
+		res.SharedNameShare = float64(shared) / float64(len(assign))
+	}
+	benNames := make([]string, 0, len(r.Data.Benign))
+	for _, id := range r.Data.Benign {
+		benNames = append(benNames, r.appName(id))
+	}
+	bAssign, bn := textdist.Cluster(benNames, 1)
+	for _, s := range textdist.ClusterSizes(bAssign, bn) {
+		if s > res.BenMaxCluster {
+			res.BenMaxCluster = s
+		}
+	}
+	return res
+}
+
+// Render formats Fig. 11 / §4.2.1.
+func (f Fig11Result) Render() string {
+	return fmt.Sprintf(`Fig 11 / §4.2.1: identical-name clusters (paper: 87%% share names, ~10%% of clusters >10 apps, 'The App' x627)
+  malicious clusters: %d, sharing apps: %s, clusters >10 apps: %s
+  largest cluster: %q with %d apps; largest benign cluster: %d
+`,
+		f.MalClusters, pct(f.SharedNameShare), pct(f.MalOver10),
+		f.MalLargestName, f.MalLargest, f.BenMaxCluster)
+}
+
+// Fig12Result carries the external-link-to-post ratio distributions.
+type Fig12Result struct {
+	Benign     CDFResult
+	Malicious  CDFResult
+	BenZero    float64 // benign apps with no external links at all
+	MalAtLeast float64 // malicious apps averaging >= 1 external link/post
+}
+
+// Fig12 computes external-link ratios (paper: 80% of benign post none; 40%
+// of malicious average one per post).
+func (r *Runner) Fig12() Fig12Result {
+	ratio := func(ids []string) []float64 {
+		var out []float64
+		for _, id := range ids {
+			as, ok := r.Data.Stats[id]
+			if !ok || as.Posts == 0 {
+				continue
+			}
+			out = append(out, float64(as.ExternalLinks)/float64(as.Posts))
+		}
+		return out
+	}
+	br, mr := ratio(r.Data.Benign), ratio(r.Data.Malicious)
+	axis := stats.LinSpace(0, 1.2, 25)
+	return Fig12Result{
+		Benign: CDFResult{Label: "Fig 12: benign external-link ratio", N: len(br),
+			Curve: stats.NewCDF(br).Curve(axis)},
+		Malicious: CDFResult{Label: "Fig 12: malicious external-link ratio", N: len(mr),
+			Curve: stats.NewCDF(mr).Curve(axis)},
+		BenZero:    fracEqualZero(br),
+		MalAtLeast: fracAtLeast(mr, 0.999),
+	}
+}
+
+// Render formats Fig. 12.
+func (f Fig12Result) Render() string {
+	return fmt.Sprintf("Fig 12: external link to post ratio (benign at 0: %s, malicious >=1: %s; paper: 80%%, 40%%)\n",
+		pct(f.BenZero), pct(f.MalAtLeast))
+}
+
+// Fig13 is covered by Fig1Result's role counts; Fig14 below gives the
+// clustering-coefficient distribution.
+
+// Fig14Result is the local-clustering-coefficient distribution.
+type Fig14Result struct {
+	CDF     CDFResult
+	Over074 float64
+}
+
+// Fig14 computes local clustering coefficients over the collaboration
+// graph (paper: 25% of apps above 0.74).
+func (r *Runner) Fig14() Fig14Result {
+	g, _ := r.collaboration()
+	var cc []float64
+	for _, c := range g.ClusteringCoefficients() {
+		cc = append(cc, c)
+	}
+	sort.Float64s(cc)
+	cdf := stats.NewCDF(cc)
+	return Fig14Result{
+		CDF: CDFResult{Label: "Fig 14: local clustering coefficient", N: len(cc),
+			Curve: cdf.Curve(stats.LinSpace(0, 1, 21))},
+		Over074: cdf.CCDFAt(0.74),
+	}
+}
+
+// Render formats Fig. 14.
+func (f Fig14Result) Render() string {
+	return fmt.Sprintf("Fig 14: clustering coefficients (apps > 0.74: %s; paper: 25%%)\n", pct(f.Over074))
+}
+
+// Fig15Result is one dense local neighbourhood, like the paper's "Death
+// Predictor" example (26 neighbours, coefficient 0.87, 22 sharing a name).
+type Fig15Result struct {
+	AppID     string
+	Name      string
+	Neighbors int
+	LCC       float64
+	SameName  int
+}
+
+// Fig15 finds a dense well-connected neighbourhood, preferring ones whose
+// members share the app's name (the paper's example: 22 of 'Death
+// Predictor's 26 neighbours carry the same name).
+func (r *Runner) Fig15() Fig15Result {
+	g, _ := r.collaboration()
+	best := Fig15Result{}
+	score := func(f Fig15Result) float64 {
+		return f.LCC + 2*float64(f.SameName)/float64(max(1, f.Neighbors))
+	}
+	for _, v := range g.Nodes() {
+		deg := g.Degree(v)
+		if deg < 10 {
+			continue
+		}
+		lcc := g.LocalClusteringCoefficient(v)
+		if lcc < 0.5 {
+			continue
+		}
+		cand := Fig15Result{AppID: v, Name: r.appName(v), Neighbors: deg, LCC: lcc}
+		for _, u := range g.Neighborhood(v) {
+			if r.appName(u) == cand.Name {
+				cand.SameName++
+			}
+		}
+		if best.AppID == "" || score(cand) > score(best) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// Render formats Fig. 15.
+func (f Fig15Result) Render() string {
+	if f.AppID == "" {
+		return "Fig 15: no neighbourhood with >= 10 collaborators found\n"
+	}
+	return fmt.Sprintf("Fig 15: densest neighbourhood: %q — %d neighbours, coefficient %.2f, %d sharing its name (paper: 'Death Predictor', 26, 0.87, 22)\n",
+		f.Name, f.Neighbors, f.LCC, f.SameName)
+}
+
+// Fig16Result is the flagged-post-ratio distribution across flagged apps.
+type Fig16Result struct {
+	CDF     CDFResult
+	Below02 float64
+	NearOne float64
+}
+
+// Fig16 computes, per app with at least one flagged post, the malicious-
+// to-all-posts ratio (paper: 5% of apps below 0.2 — the piggybacked
+// victims).
+func (r *Runner) Fig16() Fig16Result {
+	ratios := forensics.FlaggedRatios(r.Data.Stats)
+	cdf := stats.NewCDF(ratios)
+	return Fig16Result{
+		CDF: CDFResult{Label: "Fig 16: malicious-post ratio of flagged apps", N: len(ratios),
+			Curve: cdf.Curve(stats.LinSpace(0, 1, 21))},
+		Below02: cdf.At(0.2),
+		NearOne: cdf.FractionAtLeast(0.9),
+	}
+}
+
+// Render formats Fig. 16.
+func (f Fig16Result) Render() string {
+	return fmt.Sprintf("Fig 16: flagged-post ratios (apps < 0.2: %s — piggyback victims; apps >= 0.9: %s; paper: ~5%% below 0.2)\n",
+		pct(f.Below02), pct(f.NearOne))
+}
+
+// IndirectionResult summarises the indirection-website survey (§6.1).
+type IndirectionResult struct {
+	Report forensics.SiteReport
+}
+
+// Indirection surveys the indirection-site infrastructure.
+func (r *Runner) Indirection() IndirectionResult {
+	return IndirectionResult{Report: forensics.SurveySites(r.World)}
+}
+
+// Render formats the §6.1 indirection survey.
+func (i IndirectionResult) Render() string {
+	rep := i.Report
+	amazonShare := 0.0
+	if rep.Sites > 0 {
+		amazonShare = float64(rep.AmazonHosted) / float64(rep.Sites)
+	}
+	over100 := 0.0
+	if rep.Sites > 0 {
+		over100 = float64(rep.SitesOver100) / float64(rep.Sites)
+	}
+	return fmt.Sprintf(`§6.1 indirection websites (paper: 103 sites -> 4,676 apps; 35%% promote >100 apps; 1/3 on Amazon)
+  sites: %d, unique promoted apps: %d, sites promoting >100 apps: %s, amazon-hosted: %s
+`,
+		rep.Sites, rep.UniqueTargets, pct(over100), pct(amazonShare))
+}
+
+// PrevalenceResult reproduces the §3 prevalence statistics.
+type PrevalenceResult struct {
+	FlaggedPostsTotal    int64
+	FromMaliciousApps    float64 // paper: 53%
+	FromNoApp            float64 // paper: 27%
+	FromBenignApps       float64 // piggybacked remainder
+	MaliciousShareOfApps float64 // paper: 13%
+	ClicksOver100K       float64 // paper: 60%
+	MedianMAUOver1000    float64 // paper: 40%
+}
+
+// Prevalence measures how widespread malicious apps are (§3).
+func (r *Runner) Prevalence() PrevalenceResult {
+	var malPosts, benPosts int64
+	for id, as := range r.Data.Stats {
+		if as.FlaggedPosts == 0 {
+			continue
+		}
+		if r.World.IsMalicious(id) {
+			malPosts += int64(as.FlaggedPosts)
+		} else {
+			benPosts += int64(as.FlaggedPosts)
+		}
+	}
+	manual := r.World.ManualFlaggedPosts()
+	total := malPosts + benPosts + manual
+	res := PrevalenceResult{FlaggedPostsTotal: total}
+	if total > 0 {
+		res.FromMaliciousApps = float64(malPosts) / float64(total)
+		res.FromNoApp = float64(manual) / float64(total)
+		res.FromBenignApps = float64(benPosts) / float64(total)
+	}
+	res.MaliciousShareOfApps = float64(len(r.World.MaliciousIDs)) / float64(r.World.Platform.NumApps())
+	res.ClicksOver100K = r.clicksFracOver(1e5)
+	_, malSummary := r.Data.DSummary()
+	var medians []float64
+	for _, id := range malSummary {
+		if app, err := r.World.Platform.App(id); err == nil {
+			medians = append(medians, float64(app.MedianMAU()))
+		}
+	}
+	res.MedianMAUOver1000 = fracAtLeast(medians, 1000)
+	return res
+}
+
+// clicksFracOver returns the fraction of bit.ly-using malicious apps whose
+// total clicks exceed min.
+func (r *Runner) clicksFracOver(min float64) float64 {
+	var sums []float64
+	for _, id := range r.Data.Malicious {
+		as, ok := r.Data.Stats[id]
+		if !ok {
+			continue
+		}
+		total := int64(0)
+		has := false
+		seen := map[string]bool{}
+		for _, link := range as.Links {
+			if !r.World.Bitly.IsShort(link) || seen[link] {
+				continue
+			}
+			seen[link] = true
+			has = true
+			if n, err := r.World.Bitly.Clicks(link); err == nil {
+				total += n
+			}
+		}
+		if has {
+			sums = append(sums, float64(total))
+		}
+	}
+	return fracAtLeast(sums, min)
+}
+
+// Render formats the §3 prevalence block.
+func (p PrevalenceResult) Render() string {
+	return fmt.Sprintf(`§3 prevalence (paper: 13%% of apps malicious; 53%% of flagged posts from malicious apps, 27%% app-less; 60%% of apps >100K clicks; 40%% median MAU >= 1000)
+  malicious share of apps: %s
+  flagged posts: %d — %s from malicious apps, %s app-less, %s via benign apps (piggybacking)
+  malicious apps with >100K bit.ly clicks: %s
+  malicious apps with median MAU >= 1000: %s
+`,
+		pct(p.MaliciousShareOfApps), p.FlaggedPostsTotal,
+		pct(p.FromMaliciousApps), pct(p.FromNoApp), pct(p.FromBenignApps),
+		pct(p.ClicksOver100K), pct(p.MedianMAUOver1000))
+}

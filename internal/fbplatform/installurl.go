@@ -1,0 +1,45 @@
+package fbplatform
+
+import (
+	"net/url"
+	"strings"
+)
+
+// InstallURLPrefix is the canonical prefix of application installation
+// URLs, as printed throughout the paper.
+const InstallURLPrefix = "https://www.facebook.com/apps/application.php?id="
+
+// InstallURL returns the installation URL for an app ID. Promotion posts
+// that link directly to other apps (§6.1 "posting direct links to other
+// apps") carry exactly these URLs.
+func InstallURL(appID string) string {
+	return InstallURLPrefix + url.QueryEscape(appID)
+}
+
+// ParseInstallURL extracts the app ID from an installation URL. The second
+// result reports whether raw is an installation URL at all. This is how the
+// forensics pipeline recognises direct app-promotion links in posts.
+func ParseInstallURL(raw string) (string, bool) {
+	if !strings.HasPrefix(raw, "https://www.facebook.com/apps/application.php") &&
+		!strings.HasPrefix(raw, "http://www.facebook.com/apps/application.php") &&
+		!strings.HasPrefix(raw, "https://apps.facebook.com/") {
+		return "", false
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", false
+	}
+	if strings.HasSuffix(u.Host, "apps.facebook.com") {
+		// Canvas-style URL: https://apps.facebook.com/<id-or-namespace>
+		id := strings.Trim(u.Path, "/")
+		if id == "" {
+			return "", false
+		}
+		return id, true
+	}
+	id := u.Query().Get("id")
+	if id == "" {
+		return "", false
+	}
+	return id, true
+}

@@ -1,0 +1,43 @@
+package fbplatform
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseInstallURL(t *testing.T) {
+	cases := []struct {
+		raw string
+		id  string
+		ok  bool
+	}{
+		{"https://www.facebook.com/apps/application.php?id=12345", "12345", true},
+		{"http://www.facebook.com/apps/application.php?id=9", "9", true},
+		{"https://apps.facebook.com/farmville", "farmville", true},
+		{"https://apps.facebook.com/", "", false},
+		{"https://www.facebook.com/apps/application.php", "", false},
+		{"http://evil.example/apps/application.php?id=1", "", false},
+		{"", "", false},
+		{"not a url at all", "", false},
+	}
+	for _, c := range cases {
+		id, ok := ParseInstallURL(c.raw)
+		if id != c.id || ok != c.ok {
+			t.Errorf("ParseInstallURL(%q) = (%q,%v), want (%q,%v)", c.raw, id, ok, c.id, c.ok)
+		}
+	}
+}
+
+// Property: InstallURL/ParseInstallURL round-trip any app ID the platform
+// can mint.
+func TestInstallURLRoundTripProperty(t *testing.T) {
+	f := func(n uint32) bool {
+		id := fmt.Sprintf("2%014d", n)
+		got, ok := ParseInstallURL(InstallURL(id))
+		return ok && got == id
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,96 @@
+package fbplatform
+
+// The 2012-era Facebook platform defined a pool of 64 permissions that an
+// app could request at install time (§4.1.2 of the paper). The catalogue
+// below reproduces that pool; the first few entries are the ones the paper's
+// Fig. 6 reports as the most requested by benign and malicious apps.
+const (
+	PermPublishStream  = "publish_stream"
+	PermOfflineAccess  = "offline_access"
+	PermUserBirthday   = "user_birthday"
+	PermEmail          = "email"
+	PermPublishActions = "publish_actions"
+)
+
+// PermissionCatalog is the full pool of permissions apps choose from.
+// Its length is fixed at 64, matching the platform the paper measured.
+var PermissionCatalog = []string{
+	PermPublishStream,
+	PermOfflineAccess,
+	PermUserBirthday,
+	PermEmail,
+	PermPublishActions,
+	"user_about_me",
+	"user_activities",
+	"user_checkins",
+	"user_education_history",
+	"user_events",
+	"user_groups",
+	"user_hometown",
+	"user_interests",
+	"user_likes",
+	"user_location",
+	"user_notes",
+	"user_photos",
+	"user_questions",
+	"user_relationships",
+	"user_relationship_details",
+	"user_religion_politics",
+	"user_status",
+	"user_subscriptions",
+	"user_videos",
+	"user_website",
+	"user_work_history",
+	"friends_about_me",
+	"friends_activities",
+	"friends_birthday",
+	"friends_checkins",
+	"friends_education_history",
+	"friends_events",
+	"friends_groups",
+	"friends_hometown",
+	"friends_interests",
+	"friends_likes",
+	"friends_location",
+	"friends_notes",
+	"friends_photos",
+	"friends_questions",
+	"friends_relationships",
+	"friends_relationship_details",
+	"friends_religion_politics",
+	"friends_status",
+	"friends_subscriptions",
+	"friends_videos",
+	"friends_website",
+	"friends_work_history",
+	"read_friendlists",
+	"read_insights",
+	"read_mailbox",
+	"read_requests",
+	"read_stream",
+	"xmpp_login",
+	"ads_management",
+	"create_event",
+	"manage_friendlists",
+	"manage_notifications",
+	"user_online_presence",
+	"friends_online_presence",
+	"manage_pages",
+	"rsvp_event",
+	"sms",
+	"create_note",
+}
+
+// ValidPermission reports whether name is in the catalogue.
+func ValidPermission(name string) bool {
+	_, ok := permissionSet[name]
+	return ok
+}
+
+var permissionSet = func() map[string]struct{} {
+	m := make(map[string]struct{}, len(PermissionCatalog))
+	for _, p := range PermissionCatalog {
+		m[p] = struct{}{}
+	}
+	return m
+}()

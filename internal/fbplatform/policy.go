@@ -1,0 +1,67 @@
+package fbplatform
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Policy captures the two §7 "recommendations to Facebook" as enforceable
+// platform rules, so the reproduction can measure what the paper only
+// proposes:
+//
+//  1. "the client ID field in the URL to which the user is redirected must
+//     be identical to the app ID of the original app" — EnforceClientID;
+//  2. "Facebook should restrict users from using arbitrary app IDs in
+//     their prompt feed API" — AuthenticatePromptFeed.
+type Policy struct {
+	// EnforceClientID rejects app registrations whose install client_id
+	// differs from the app's own ID, killing the §4.1.4 survivability
+	// trick ("we are not aware of any valid uses").
+	EnforceClientID bool
+	// AuthenticatePromptFeed verifies that prompt_feed posts really come
+	// from the application named by api_key, killing §6.2 piggybacking.
+	AuthenticatePromptFeed bool
+}
+
+// Policy violations.
+var (
+	ErrClientIDPolicy   = errors.New("fbplatform: policy: client_id must equal the app ID")
+	ErrPromptFeedPolicy = errors.New("fbplatform: policy: prompt_feed api_key does not match the posting app")
+)
+
+// SetPolicy installs platform-wide enforcement rules. Registrations and
+// prompt_feed calls after this point are checked; existing apps keep their
+// recorded client IDs (enforcement is at admission, like the real
+// platform's would be).
+func (p *Platform) SetPolicy(policy Policy) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.policy = policy
+}
+
+// PolicyInEffect returns the current enforcement rules.
+func (p *Platform) PolicyInEffect() Policy {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.policy
+}
+
+// checkRegister applies admission-time policy to a new app. Callers hold
+// no lock; Register calls this under its own lock.
+func (p *Platform) checkRegisterLocked(app *App) error {
+	if p.policy.EnforceClientID && app.ClientID != "" && app.ClientID != app.ID {
+		return fmt.Errorf("%w (app %s, client_id %s)", ErrClientIDPolicy, app.ID, app.ClientID)
+	}
+	return nil
+}
+
+// checkPromptFeed applies the authentication rule to a prompt_feed call.
+func (p *Platform) checkPromptFeed(apiKey, trueSourceID string) error {
+	p.mu.RLock()
+	enforce := p.policy.AuthenticatePromptFeed
+	p.mu.RUnlock()
+	if enforce && apiKey != trueSourceID {
+		return fmt.Errorf("%w (api_key %s, caller %s)", ErrPromptFeedPolicy, apiKey, trueSourceID)
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package fbplatform
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// The paper's Fig. 2 shows the installation and operation flow of a
+// Facebook application:
+//
+//	1. the user requests to add the app;
+//	2. Facebook returns the permission set the app requires;
+//	3. the user allows the permission set;
+//	4. Facebook generates an OAuth 2.0 access token, shared with the
+//	   application server;
+//	5. (malicious apps) the token is forwarded to the hackers;
+//	6. using the token, anyone holding it can post on the user's wall.
+//
+// This file implements that flow: InstallApp performs steps 1-4 and
+// PostWithToken performs step 6. Tokens are bearer credentials — the
+// platform authenticates the token, not its holder, which is exactly what
+// makes step 5 profitable.
+
+// Token-flow errors.
+var (
+	ErrTokenNotFound  = errors.New("fbplatform: unknown or revoked access token")
+	ErrScopeDenied    = errors.New("fbplatform: token lacks the required permission")
+	ErrUnknownUser    = errors.New("fbplatform: user outside the platform population")
+	ErrAlreadyGranted = errors.New("fbplatform: user already installed this app")
+)
+
+// AccessToken is an OAuth 2.0-style bearer token binding a (user, app)
+// pair to the permission scopes the user granted at install time.
+type AccessToken struct {
+	Token  string
+	AppID  string
+	UserID int
+	Scopes []string
+}
+
+// HasScope reports whether the token carries the given permission.
+func (t AccessToken) HasScope(perm string) bool {
+	for _, s := range t.Scopes {
+		if s == perm {
+			return true
+		}
+	}
+	return false
+}
+
+// tokenStore tracks issued tokens and per-app installation counts.
+type tokenStore struct {
+	mu       sync.Mutex
+	seq      int64
+	byToken  map[string]AccessToken
+	byGrant  map[string]string // "appID/userID" -> token
+	installs map[string]int    // appID -> distinct installing users
+}
+
+func newTokenStore() *tokenStore {
+	return &tokenStore{
+		byToken:  make(map[string]AccessToken),
+		byGrant:  make(map[string]string),
+		installs: make(map[string]int),
+	}
+}
+
+func grantKey(appID string, userID int) string {
+	return fmt.Sprintf("%s/%d", appID, userID)
+}
+
+// tokens returns the platform's token store, creating it lazily so older
+// worlds (and the zero value) keep working.
+func (p *Platform) tokens() *tokenStore {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.tokenStore == nil {
+		p.tokenStore = newTokenStore()
+	}
+	return p.tokenStore
+}
+
+// InstallApp runs the Fig. 2 install flow for one user: the platform
+// resolves the app, presents its permission set, the user grants it, and
+// an access token scoped to exactly those permissions is issued. Deleted
+// apps cannot be installed. Installing twice returns ErrAlreadyGranted
+// together with the existing token.
+func (p *Platform) InstallApp(userID int, appID string) (AccessToken, error) {
+	if userID < 0 || userID >= p.Users() {
+		return AccessToken{}, ErrUnknownUser
+	}
+	app, err := p.Lookup(appID)
+	if err != nil {
+		return AccessToken{}, err
+	}
+	ts := p.tokens()
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	key := grantKey(appID, userID)
+	if existing, ok := ts.byGrant[key]; ok {
+		return ts.byToken[existing], ErrAlreadyGranted
+	}
+	ts.seq++
+	tok := AccessToken{
+		// Deterministic, opaque-looking bearer string.
+		Token:  fmt.Sprintf("EAAB%06d%s", ts.seq, appID[max(0, len(appID)-6):]),
+		AppID:  appID,
+		UserID: userID,
+		Scopes: append([]string(nil), app.Permissions...),
+	}
+	ts.byToken[tok.Token] = tok
+	ts.byGrant[key] = tok.Token
+	ts.installs[appID]++
+	return tok, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TokenInfo resolves a bearer token. Like the real platform, it does not
+// care who presents it.
+func (p *Platform) TokenInfo(token string) (AccessToken, error) {
+	ts := p.tokens()
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	t, ok := ts.byToken[token]
+	if !ok {
+		return AccessToken{}, ErrTokenNotFound
+	}
+	return t, nil
+}
+
+// RevokeToken invalidates a token (the user uninstalled the app).
+func (p *Platform) RevokeToken(token string) error {
+	ts := p.tokens()
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	t, ok := ts.byToken[token]
+	if !ok {
+		return ErrTokenNotFound
+	}
+	delete(ts.byToken, token)
+	delete(ts.byGrant, grantKey(t.AppID, t.UserID))
+	return nil
+}
+
+// Installs reports how many distinct users have installed the app.
+func (p *Platform) Installs(appID string) int {
+	ts := p.tokens()
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.installs[appID]
+}
+
+// PostWithToken is Fig. 2's step 6: whoever holds the token posts on the
+// user's wall on behalf of the app. The token must carry publish_stream
+// (the one permission §4.1.2 finds sufficient for spamming). The malicious
+// flag marks ground truth on the link, as elsewhere.
+func (p *Platform) PostWithToken(token, message, link string, month int, maliciousLink bool) (Post, error) {
+	t, err := p.TokenInfo(token)
+	if err != nil {
+		return Post{}, err
+	}
+	if !t.HasScope(PermPublishStream) {
+		return Post{}, fmt.Errorf("%w: need %s, have [%s]",
+			ErrScopeDenied, PermPublishStream, strings.Join(t.Scopes, " "))
+	}
+	return Post{
+		AppID:         t.AppID,
+		SourceAppID:   t.AppID,
+		UserID:        t.UserID,
+		Message:       message,
+		Link:          link,
+		Month:         month,
+		MaliciousLink: maliciousLink,
+	}, nil
+}
+
+// ReadProfileWithToken models the app harvesting the user's personal
+// information (step 3 of the malicious-app lifecycle in §2.1): each
+// profile field is gated by its permission scope. It returns the fields
+// the token can access, keyed by permission name.
+func (p *Platform) ReadProfileWithToken(token string) (map[string]string, error) {
+	t, err := p.TokenInfo(token)
+	if err != nil {
+		return nil, err
+	}
+	// The monitored population is synthetic; field values are placeholders
+	// derived from the user ID, which is all the harvesting economics of
+	// §2.1 need ("personal information can be sold to third parties").
+	out := make(map[string]string)
+	for _, scope := range t.Scopes {
+		switch scope {
+		case PermEmail:
+			out[PermEmail] = fmt.Sprintf("user%d@example.com", t.UserID)
+		case PermUserBirthday:
+			out[PermUserBirthday] = fmt.Sprintf("19%02d-0%d-1%d",
+				70+t.UserID%30, 1+t.UserID%8, t.UserID%9)
+		case "user_hometown":
+			out["user_hometown"] = fmt.Sprintf("Town %d", t.UserID%1000)
+		}
+	}
+	return out, nil
+}

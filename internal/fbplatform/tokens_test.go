@@ -1,0 +1,226 @@
+package fbplatform
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func tokenWorld(t *testing.T) *Platform {
+	t.Helper()
+	p := New(100)
+	apps := []*App{
+		{
+			ID: "spammy", Name: "Free iPad",
+			Permissions: []string{PermPublishStream},
+			Truth:       Truth{Malicious: true},
+		},
+		{
+			ID: "game", Name: "Happy Farm",
+			Permissions: []string{PermPublishStream, PermEmail, PermUserBirthday},
+			Truth:       Truth{HackerID: -1},
+		},
+		{
+			ID: "readonly", Name: "Quiet Quiz",
+			Permissions: []string{PermEmail},
+			Truth:       Truth{HackerID: -1},
+		},
+		{
+			ID: "gone", Name: "Removed",
+			Permissions: []string{PermPublishStream},
+			Truth:       Truth{Malicious: true},
+		},
+	}
+	for _, a := range apps {
+		if err := p.Register(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Delete("gone"); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestInstallIssuesScopedToken(t *testing.T) {
+	p := tokenWorld(t)
+	tok, err := p.InstallApp(7, "game")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.AppID != "game" || tok.UserID != 7 {
+		t.Errorf("token binding wrong: %+v", tok)
+	}
+	if len(tok.Scopes) != 3 || !tok.HasScope(PermEmail) || !tok.HasScope(PermPublishStream) {
+		t.Errorf("scopes = %v", tok.Scopes)
+	}
+	if tok.HasScope(PermOfflineAccess) {
+		t.Error("ungranted scope present")
+	}
+	if p.Installs("game") != 1 {
+		t.Errorf("Installs = %d", p.Installs("game"))
+	}
+	// Resolving the token returns the same binding.
+	got, err := p.TokenInfo(tok.Token)
+	if err != nil || got.AppID != "game" {
+		t.Errorf("TokenInfo = %+v, %v", got, err)
+	}
+}
+
+func TestInstallValidation(t *testing.T) {
+	p := tokenWorld(t)
+	if _, err := p.InstallApp(-1, "game"); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("negative user err = %v", err)
+	}
+	if _, err := p.InstallApp(1000, "game"); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("out-of-range user err = %v", err)
+	}
+	if _, err := p.InstallApp(1, "missing"); !errors.Is(err, ErrAppNotFound) {
+		t.Errorf("missing app err = %v", err)
+	}
+	if _, err := p.InstallApp(1, "gone"); !errors.Is(err, ErrAppDeleted) {
+		t.Errorf("deleted app err = %v", err)
+	}
+	// Double install returns the original token.
+	tok1, err := p.InstallApp(2, "game")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok2, err := p.InstallApp(2, "game")
+	if !errors.Is(err, ErrAlreadyGranted) {
+		t.Errorf("reinstall err = %v", err)
+	}
+	if tok2.Token != tok1.Token {
+		t.Error("reinstall minted a new token")
+	}
+	if p.Installs("game") != 1 {
+		t.Errorf("Installs after reinstall = %d", p.Installs("game"))
+	}
+}
+
+func TestPostWithToken(t *testing.T) {
+	p := tokenWorld(t)
+	tok, err := p.InstallApp(3, "spammy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := p.PostWithToken(tok.Token, "FREE iPad for everyone!", "http://scam.example/ipad", 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.AppID != "spammy" || post.UserID != 3 || !post.MaliciousLink {
+		t.Errorf("post = %+v", post)
+	}
+	// The token is a bearer credential: "forwarding it to the hackers"
+	// (Fig. 2 step 5) needs no extra ceremony — the same string works for
+	// any caller, which is the point of the paper's flow diagram.
+	again, err := p.PostWithToken(tok.Token, "another", "", 3, false)
+	if err != nil || again.UserID != 3 {
+		t.Errorf("forwarded token post = %+v, %v", again, err)
+	}
+}
+
+func TestPostRequiresPublishStream(t *testing.T) {
+	p := tokenWorld(t)
+	tok, err := p.InstallApp(4, "readonly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PostWithToken(tok.Token, "hi", "", 0, false); !errors.Is(err, ErrScopeDenied) {
+		t.Errorf("post without publish_stream err = %v", err)
+	}
+	if _, err := p.PostWithToken("EAABbogus", "hi", "", 0, false); !errors.Is(err, ErrTokenNotFound) {
+		t.Errorf("bogus token err = %v", err)
+	}
+}
+
+func TestRevokeToken(t *testing.T) {
+	p := tokenWorld(t)
+	tok, err := p.InstallApp(5, "spammy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RevokeToken(tok.Token); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.TokenInfo(tok.Token); !errors.Is(err, ErrTokenNotFound) {
+		t.Errorf("revoked token still resolves: %v", err)
+	}
+	if err := p.RevokeToken(tok.Token); !errors.Is(err, ErrTokenNotFound) {
+		t.Errorf("double revoke err = %v", err)
+	}
+	// After revocation the user can reinstall and gets a fresh token.
+	tok2, err := p.InstallApp(5, "spammy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok2.Token == tok.Token {
+		t.Error("reissued token should differ")
+	}
+}
+
+func TestReadProfileWithToken(t *testing.T) {
+	p := tokenWorld(t)
+	tok, err := p.InstallApp(6, "game")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields, err := p.ReadProfileWithToken(tok.Token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fields[PermEmail] == "" || fields[PermUserBirthday] == "" {
+		t.Errorf("granted fields missing: %v", fields)
+	}
+	// The spammy app holds only publish_stream: no personal data.
+	tok2, err := p.InstallApp(6, "spammy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields2, err := p.ReadProfileWithToken(tok2.Token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fields2) != 0 {
+		t.Errorf("ungranted harvest: %v", fields2)
+	}
+}
+
+func TestTokenFlowConcurrency(t *testing.T) {
+	p := tokenWorld(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			tok, err := p.InstallApp(u%100, "game")
+			if err != nil && !errors.Is(err, ErrAlreadyGranted) {
+				t.Errorf("install: %v", err)
+				return
+			}
+			if _, err := p.PostWithToken(tok.Token, fmt.Sprintf("post %d", u), "", 0, false); err != nil {
+				t.Errorf("post: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := p.Installs("game"); got != 50 {
+		t.Errorf("Installs = %d, want 50", got)
+	}
+}
+
+func TestTokensUniquePerGrant(t *testing.T) {
+	p := tokenWorld(t)
+	seen := map[string]bool{}
+	for u := 0; u < 30; u++ {
+		tok, err := p.InstallApp(u, "spammy")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[tok.Token] {
+			t.Fatalf("token reuse across grants: %s", tok.Token)
+		}
+		seen[tok.Token] = true
+	}
+}

@@ -1,0 +1,295 @@
+// Package forensics implements the §6 ecosystem investigation: it rebuilds
+// the Collaboration graph from the links malicious apps actually posted
+// (resolving bit.ly indirection and following the fast-changing indirection
+// websites, as the paper did 100 times a day for six weeks), quantifies
+// AppNet structure (Fig. 1, Fig. 13, Fig. 14), profiles the indirection
+// hosting infrastructure, and detects app piggybacking (§6.2, Fig. 16,
+// Table 9).
+package forensics
+
+import (
+	"sort"
+	"strings"
+
+	"frappe/internal/appgraph"
+	"frappe/internal/fbplatform"
+	"frappe/internal/mypagekeeper"
+	"frappe/internal/synth"
+)
+
+// LinkResolver resolves the two indirection layers hackers put between a
+// promotion post and the promoted app: URL shorteners and rotating
+// indirection websites.
+type LinkResolver interface {
+	// ExpandShort resolves a shortened URL; ok=false if the URL is not a
+	// short link.
+	ExpandShort(link string) (long string, ok bool)
+	// SiteTargets returns every install URL an indirection website
+	// forwards to (the union discovered by repeated visits); ok=false if
+	// the URL is not a known indirection site.
+	SiteTargets(link string) (targets []string, ok bool)
+}
+
+// worldResolver adapts a synthetic world's services.
+type worldResolver struct{ w *synth.World }
+
+func (r worldResolver) ExpandShort(link string) (string, bool) {
+	if !r.w.Bitly.IsShort(link) {
+		return "", false
+	}
+	long, err := r.w.Bitly.Expand(link)
+	if err != nil {
+		return "", false
+	}
+	return long, true
+}
+
+func (r worldResolver) SiteTargets(link string) ([]string, bool) {
+	site, err := r.w.Redirector.Site(link)
+	if err != nil {
+		return nil, false
+	}
+	return site.Targets(), true
+}
+
+// NewWorldResolver returns a LinkResolver backed by the world's bit.ly and
+// redirector services.
+func NewWorldResolver(w *synth.World) LinkResolver { return worldResolver{w} }
+
+// Promotion is one resolved promotion edge with its mechanism.
+type Promotion struct {
+	Promoter string
+	Promotee string
+	// Direct is true for install-URL links; false for indirection-site
+	// hops.
+	Direct bool
+}
+
+// BuildGraph reconstructs the Collaboration graph for the candidate apps
+// from their observed posted links. Only edges between candidates are
+// kept, mirroring the paper's analysis of the malicious dataset.
+func BuildGraph(candidates []string, stats map[string]mypagekeeper.AppStats, res LinkResolver) (*appgraph.Graph, []Promotion) {
+	inSet := make(map[string]bool, len(candidates))
+	for _, id := range candidates {
+		inSet[id] = true
+	}
+	g := appgraph.New()
+	var promos []Promotion
+	seen := map[Promotion]bool{}
+	add := func(p Promotion) {
+		if p.Promoter == p.Promotee || !inSet[p.Promotee] || seen[p] {
+			return
+		}
+		seen[p] = true
+		promos = append(promos, p)
+		g.AddEdge(p.Promoter, p.Promotee)
+	}
+	for _, id := range candidates {
+		as, ok := stats[id]
+		if !ok {
+			continue
+		}
+		for _, link := range as.Links {
+			resolved := link
+			if long, ok := res.ExpandShort(link); ok {
+				resolved = long
+			}
+			if target, ok := fbplatform.ParseInstallURL(resolved); ok {
+				add(Promotion{Promoter: id, Promotee: target, Direct: true})
+				continue
+			}
+			if targets, ok := res.SiteTargets(resolved); ok {
+				for _, t := range targets {
+					if target, ok := fbplatform.ParseInstallURL(t); ok {
+						add(Promotion{Promoter: id, Promotee: target, Direct: false})
+					}
+				}
+			}
+		}
+	}
+	return g, promos
+}
+
+// GraphSummary condenses the §6.1 AppNet statistics.
+type GraphSummary struct {
+	Apps           int
+	Edges          int
+	Promoters      int
+	Promotees      int
+	DualRole       int
+	Components     int
+	TopComponents  []int // sizes, descending
+	AverageDegree  float64
+	MaxDegree      int
+	DegreeOver10   float64 // fraction of apps colluding with > 10 others
+	LCCOverP74     float64 // fraction of apps with clustering coeff > 0.74
+	DirectEdges    int
+	IndirectEdges  int
+	DirectPromoter int // promoters using direct links
+}
+
+// Summarize computes the §6.1 statistics for a collaboration graph.
+func Summarize(g *appgraph.Graph, promos []Promotion) GraphSummary {
+	s := GraphSummary{
+		Apps:      g.NumNodes(),
+		Edges:     g.NumEdges(),
+		Promoters: g.PromoterCount(),
+		Promotees: g.PromoteeCount(),
+	}
+	roles := g.Roles()
+	s.DualRole = len(roles.Dual)
+	comps := g.ConnectedComponents()
+	s.Components = len(comps)
+	for i, c := range comps {
+		if i == 5 {
+			break
+		}
+		s.TopComponents = append(s.TopComponents, c.Size())
+	}
+	s.AverageDegree = g.AverageDegree()
+	over10 := 0
+	for _, d := range g.Degrees() {
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d > 10 {
+			over10++
+		}
+	}
+	if s.Apps > 0 {
+		s.DegreeOver10 = float64(over10) / float64(s.Apps)
+	}
+	dense := 0
+	for _, c := range g.ClusteringCoefficients() {
+		if c > 0.74 {
+			dense++
+		}
+	}
+	if s.Apps > 0 {
+		s.LCCOverP74 = float64(dense) / float64(s.Apps)
+	}
+	directPromoters := map[string]bool{}
+	for _, p := range promos {
+		if p.Direct {
+			s.DirectEdges++
+			directPromoters[p.Promoter] = true
+		} else {
+			s.IndirectEdges++
+		}
+	}
+	s.DirectPromoter = len(directPromoters)
+	return s
+}
+
+// SiteReport describes the indirection-website infrastructure (§6.1).
+type SiteReport struct {
+	Sites          int
+	AmazonHosted   int
+	TargetsTotal   int
+	SitesOver100   int // sites promoting > 100 apps
+	UniqueTargets  int
+	HostingDomains map[string]int // host domain -> #sites
+}
+
+// SurveySites walks every registered indirection site.
+func SurveySites(w *synth.World) SiteReport {
+	rep := SiteReport{HostingDomains: make(map[string]int)}
+	targets := map[string]bool{}
+	for _, h := range w.Hackers {
+		for _, site := range h.Sites {
+			rep.Sites++
+			rep.HostingDomains[site.HostDomain]++
+			if strings.Contains(site.HostDomain, "amazonaws") {
+				rep.AmazonHosted++
+			}
+			n := site.NumTargets()
+			rep.TargetsTotal += n
+			if n > 100 {
+				rep.SitesOver100++
+			}
+			for _, t := range site.Targets() {
+				targets[t] = true
+			}
+		}
+	}
+	rep.UniqueTargets = len(targets)
+	return rep
+}
+
+// PiggybackFinding is one suspected piggybacking victim: an app whose
+// malicious-to-all-posts ratio is suspiciously low (Fig. 16's knee).
+type PiggybackFinding struct {
+	AppID        string
+	Name         string
+	Posts        int
+	FlaggedPosts int
+	Ratio        float64
+	// SampleMessage is one flagged-looking message observed for the app,
+	// the Table 9 "Post msg" column.
+	SampleMessage string
+}
+
+// DetectPiggybacking finds flagged apps whose flagged-post ratio is below
+// maxRatio (the paper examines apps under 0.2), sorted by posting volume.
+// names maps app IDs to display names.
+func DetectPiggybacking(stats map[string]mypagekeeper.AppStats, names map[string]string, maxRatio float64) []PiggybackFinding {
+	var out []PiggybackFinding
+	for id, as := range stats {
+		if as.FlaggedPosts == 0 || as.Posts == 0 {
+			continue
+		}
+		ratio := float64(as.FlaggedPosts) / float64(as.Posts)
+		if ratio >= maxRatio {
+			continue
+		}
+		f := PiggybackFinding{
+			AppID:        id,
+			Name:         names[id],
+			Posts:        as.Posts,
+			FlaggedPosts: as.FlaggedPosts,
+			Ratio:        ratio,
+		}
+		if len(as.FlaggedMessages) > 0 {
+			f.SampleMessage = as.FlaggedMessages[0]
+		} else {
+			for _, m := range as.Messages {
+				if looksLikeLure(m) {
+					f.SampleMessage = m
+					break
+				}
+			}
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Posts != out[j].Posts {
+			return out[i].Posts > out[j].Posts
+		}
+		return out[i].AppID < out[j].AppID
+	})
+	return out
+}
+
+// looksLikeLure reports whether a message reads like scam bait.
+func looksLikeLure(msg string) bool {
+	lower := strings.ToLower(msg)
+	for _, k := range mypagekeeper.SpamKeywords {
+		if strings.Contains(lower, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// FlaggedRatios returns, for every app with at least one flagged post, the
+// ratio of flagged posts to all posts — the Fig. 16 distribution.
+func FlaggedRatios(stats map[string]mypagekeeper.AppStats) []float64 {
+	var out []float64
+	for _, as := range stats {
+		if as.FlaggedPosts > 0 && as.Posts > 0 {
+			out = append(out, float64(as.FlaggedPosts)/float64(as.Posts))
+		}
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,216 @@
+package forensics
+
+import (
+	"sync"
+	"testing"
+
+	"frappe/internal/appgraph"
+	"frappe/internal/fbplatform"
+	"frappe/internal/mypagekeeper"
+	"frappe/internal/synth"
+)
+
+var (
+	once  sync.Once
+	world *synth.World
+)
+
+func sharedWorld(t *testing.T) *synth.World {
+	t.Helper()
+	once.Do(func() {
+		cfg := synth.Default(0.03)
+		cfg.MaxMaterializedPostsPerApp = 80
+		world = synth.Generate(cfg)
+	})
+	return world
+}
+
+func TestBuildGraphFromWorld(t *testing.T) {
+	w := sharedWorld(t)
+	stats := w.Monitor.Apps()
+	g, promos := BuildGraph(w.MaliciousIDs, stats, NewWorldResolver(w))
+	if g.NumNodes() == 0 || g.NumEdges() == 0 {
+		t.Fatalf("empty collaboration graph: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if len(promos) == 0 {
+		t.Fatal("no promotions resolved")
+	}
+	// Every edge must link apps of the same hacker (campaigns are
+	// intra-AppNet in the generator).
+	for _, p := range promos {
+		hp, ht := w.HackerOf(p.Promoter), w.HackerOf(p.Promotee)
+		if hp == nil || ht == nil {
+			t.Fatalf("promotion between unknown apps: %+v", p)
+		}
+		if hp.ID != ht.ID {
+			t.Errorf("cross-hacker edge %s -> %s", p.Promoter, p.Promotee)
+		}
+	}
+	// Both mechanisms must appear.
+	var direct, indirect int
+	for _, p := range promos {
+		if p.Direct {
+			direct++
+		} else {
+			indirect++
+		}
+	}
+	if direct == 0 || indirect == 0 {
+		t.Errorf("mechanism mix: direct=%d indirect=%d, want both > 0", direct, indirect)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	w := sharedWorld(t)
+	stats := w.Monitor.Apps()
+	g, promos := BuildGraph(w.MaliciousIDs, stats, NewWorldResolver(w))
+	s := Summarize(g, promos)
+	if s.Apps != g.NumNodes() || s.Edges != g.NumEdges() {
+		t.Errorf("summary counts wrong: %+v", s)
+	}
+	if s.Components == 0 || len(s.TopComponents) == 0 {
+		t.Errorf("no components: %+v", s)
+	}
+	// Components track hackers: promotion is intra-AppNet, though one
+	// AppNet may split when its promoters cover disjoint promotee sets.
+	if s.Components > 3*len(w.Hackers) {
+		t.Errorf("components = %d, want <= 3x hackers (%d)", s.Components, len(w.Hackers))
+	}
+	if s.AverageDegree <= 0 || s.MaxDegree <= 0 {
+		t.Errorf("degenerate degrees: %+v", s)
+	}
+	// Fig. 13 role split: promoters+dual and promotees+dual overlap.
+	if s.Promoters == 0 || s.Promotees == 0 {
+		t.Errorf("role counts: %+v", s)
+	}
+	if s.DirectEdges == 0 || s.IndirectEdges == 0 {
+		t.Errorf("edge mechanisms: %+v", s)
+	}
+}
+
+func TestSummarizeEmptyGraph(t *testing.T) {
+	s := Summarize(appgraph.New(), nil)
+	if s.Apps != 0 || s.DegreeOver10 != 0 || s.LCCOverP74 != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+}
+
+func TestSurveySites(t *testing.T) {
+	w := sharedWorld(t)
+	rep := SurveySites(w)
+	if rep.Sites != w.Redirector.NumSites() {
+		t.Errorf("Sites = %d, want %d", rep.Sites, w.Redirector.NumSites())
+	}
+	if rep.UniqueTargets == 0 || rep.TargetsTotal == 0 {
+		t.Errorf("no targets: %+v", rep)
+	}
+	total := 0
+	for _, n := range rep.HostingDomains {
+		total += n
+	}
+	if total != rep.Sites {
+		t.Errorf("hosting histogram sums to %d, want %d", total, rep.Sites)
+	}
+}
+
+func TestDetectPiggybacking(t *testing.T) {
+	w := sharedWorld(t)
+	stats := w.Monitor.Apps()
+	names := map[string]string{}
+	for _, id := range w.PopularIDs {
+		app, err := w.Platform.App(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names[id] = app.Name
+	}
+	findings := DetectPiggybacking(stats, names, 0.2)
+	if len(findings) == 0 {
+		t.Fatal("no piggybacking detected; the victims should qualify")
+	}
+	// Victims are the most popular apps, so they should lead the list.
+	victims := map[string]bool{}
+	for _, id := range w.PopularIDs {
+		victims[id] = true
+	}
+	hits := 0
+	for i, f := range findings {
+		if victims[f.AppID] {
+			hits++
+			if f.Name == "" {
+				t.Errorf("finding %d lacks a name", i)
+			}
+		}
+		if f.Ratio >= 0.2 {
+			t.Errorf("finding ratio %.2f above threshold", f.Ratio)
+		}
+	}
+	if hits == 0 {
+		t.Error("no known victim among findings")
+	}
+	// Sorted by posting volume.
+	for i := 1; i < len(findings); i++ {
+		if findings[i-1].Posts < findings[i].Posts {
+			t.Error("findings not sorted by posts")
+		}
+	}
+	// At least one finding should carry a lure sample message.
+	foundLure := false
+	for _, f := range findings {
+		if f.SampleMessage != "" {
+			foundLure = true
+			break
+		}
+	}
+	if !foundLure {
+		t.Error("no lure message sampled")
+	}
+}
+
+func TestFlaggedRatios(t *testing.T) {
+	w := sharedWorld(t)
+	ratios := FlaggedRatios(w.Monitor.Apps())
+	if len(ratios) == 0 {
+		t.Fatal("no flagged apps")
+	}
+	for i, r := range ratios {
+		if r <= 0 || r > 1 {
+			t.Fatalf("ratio out of range: %v", r)
+		}
+		if i > 0 && ratios[i-1] > r {
+			t.Fatal("ratios not sorted")
+		}
+	}
+	// The piggybacked victims put mass below 0.2; truly malicious apps
+	// cluster near 1 (Fig. 16).
+	low, high := 0, 0
+	for _, r := range ratios {
+		if r < 0.2 {
+			low++
+		}
+		if r > 0.8 {
+			high++
+		}
+	}
+	if low == 0 {
+		t.Error("no low-ratio apps (piggyback victims missing)")
+	}
+	if high == 0 {
+		t.Error("no high-ratio apps (campaign apps missing)")
+	}
+}
+
+func TestBuildGraphIgnoresOutsiders(t *testing.T) {
+	stats := map[string]mypagekeeper.AppStats{
+		"a": {AppID: "a", Links: []string{fbplatform.InstallURL("outsider")}},
+	}
+	g, promos := BuildGraph([]string{"a"}, stats, staticResolver{})
+	if g.NumEdges() != 0 || len(promos) != 0 {
+		t.Error("edge to non-candidate app should be dropped")
+	}
+}
+
+type staticResolver struct{}
+
+func (staticResolver) ExpandShort(string) (string, bool)   { return "", false }
+func (staticResolver) SiteTargets(string) ([]string, bool) { return nil, false }

@@ -1,0 +1,124 @@
+package graphapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// ErrDeleted is returned when the Graph API answers `false`, i.e. the app
+// has been removed from the Facebook graph (or never existed publicly).
+var ErrDeleted = errors.New("graphapi: app deleted from graph")
+
+// InstallInfo is the parameter set scraped from the installation redirect.
+type InstallInfo struct {
+	AppID       string
+	ClientID    string
+	Permissions []string
+	RedirectURI string
+}
+
+// Client crawls a Graph-API-compatible endpoint. It is what FRAppE Lite
+// uses to gather on-demand features for an app ID.
+type Client struct {
+	// BaseURL is the API root, e.g. "https://graph.facebook.com" or a test
+	// server URL.
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// get fetches path and returns the body, translating the Graph API's
+// literal `false` into ErrDeleted.
+func (c *Client) get(path string) ([]byte, error) {
+	resp, err := c.httpClient().Get(strings.TrimRight(c.BaseURL, "/") + path)
+	if err != nil {
+		return nil, fmt.Errorf("graphapi: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("graphapi: reading body: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("graphapi: unexpected status %s", resp.Status)
+	}
+	if bytes.Equal(bytes.TrimSpace(body), []byte("false")) {
+		return nil, ErrDeleted
+	}
+	return body, nil
+}
+
+// Summary fetches the app summary for id.
+func (c *Client) Summary(id string) (*Summary, error) {
+	body, err := c.get("/" + url.PathEscape(id))
+	if err != nil {
+		return nil, err
+	}
+	var s Summary
+	if err := json.Unmarshal(body, &s); err != nil {
+		return nil, fmt.Errorf("graphapi: decoding summary: %w", err)
+	}
+	return &s, nil
+}
+
+// Feed fetches the posts on the app's profile page.
+func (c *Client) Feed(id string) ([]FeedPost, error) {
+	body, err := c.get("/" + url.PathEscape(id) + "/feed")
+	if err != nil {
+		return nil, err
+	}
+	var doc feedDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return nil, fmt.Errorf("graphapi: decoding feed: %w", err)
+	}
+	return doc.Data, nil
+}
+
+// Install follows the app installation URL and scrapes the client_id,
+// permission set, and redirect URI from the landing page, the §4.1.2/§4.1.4
+// crawl. Deleted apps yield ErrDeleted.
+func (c *Client) Install(id string) (InstallInfo, error) {
+	u := strings.TrimRight(c.BaseURL, "/") + "/apps/application.php?id=" + url.QueryEscape(id)
+	resp, err := c.httpClient().Get(u)
+	if err != nil {
+		return InstallInfo{}, fmt.Errorf("graphapi: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return InstallInfo{}, ErrDeleted
+	}
+	if resp.StatusCode != http.StatusOK {
+		return InstallInfo{}, fmt.Errorf("graphapi: unexpected status %s", resp.Status)
+	}
+	var doc struct {
+		AppID       string `json:"app_id"`
+		ClientID    string `json:"client_id"`
+		Perms       string `json:"perms"`
+		RedirectURI string `json:"redirect_uri"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&doc); err != nil {
+		return InstallInfo{}, fmt.Errorf("graphapi: decoding install landing: %w", err)
+	}
+	info := InstallInfo{
+		AppID:       doc.AppID,
+		ClientID:    doc.ClientID,
+		RedirectURI: doc.RedirectURI,
+	}
+	if doc.Perms != "" {
+		info.Permissions = strings.Split(doc.Perms, ",")
+	}
+	return info, nil
+}

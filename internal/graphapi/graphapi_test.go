@@ -1,0 +1,195 @@
+package graphapi
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"frappe/internal/fbplatform"
+)
+
+func newTestWorld(t *testing.T) (*fbplatform.Platform, *Client, func()) {
+	t.Helper()
+	p := fbplatform.New(1000)
+	apps := []*fbplatform.App{
+		{
+			ID:          "235597333185870",
+			Name:        "What Does Your Name Mean?",
+			Permissions: []string{fbplatform.PermPublishStream},
+			RedirectURI: "http://thenamemeans2.com/land",
+			ClientID:    "159474410806928",
+			Truth:       fbplatform.Truth{Malicious: true, HackerID: 1},
+		},
+		{
+			ID:          "102452128776",
+			Name:        "FarmVille",
+			Description: "Farm with your friends",
+			Company:     "Zynga",
+			Category:    "Games",
+			Permissions: []string{fbplatform.PermPublishStream, fbplatform.PermEmail, fbplatform.PermOfflineAccess},
+			RedirectURI: "https://apps.facebook.com/onthefarm",
+			MAU:         []int{26000000, 26500000},
+			ProfileFeed: []fbplatform.ProfilePost{
+				{Message: "New crops this week!", Month: 3},
+				{Message: "Maintenance tonight", Month: 4},
+			},
+			Truth: fbplatform.Truth{HackerID: -1},
+		},
+		{
+			ID:          "999",
+			Name:        "Removed Scam",
+			Permissions: []string{fbplatform.PermPublishStream},
+			Truth:       fbplatform.Truth{Malicious: true, HackerID: 2},
+		},
+	}
+	for _, a := range apps {
+		if err := p.Register(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Delete("999"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(p))
+	return p, &Client{BaseURL: srv.URL}, srv.Close
+}
+
+func TestSummary(t *testing.T) {
+	_, c, done := newTestWorld(t)
+	defer done()
+
+	s, err := c.Summary("102452128776")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "FarmVille" || s.Company != "Zynga" || s.Category != "Games" {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.MonthlyActiveUsers != 26500000 {
+		t.Errorf("MAU = %d, want latest sample", s.MonthlyActiveUsers)
+	}
+	if !strings.Contains(s.Link, "102452128776") {
+		t.Errorf("Link = %q", s.Link)
+	}
+	// Malicious app with empty summary fields.
+	m, err := c.Summary("235597333185870")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Description != "" || m.Company != "" || m.Category != "" {
+		t.Errorf("malicious summary should be empty: %+v", m)
+	}
+}
+
+func TestDeletedReturnsFalseBody(t *testing.T) {
+	_, c, done := newTestWorld(t)
+	defer done()
+
+	// Raw HTTP: the body must be the literal `false`, like the 2012 API.
+	resp, err := http.Get(c.BaseURL + "/999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "false" {
+		t.Errorf("deleted app: status=%d body=%q", resp.StatusCode, body)
+	}
+	// Client maps it to ErrDeleted.
+	if _, err := c.Summary("999"); !errors.Is(err, ErrDeleted) {
+		t.Errorf("Summary(deleted) err = %v", err)
+	}
+	if _, err := c.Feed("999"); !errors.Is(err, ErrDeleted) {
+		t.Errorf("Feed(deleted) err = %v", err)
+	}
+	if _, err := c.Install("999"); !errors.Is(err, ErrDeleted) {
+		t.Errorf("Install(deleted) err = %v", err)
+	}
+	// Unknown apps behave like deleted ones on the public API.
+	if _, err := c.Summary("does-not-exist"); !errors.Is(err, ErrDeleted) {
+		t.Errorf("Summary(unknown) err = %v", err)
+	}
+}
+
+func TestFeed(t *testing.T) {
+	_, c, done := newTestWorld(t)
+	defer done()
+
+	posts, err := c.Feed("102452128776")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(posts) != 2 || posts[0].Message != "New crops this week!" {
+		t.Errorf("feed = %+v", posts)
+	}
+	// Empty profile feed is an empty list, not an error.
+	empty, err := c.Feed("235597333185870")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Errorf("expected empty feed, got %+v", empty)
+	}
+}
+
+func TestInstall(t *testing.T) {
+	_, c, done := newTestWorld(t)
+	defer done()
+
+	info, err := c.Install("235597333185870")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ClientID != "159474410806928" {
+		t.Errorf("client_id = %q", info.ClientID)
+	}
+	if info.AppID != "235597333185870" {
+		t.Errorf("app_id = %q", info.AppID)
+	}
+	if len(info.Permissions) != 1 || info.Permissions[0] != fbplatform.PermPublishStream {
+		t.Errorf("perms = %v", info.Permissions)
+	}
+	if info.RedirectURI != "http://thenamemeans2.com/land" {
+		t.Errorf("redirect = %q", info.RedirectURI)
+	}
+
+	benign, err := c.Install("102452128776")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if benign.ClientID != benign.AppID {
+		t.Errorf("benign client_id mismatch: %+v", benign)
+	}
+	if len(benign.Permissions) != 3 {
+		t.Errorf("benign perms = %v", benign.Permissions)
+	}
+}
+
+func TestInstallMissingID(t *testing.T) {
+	_, c, done := newTestWorld(t)
+	defer done()
+	resp, err := http.Get(c.BaseURL + "/apps/application.php")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing id status = %d", resp.StatusCode)
+	}
+}
+
+func TestUnknownPath(t *testing.T) {
+	_, c, done := newTestWorld(t)
+	defer done()
+	resp, err := http.Get(c.BaseURL + "/a/b/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("deep path status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,256 @@
+package graphapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"frappe/internal/fbplatform"
+)
+
+// This file adds the platform's write surfaces to the HTTP API:
+//
+//	POST /oauth/install?user=U&app=A          — the Fig. 2 install flow;
+//	                                            issues an OAuth token
+//	POST /me/feed?access_token=T&message=...  — post on the user's wall
+//	                                            with a bearer token
+//	POST /connect/prompt_feed.php?api_key=A   — the §6.2 piggybacking
+//	                                            weakness: attribute a post
+//	                                            to ANY app ID, no
+//	                                            authentication
+//
+// Posts created over HTTP are delivered to the server's PostSink (wired to
+// MyPageKeeper by internal/stack), mirroring how wall posts land in
+// monitored feeds.
+//
+// Simulation-side ground truth rides in x_-prefixed parameters
+// (x_malicious, x_source): the real API obviously had no such thing, but
+// the synthetic world needs the labels to evaluate detectors.
+
+// TokenResponse is the OAuth issuance document.
+type TokenResponse struct {
+	AccessToken string   `json:"access_token"`
+	AppID       string   `json:"app_id"`
+	UserID      int      `json:"user_id"`
+	Scopes      []string `json:"scopes"`
+	// Reissued is true when the user had already installed the app and
+	// the existing token was returned.
+	Reissued bool `json:"reissued,omitempty"`
+}
+
+// PostResponse echoes a created post.
+type PostResponse struct {
+	AppID   string `json:"app_id"`
+	UserID  int    `json:"user_id"`
+	Message string `json:"message"`
+	Link    string `json:"link,omitempty"`
+	Month   int    `json:"month"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]map[string]string{"error": {"message": msg}})
+}
+
+// serveOAuthInstall implements POST /oauth/install.
+func (s *Server) serveOAuthInstall(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	q := r.URL.Query()
+	user, err := strconv.Atoi(q.Get("user"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "missing or invalid user")
+		return
+	}
+	appID := q.Get("app")
+	if appID == "" {
+		writeError(w, http.StatusBadRequest, "missing app")
+		return
+	}
+	tok, ierr := s.Platform.InstallApp(user, appID)
+	resp := TokenResponse{
+		AccessToken: tok.Token,
+		AppID:       tok.AppID,
+		UserID:      tok.UserID,
+		Scopes:      tok.Scopes,
+	}
+	switch {
+	case errors.Is(ierr, fbplatform.ErrAlreadyGranted):
+		resp.Reissued = true
+	case errors.Is(ierr, fbplatform.ErrUnknownUser):
+		writeError(w, http.StatusBadRequest, ierr.Error())
+		return
+	case errors.Is(ierr, fbplatform.ErrAppDeleted), errors.Is(ierr, fbplatform.ErrAppNotFound):
+		writeError(w, http.StatusNotFound, ierr.Error())
+		return
+	case ierr != nil:
+		writeError(w, http.StatusInternalServerError, ierr.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// serveMeFeed implements POST /me/feed: a token-authenticated wall post.
+func (s *Server) serveMeFeed(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	q := r.URL.Query()
+	token := q.Get("access_token")
+	if token == "" {
+		writeError(w, http.StatusUnauthorized, "missing access_token")
+		return
+	}
+	month, _ := strconv.Atoi(q.Get("month"))
+	post, err := s.Platform.PostWithToken(token,
+		q.Get("message"), q.Get("link"), month, q.Get("x_malicious") == "1")
+	switch {
+	case errors.Is(err, fbplatform.ErrTokenNotFound):
+		writeError(w, http.StatusUnauthorized, err.Error())
+		return
+	case errors.Is(err, fbplatform.ErrScopeDenied):
+		writeError(w, http.StatusForbidden, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.deliver(post)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(PostResponse{
+		AppID: post.AppID, UserID: post.UserID,
+		Message: post.Message, Link: post.Link, Month: post.Month,
+	})
+}
+
+// servePromptFeed implements the §6.2 weakness: anyone can attribute a
+// post to any api_key. Facebook resolves the app but never authenticates
+// the caller as that app — which is the whole vulnerability.
+func (s *Server) servePromptFeed(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	q := r.URL.Query()
+	apiKey := q.Get("api_key")
+	if apiKey == "" {
+		writeError(w, http.StatusBadRequest, "missing api_key")
+		return
+	}
+	user, err := strconv.Atoi(q.Get("user"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "missing or invalid user")
+		return
+	}
+	month, _ := strconv.Atoi(q.Get("month"))
+	post, perr := s.Platform.PromptFeedPost(apiKey, q.Get("x_source"), user,
+		q.Get("message"), q.Get("link"), month, q.Get("x_malicious") == "1")
+	if perr != nil {
+		writeError(w, http.StatusNotFound, perr.Error())
+		return
+	}
+	s.deliver(post)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(PostResponse{
+		AppID: post.AppID, UserID: post.UserID,
+		Message: post.Message, Link: post.Link, Month: post.Month,
+	})
+}
+
+// deliver hands a created post to the configured sink, if any.
+func (s *Server) deliver(p fbplatform.Post) {
+	if s.PostSink != nil {
+		s.PostSink(p)
+	}
+}
+
+// ---- Client side ----
+
+// postJSON issues a POST with query parameters and decodes the response.
+func (c *Client) postJSON(path string, params url.Values, out interface{}) error {
+	u := strings.TrimRight(c.BaseURL, "/") + path + "?" + params.Encode()
+	resp, err := c.httpClient().Post(u, "application/x-www-form-urlencoded", nil)
+	if err != nil {
+		return fmt.Errorf("graphapi: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("graphapi: reading body: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var ed struct {
+			Error struct {
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if json.Unmarshal(body, &ed) == nil && ed.Error.Message != "" {
+			return fmt.Errorf("graphapi: %s: %s", resp.Status, ed.Error.Message)
+		}
+		return fmt.Errorf("graphapi: unexpected status %s", resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("graphapi: decoding response: %w", err)
+	}
+	return nil
+}
+
+// InstallApp performs the Fig. 2 install flow over HTTP and returns the
+// issued token.
+func (c *Client) InstallApp(userID int, appID string) (TokenResponse, error) {
+	var resp TokenResponse
+	err := c.postJSON("/oauth/install", url.Values{
+		"user": {strconv.Itoa(userID)},
+		"app":  {appID},
+	}, &resp)
+	return resp, err
+}
+
+// PostFeed posts on the token's user's wall over HTTP.
+func (c *Client) PostFeed(token, message, link string, month int, malicious bool) (PostResponse, error) {
+	params := url.Values{
+		"access_token": {token},
+		"message":      {message},
+		"link":         {link},
+		"month":        {strconv.Itoa(month)},
+	}
+	if malicious {
+		params.Set("x_malicious", "1")
+	}
+	var resp PostResponse
+	err := c.postJSON("/me/feed", params, &resp)
+	return resp, err
+}
+
+// PromptFeed exploits the §6.2 weakness over HTTP: attribute a post to
+// apiKey regardless of who is calling. trueSource tags simulation ground
+// truth.
+func (c *Client) PromptFeed(apiKey, trueSource string, userID int, message, link string, month int, malicious bool) (PostResponse, error) {
+	params := url.Values{
+		"api_key":  {apiKey},
+		"x_source": {trueSource},
+		"user":     {strconv.Itoa(userID)},
+		"message":  {message},
+		"link":     {link},
+		"month":    {strconv.Itoa(month)},
+	}
+	if malicious {
+		params.Set("x_malicious", "1")
+	}
+	var resp PostResponse
+	err := c.postJSON("/connect/prompt_feed.php", params, &resp)
+	return resp, err
+}

@@ -1,0 +1,192 @@
+package graphapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"frappe/internal/fbplatform"
+)
+
+func writeWorld(t *testing.T) (*fbplatform.Platform, *Client, *[]fbplatform.Post, func()) {
+	t.Helper()
+	p := fbplatform.New(500)
+	apps := []*fbplatform.App{
+		{
+			ID: "farm", Name: "FarmVille",
+			Permissions: []string{fbplatform.PermPublishStream, fbplatform.PermEmail},
+			Truth:       fbplatform.Truth{HackerID: -1},
+		},
+		{
+			ID: "scam", Name: "Free iPads",
+			Permissions: []string{fbplatform.PermPublishStream},
+			Truth:       fbplatform.Truth{Malicious: true},
+		},
+		{
+			ID: "quiet", Name: "Quiet",
+			Permissions: []string{fbplatform.PermEmail},
+			Truth:       fbplatform.Truth{HackerID: -1},
+		},
+	}
+	for _, a := range apps {
+		if err := p.Register(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewServer(p)
+	var mu sync.Mutex
+	var delivered []fbplatform.Post
+	srv.PostSink = func(post fbplatform.Post) {
+		mu.Lock()
+		defer mu.Unlock()
+		delivered = append(delivered, post)
+	}
+	ts := httptest.NewServer(srv)
+	return p, &Client{BaseURL: ts.URL}, &delivered, ts.Close
+}
+
+func TestOAuthInstallOverHTTP(t *testing.T) {
+	p, c, _, done := writeWorld(t)
+	defer done()
+
+	tok, err := c.InstallApp(7, "farm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.AccessToken == "" || tok.AppID != "farm" || tok.UserID != 7 {
+		t.Errorf("token = %+v", tok)
+	}
+	if len(tok.Scopes) != 2 {
+		t.Errorf("scopes = %v", tok.Scopes)
+	}
+	if tok.Reissued {
+		t.Error("first install marked reissued")
+	}
+	// Reinstall: same token, flagged as reissued.
+	again, err := c.InstallApp(7, "farm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Reissued || again.AccessToken != tok.AccessToken {
+		t.Errorf("reissue = %+v", again)
+	}
+	if p.Installs("farm") != 1 {
+		t.Errorf("Installs = %d", p.Installs("farm"))
+	}
+	// Bad requests.
+	if _, err := c.InstallApp(-3, "farm"); err == nil {
+		t.Error("bad user: want error")
+	}
+	if _, err := c.InstallApp(1, "missing"); err == nil {
+		t.Error("missing app: want error")
+	}
+}
+
+func TestMeFeedOverHTTP(t *testing.T) {
+	_, c, delivered, done := writeWorld(t)
+	defer done()
+
+	tok, err := c.InstallApp(9, "scam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := c.PostFeed(tok.AccessToken, "FREE iPads here", "http://scam.example/ipad", 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.AppID != "scam" || post.UserID != 9 || post.Month != 4 {
+		t.Errorf("post = %+v", post)
+	}
+	if len(*delivered) != 1 {
+		t.Fatalf("delivered = %d", len(*delivered))
+	}
+	d := (*delivered)[0]
+	if !d.MaliciousLink || d.AppID != "scam" {
+		t.Errorf("delivered post = %+v", d)
+	}
+
+	// Token without publish_stream is rejected with 403.
+	tok2, err := c.InstallApp(9, "quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PostFeed(tok2.AccessToken, "hi", "", 0, false); err == nil ||
+		!strings.Contains(err.Error(), "403") {
+		t.Errorf("scope-denied err = %v", err)
+	}
+	// Bogus token -> 401.
+	if _, err := c.PostFeed("EAABnope", "hi", "", 0, false); err == nil ||
+		!strings.Contains(err.Error(), "401") {
+		t.Errorf("bad token err = %v", err)
+	}
+}
+
+func TestPromptFeedOverHTTP(t *testing.T) {
+	_, c, delivered, done := writeWorld(t)
+	defer done()
+
+	// The §6.2 exploit: no credential of any kind, yet the post lands
+	// attributed to FarmVille.
+	post, err := c.PromptFeed("farm", "scam", 33,
+		"WOW I just got 5000 Facebook Credits for Free",
+		"http://offers.example/credits", 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.AppID != "farm" {
+		t.Errorf("attributed app = %q", post.AppID)
+	}
+	if len(*delivered) != 1 {
+		t.Fatalf("delivered = %d", len(*delivered))
+	}
+	d := (*delivered)[0]
+	if d.AppID != "farm" || d.SourceAppID != "scam" || !d.MaliciousLink {
+		t.Errorf("delivered = %+v", d)
+	}
+	// Unknown api_key fails (Facebook resolves the app).
+	if _, err := c.PromptFeed("ghost", "scam", 1, "m", "", 0, false); err == nil {
+		t.Error("unknown api_key: want error")
+	}
+}
+
+func TestWriteEndpointsRequirePOST(t *testing.T) {
+	_, c, _, done := writeWorld(t)
+	defer done()
+	for _, path := range []string{
+		"/oauth/install?user=1&app=farm",
+		"/me/feed?access_token=x",
+		"/connect/prompt_feed.php?api_key=farm&user=1",
+	} {
+		resp, err := http.Get(c.BaseURL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s status = %d, want 405", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestNilPostSinkDoesNotPanic(t *testing.T) {
+	p := fbplatform.New(10)
+	if err := p.Register(&fbplatform.App{
+		ID: "a", Name: "A",
+		Permissions: []string{fbplatform.PermPublishStream},
+		Truth:       fbplatform.Truth{HackerID: -1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(p)) // no sink
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL}
+	tok, err := c.InstallApp(1, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PostFeed(tok.AccessToken, "hello", "", 0, false); err != nil {
+		t.Fatalf("post without sink: %v", err)
+	}
+}

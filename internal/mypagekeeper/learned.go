@@ -1,0 +1,173 @@
+package mypagekeeper
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"frappe/internal/svm"
+)
+
+// The real MyPageKeeper "primarily relies on a Support Vector Machine
+// (SVM) based classifier that evaluates every URL by combining information
+// obtained from all posts containing that URL" (§2.2), with the blacklist
+// feed providing seed labels. This file implements that learned mode on
+// top of the same per-URL aggregates the heuristic mode uses: the monitor
+// can train an SVM from its own observations (blacklist hits as positives,
+// long-lived unflagged URLs as negatives) and then classify future URLs
+// with it.
+
+// urlFeatureNames documents the learned classifier's feature order.
+var urlFeatureNames = []string{
+	"spam-keyword-rate",   // fraction of the URL's posts with lure words
+	"dominant-text-share", // text similarity across posts (campaign signal)
+	"avg-likes",           // malicious posts receive fewer 'Like's
+	"log-posts",           // how widely the URL circulates
+}
+
+// urlFeatures turns one URL's aggregate into the SVM input vector.
+func urlFeatures(us *urlStats) []float64 {
+	if us.posts == 0 {
+		return []float64{0, 0, 0, 0}
+	}
+	top := 0
+	for _, n := range us.messages {
+		if n > top {
+			top = n
+		}
+	}
+	return []float64{
+		float64(us.keywordPosts) / float64(us.posts),
+		float64(top) / float64(us.posts),
+		float64(us.likesTotal) / float64(us.posts),
+		math.Log10(float64(us.posts) + 1),
+	}
+}
+
+// URLModel is a trained URL classifier.
+type URLModel struct {
+	scaler *svm.Scaler
+	model  *svm.Model
+	// Positives/Negatives record the training-set sizes, for reporting.
+	Positives int
+	Negatives int
+}
+
+// Score returns the SVM decision value for a URL aggregate (positive =
+// malicious).
+func (m *URLModel) score(us *urlStats) float64 {
+	return m.model.DecisionValue(m.scaler.Apply(urlFeatures(us)))
+}
+
+// ErrNotEnoughData is returned when the monitor has not yet observed
+// enough labelled URLs to train.
+var ErrNotEnoughData = errors.New("mypagekeeper: not enough labelled URLs to train")
+
+// TrainURLClassifier fits the §2.2 SVM on the monitor's own observations:
+// URLs already flagged (blacklist hits and heuristic detections) are the
+// positives; unflagged URLs with at least MinPosts observations are the
+// negatives, capped at maxNegatives (0 = 4x the positives). Training is
+// deterministic: URLs are processed in sorted order.
+func (m *Monitor) TrainURLClassifier(maxNegatives int) (*URLModel, error) {
+	m.mu.Lock()
+	type labelled struct {
+		url string
+		us  *urlStats
+	}
+	var pos, neg []labelled
+	for u, us := range m.urls {
+		if us.posts < m.cfg.MinPosts {
+			continue
+		}
+		if us.flagged {
+			pos = append(pos, labelled{u, us})
+		} else {
+			neg = append(neg, labelled{u, us})
+		}
+	}
+	m.mu.Unlock()
+	if len(pos) < 5 || len(neg) < 5 {
+		return nil, fmt.Errorf("%w: %d positive, %d negative", ErrNotEnoughData, len(pos), len(neg))
+	}
+	sort.Slice(pos, func(i, j int) bool { return pos[i].url < pos[j].url })
+	sort.Slice(neg, func(i, j int) bool { return neg[i].url < neg[j].url })
+	if maxNegatives <= 0 {
+		maxNegatives = 4 * len(pos)
+	}
+	if len(neg) > maxNegatives {
+		// Deterministic thinning: take every k-th URL.
+		step := len(neg) / maxNegatives
+		if step < 1 {
+			step = 1
+		}
+		var kept []labelled
+		for i := 0; i < len(neg) && len(kept) < maxNegatives; i += step {
+			kept = append(kept, neg[i])
+		}
+		neg = kept
+	}
+
+	var xs [][]float64
+	var ys []float64
+	for _, l := range pos {
+		xs = append(xs, urlFeatures(l.us))
+		ys = append(ys, 1)
+	}
+	for _, l := range neg {
+		xs = append(xs, urlFeatures(l.us))
+		ys = append(ys, -1)
+	}
+	scaler, err := svm.FitScaler(xs)
+	if err != nil {
+		return nil, fmt.Errorf("mypagekeeper: %w", err)
+	}
+	model, err := svm.Train(scaler.ApplyAll(xs), ys, svm.DefaultParams(len(urlFeatureNames)))
+	if err != nil {
+		return nil, fmt.Errorf("mypagekeeper: %w", err)
+	}
+	return &URLModel{scaler: scaler, model: model, Positives: len(pos), Negatives: len(neg)}, nil
+}
+
+// SetURLModel installs a trained model: from now on, classify consults it
+// after the blacklists, replacing the hand-tuned threshold heuristics.
+func (m *Monitor) SetURLModel(model *URLModel) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.urlModel = model
+}
+
+// EvaluateURL scores a URL the monitor has seen; ok is false for unknown
+// URLs or when no model is installed.
+func (m *Monitor) EvaluateURL(link string) (score float64, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.urlModel == nil {
+		return 0, false
+	}
+	us, found := m.urls[link]
+	if !found {
+		return 0, false
+	}
+	return m.urlModel.score(us), true
+}
+
+// ReclassifyAll re-runs the (possibly learned) classifier over every
+// tracked URL, flagging any that now score malicious. Returns the number
+// of newly flagged URLs. Flags are sticky: once malicious, always
+// malicious, as in the real pipeline.
+func (m *Monitor) ReclassifyAll() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	newly := 0
+	for link, us := range m.urls {
+		if us.flagged {
+			continue
+		}
+		if m.classify(link, us) {
+			us.flagged = true
+			newly++
+		}
+	}
+	return newly
+}

@@ -1,0 +1,152 @@
+// Package redirector simulates the fast-changing indirection websites of
+// §6.1: URLs hosted outside Facebook (a third of them on amazonaws.com in
+// the paper) that dynamically forward visitors to the installation pages of
+// many different malicious apps over time. Hackers put these URLs —
+// usually bit.ly-shortened — into promotion posts; following one URL 100
+// times a day for six weeks is how the paper maps 103 indirection sites to
+// 4,676 promoted apps.
+package redirector
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// ErrNoSite is returned when a path has no registered indirection site.
+var ErrNoSite = errors.New("redirector: no such site")
+
+// Site is one indirection URL and its rotating target set.
+type Site struct {
+	// URL is the public address of the site (the string hackers shorten
+	// and post), e.g. "http://x7k2.amazonaws.example/promo".
+	URL string
+	// HostDomain is the hosting provider's domain, for the §6.1 hosting
+	// analysis.
+	HostDomain string
+
+	mu      sync.Mutex
+	targets []string
+	next    int
+}
+
+// NewSite creates a site at url on hostDomain forwarding to targets
+// (install URLs of promoted apps) in rotation.
+func NewSite(url, hostDomain string, targets []string) *Site {
+	return &Site{URL: url, HostDomain: hostDomain, targets: append([]string(nil), targets...)}
+}
+
+// Resolve returns the next target in rotation, modelling the dynamic
+// forwarding a visitor experiences.
+func (s *Site) Resolve() (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.targets) == 0 {
+		return "", ErrNoSite
+	}
+	t := s.targets[s.next%len(s.targets)]
+	s.next++
+	return t, nil
+}
+
+// Targets returns a copy of all install URLs the site can forward to.
+func (s *Site) Targets() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.targets...)
+}
+
+// NumTargets reports how many distinct apps the site promotes.
+func (s *Site) NumTargets() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.targets)
+}
+
+// Service hosts many indirection sites behind one HTTP handler, keyed by
+// URL path. It is safe for concurrent use.
+type Service struct {
+	mu    sync.RWMutex
+	sites map[string]*Site // key: path ("/promo7")
+}
+
+// NewService returns an empty redirector.
+func NewService() *Service {
+	return &Service{sites: make(map[string]*Site)}
+}
+
+// Add registers a site under the path component of its URL.
+func (s *Service) Add(site *Site) {
+	path := pathOf(site.URL)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sites[path] = site
+}
+
+// Site looks up a site by URL or bare path.
+func (s *Service) Site(urlOrPath string) (*Site, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	site, ok := s.sites[pathOf(urlOrPath)]
+	if !ok {
+		return nil, ErrNoSite
+	}
+	return site, nil
+}
+
+// NumSites reports how many indirection sites are registered.
+func (s *Service) NumSites() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sites)
+}
+
+// Each visits every site until fn returns false.
+func (s *Service) Each(fn func(*Site) bool) {
+	s.mu.RLock()
+	sites := make([]*Site, 0, len(s.sites))
+	for _, site := range s.sites {
+		sites = append(sites, site)
+	}
+	s.mu.RUnlock()
+	for _, site := range sites {
+		if !fn(site) {
+			return
+		}
+	}
+}
+
+// ServeHTTP forwards GET /path with a 302 to the next rotating target.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	site, err := s.Site(r.URL.Path)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	target, err := site.Resolve()
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	http.Redirect(w, r, target, http.StatusFound)
+}
+
+// pathOf extracts the path component from a URL, defaulting to "/".
+func pathOf(raw string) string {
+	rest := raw
+	if i := strings.Index(rest, "://"); i >= 0 {
+		rest = rest[i+3:]
+	}
+	if i := strings.Index(rest, "/"); i >= 0 {
+		rest = rest[i:]
+	} else if strings.HasPrefix(raw, "/") {
+		return raw
+	} else {
+		return "/"
+	}
+	if i := strings.IndexAny(rest, "?#"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}

@@ -1,0 +1,117 @@
+package redirector
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestSiteRotation(t *testing.T) {
+	site := NewSite("http://promo.amazonaws.example/p1", "amazonaws.example",
+		[]string{"A", "B", "C"})
+	var got []string
+	for i := 0; i < 6; i++ {
+		target, err := site.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, target)
+	}
+	want := []string{"A", "B", "C", "A", "B", "C"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rotation = %v, want %v", got, want)
+		}
+	}
+	if site.NumTargets() != 3 {
+		t.Errorf("NumTargets = %d", site.NumTargets())
+	}
+}
+
+func TestEmptySite(t *testing.T) {
+	site := NewSite("http://x.example/p", "x.example", nil)
+	if _, err := site.Resolve(); !errors.Is(err, ErrNoSite) {
+		t.Errorf("empty site Resolve err = %v", err)
+	}
+}
+
+func TestServiceLookup(t *testing.T) {
+	svc := NewService()
+	svc.Add(NewSite("http://h.example/promo7", "h.example", []string{"T"}))
+	if _, err := svc.Site("http://h.example/promo7"); err != nil {
+		t.Errorf("lookup by URL: %v", err)
+	}
+	if _, err := svc.Site("/promo7"); err != nil {
+		t.Errorf("lookup by path: %v", err)
+	}
+	if _, err := svc.Site("/missing"); !errors.Is(err, ErrNoSite) {
+		t.Errorf("missing site err = %v", err)
+	}
+	if svc.NumSites() != 1 {
+		t.Errorf("NumSites = %d", svc.NumSites())
+	}
+}
+
+func TestPathOf(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"http://a.example/p1", "/p1"},
+		{"http://a.example/p1?x=2", "/p1"},
+		{"/p2", "/p2"},
+		{"http://a.example", "/"},
+		{"a.example/deep/path", "/deep/path"},
+	}
+	for _, c := range cases {
+		if got := pathOf(c.in); got != c.want {
+			t.Errorf("pathOf(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHTTPRedirect(t *testing.T) {
+	svc := NewService()
+	svc.Add(NewSite("http://host.example/go", "host.example",
+		[]string{"http://apps.facebook.example/install?id=1", "http://apps.facebook.example/install?id=2"}))
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+
+	hc := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	seen := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		resp, err := hc.Get(srv.URL + "/go")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusFound {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		seen[resp.Header.Get("Location")] = true
+	}
+	if len(seen) != 2 {
+		t.Errorf("rotating targets seen = %v", seen)
+	}
+
+	resp, err := hc.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing site status = %d", resp.StatusCode)
+	}
+}
+
+func TestEach(t *testing.T) {
+	svc := NewService()
+	for _, p := range []string{"/a", "/b", "/c"} {
+		svc.Add(NewSite("http://h.example"+p, "h.example", []string{"T"}))
+	}
+	n := 0
+	svc.Each(func(*Site) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("Each early-stop visited %d", n)
+	}
+}

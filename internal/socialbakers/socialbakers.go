@@ -1,0 +1,125 @@
+// Package socialbakers simulates the Social Bakers app-vetting service the
+// paper uses to pick the benign half of D-Sample (§2.3): an app is "vetted"
+// if the service monitors it, and 90% of vetted apps carry a user rating of
+// at least 3 out of 5.
+package socialbakers
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+)
+
+// ErrNotVetted is returned for apps the service does not track.
+var ErrNotVetted = errors.New("socialbakers: app not vetted")
+
+// Rating is a vetting record for one app.
+type Rating struct {
+	AppID  string  `json:"app_id"`
+	Stars  float64 `json:"stars"` // user rating, 0–5
+	Vetted bool    `json:"vetted"`
+}
+
+// Service is an in-memory vetting registry, safe for concurrent use.
+type Service struct {
+	mu      sync.RWMutex
+	ratings map[string]Rating
+}
+
+// NewService returns an empty registry.
+func NewService() *Service {
+	return &Service{ratings: make(map[string]Rating)}
+}
+
+// Vet records an app with its user rating (0–5 stars).
+func (s *Service) Vet(appID string, stars float64) error {
+	if appID == "" {
+		return errors.New("socialbakers: empty app ID")
+	}
+	if stars < 0 || stars > 5 {
+		return fmt.Errorf("socialbakers: rating %v out of range [0,5]", stars)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ratings[appID] = Rating{AppID: appID, Stars: stars, Vetted: true}
+	return nil
+}
+
+// Rating returns the vetting record for appID.
+func (s *Service) Rating(appID string) (Rating, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.ratings[appID]
+	if !ok {
+		return Rating{AppID: appID}, ErrNotVetted
+	}
+	return r, nil
+}
+
+// NumVetted reports how many apps are tracked.
+func (s *Service) NumVetted() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.ratings)
+}
+
+// ServeHTTP implements:
+//
+//	GET /app?id=APPID -> Rating JSON (200), or 404 if not vetted.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/app" {
+		http.NotFound(w, r)
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		http.Error(w, `{"error":"missing id"}`, http.StatusBadRequest)
+		return
+	}
+	rating, err := s.Rating(id)
+	w.Header().Set("Content-Type", "application/json")
+	if err != nil {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{"error": "not vetted"})
+		return
+	}
+	json.NewEncoder(w).Encode(rating)
+}
+
+// Client queries the vetting API over HTTP.
+type Client struct {
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Rating fetches the vetting record for appID; ErrNotVetted if untracked.
+func (c *Client) Rating(appID string) (Rating, error) {
+	u := strings.TrimRight(c.BaseURL, "/") + "/app?" + url.Values{"id": {appID}}.Encode()
+	resp, err := c.httpClient().Get(u)
+	if err != nil {
+		return Rating{}, fmt.Errorf("socialbakers: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return Rating{AppID: appID}, ErrNotVetted
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Rating{}, fmt.Errorf("socialbakers: unexpected status %s", resp.Status)
+	}
+	var rating Rating
+	if err := json.NewDecoder(resp.Body).Decode(&rating); err != nil {
+		return Rating{}, fmt.Errorf("socialbakers: decoding response: %w", err)
+	}
+	return rating, nil
+}

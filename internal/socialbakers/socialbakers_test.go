@@ -1,0 +1,65 @@
+package socialbakers
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestVetAndRating(t *testing.T) {
+	s := NewService()
+	if err := s.Vet("100", 4.5); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Rating("100")
+	if err != nil || !r.Vetted || r.Stars != 4.5 {
+		t.Errorf("Rating = %+v, %v", r, err)
+	}
+	if _, err := s.Rating("404"); !errors.Is(err, ErrNotVetted) {
+		t.Errorf("unvetted err = %v", err)
+	}
+	if s.NumVetted() != 1 {
+		t.Errorf("NumVetted = %d", s.NumVetted())
+	}
+}
+
+func TestVetValidation(t *testing.T) {
+	s := NewService()
+	if err := s.Vet("", 3); err == nil {
+		t.Error("empty ID: want error")
+	}
+	if err := s.Vet("1", -0.5); err == nil {
+		t.Error("negative stars: want error")
+	}
+	if err := s.Vet("1", 5.5); err == nil {
+		t.Error(">5 stars: want error")
+	}
+}
+
+func TestHTTPAPI(t *testing.T) {
+	svc := NewService()
+	if err := svc.Vet("farmville", 4.8); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL}
+	r, err := c.Rating("farmville")
+	if err != nil || r.Stars != 4.8 || !r.Vetted {
+		t.Errorf("Rating = %+v, %v", r, err)
+	}
+	if _, err := c.Rating("scamapp"); !errors.Is(err, ErrNotVetted) {
+		t.Errorf("unvetted err = %v", err)
+	}
+
+	resp, err := http.Get(srv.URL + "/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing id status = %d", resp.StatusCode)
+	}
+}

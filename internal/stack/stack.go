@@ -1,0 +1,95 @@
+// Package stack runs a synthetic world's services — the Graph API, bit.ly,
+// WOT, Social Bakers, and the indirection redirector — as real HTTP servers
+// on loopback, so that the measurement pipeline (crawler, watchdog CLI,
+// examples) exercises the same networking code paths the paper's tooling
+// did against the live services.
+package stack
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"frappe/internal/bitly"
+	"frappe/internal/fbplatform"
+	"frappe/internal/graphapi"
+	"frappe/internal/socialbakers"
+	"frappe/internal/synth"
+	"frappe/internal/wot"
+)
+
+// Stack is a set of running loopback servers for one world.
+type Stack struct {
+	GraphURL        string
+	BitlyURL        string
+	WOTURL          string
+	SocialBakersURL string
+	RedirectorURL   string
+
+	servers []*http.Server
+	lns     []net.Listener
+	wg      sync.WaitGroup
+}
+
+// Start launches one HTTP server per service. Callers must Close the stack.
+func Start(w *synth.World) (*Stack, error) {
+	s := &Stack{}
+	type svc struct {
+		handler http.Handler
+		url     *string
+	}
+	graph := graphapi.NewServer(w.Platform)
+	// Posts created over HTTP land on monitored walls.
+	graph.PostSink = func(p fbplatform.Post) { w.Monitor.Observe(p) }
+	services := []svc{
+		{graph, &s.GraphURL},
+		{w.Bitly, &s.BitlyURL},
+		{w.WOT, &s.WOTURL},
+		{w.SocialBakers, &s.SocialBakersURL},
+		{w.Redirector, &s.RedirectorURL},
+	}
+	for _, service := range services {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("stack: listen: %w", err)
+		}
+		*service.url = "http://" + ln.Addr().String()
+		srv := &http.Server{Handler: service.handler, ReadHeaderTimeout: 5 * time.Second}
+		s.servers = append(s.servers, srv)
+		s.lns = append(s.lns, ln)
+		s.wg.Add(1)
+		go func(srv *http.Server, ln net.Listener) {
+			defer s.wg.Done()
+			// ErrServerClosed is the normal shutdown path.
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				// Nothing useful to do here; the listener is gone.
+				_ = err
+			}
+		}(srv, ln)
+	}
+	// Short links must resolve against the running bit.ly server.
+	w.Bitly.SetBaseURL(s.BitlyURL)
+	return s, nil
+}
+
+// Clients returns pre-wired clients for the running services.
+func (s *Stack) Clients() (*graphapi.Client, *bitly.Client, *wot.Client, *socialbakers.Client) {
+	return &graphapi.Client{BaseURL: s.GraphURL},
+		&bitly.Client{BaseURL: s.BitlyURL},
+		&wot.Client{BaseURL: s.WOTURL},
+		&socialbakers.Client{BaseURL: s.SocialBakersURL}
+}
+
+// Close shuts every server down and waits for them to stop serving.
+func (s *Stack) Close() {
+	for _, srv := range s.servers {
+		_ = srv.Close()
+	}
+	for _, ln := range s.lns {
+		_ = ln.Close()
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,78 @@
+package stack
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"frappe/internal/synth"
+)
+
+func TestStartServesAllServices(t *testing.T) {
+	cfg := synth.TestConfig()
+	cfg.Scale = 0.005
+	w := synth.Generate(cfg)
+	st, err := Start(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	for name, url := range map[string]string{
+		"graph":        st.GraphURL,
+		"bitly":        st.BitlyURL,
+		"wot":          st.WOTURL,
+		"socialbakers": st.SocialBakersURL,
+		"redirector":   st.RedirectorURL,
+	} {
+		if !strings.HasPrefix(url, "http://127.0.0.1:") {
+			t.Errorf("%s URL = %q", name, url)
+		}
+		resp, err := http.Get(url + "/")
+		if err != nil {
+			t.Fatalf("%s unreachable: %v", name, err)
+		}
+		resp.Body.Close()
+	}
+
+	// The Graph API must actually serve this world's apps.
+	graph, _, wotc, sb := st.Clients()
+	liveID := ""
+	for _, id := range w.BenignIDs {
+		if _, err := w.Platform.Lookup(id); err == nil {
+			liveID = id
+			break
+		}
+	}
+	if liveID == "" {
+		t.Fatal("no live benign app")
+	}
+	s, err := graph.Summary(liveID)
+	if err != nil || s.Name == "" {
+		t.Errorf("graph Summary = %+v, %v", s, err)
+	}
+	if score, err := wotc.Score("apps.facebook.com"); err != nil || score < 80 {
+		t.Errorf("WOT Score = %d, %v", score, err)
+	}
+	if _, err := sb.Rating(liveID); err != nil {
+		// Not all benign apps are vetted; just exercise the endpoint.
+		t.Logf("rating for %s: %v", liveID, err)
+	}
+
+}
+
+func TestCloseIsIdempotentAndStopsServing(t *testing.T) {
+	cfg := synth.TestConfig()
+	cfg.Scale = 0.005
+	w := synth.Generate(cfg)
+	st, err := Start(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := st.GraphURL
+	st.Close()
+	st.Close() // double close must not panic
+	if _, err := http.Get(url + "/"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}

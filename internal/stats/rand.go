@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rand is the deterministic random source used by the generator and the
+// experiment harness. It wraps math/rand with the samplers the synthetic
+// world needs (heavy-tailed post counts, Zipf-ish popularity, bounded
+// normals). A Rand must not be shared between goroutines without external
+// synchronisation.
+type Rand struct {
+	*rand.Rand
+}
+
+// NewRand returns a deterministic Rand seeded with seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// IntBetween returns a uniform integer in [lo, hi] inclusive.
+// It panics if hi < lo.
+func (r *Rand) IntBetween(lo, hi int) int {
+	if hi < lo {
+		panic("stats: IntBetween with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Pareto samples a Pareto(xm, alpha) variate: a heavy-tailed value >= xm.
+// Smaller alpha means a heavier tail. Used for post counts, click counts,
+// and MAU, which the paper's figures show to span 5-7 orders of magnitude.
+func (r *Rand) Pareto(xm, alpha float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// LogNormal samples exp(N(mu, sigma)).
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.NormFloat64()*sigma + mu)
+}
+
+// ClampedPareto samples a Pareto(xm, alpha) variate truncated to max.
+func (r *Rand) ClampedPareto(xm, alpha, max float64) float64 {
+	v := r.Pareto(xm, alpha)
+	if v > max {
+		return max
+	}
+	return v
+}
+
+// PickWeighted returns an index in [0, len(weights)) chosen with probability
+// proportional to weights[i]. It panics if all weights are zero or negative.
+func (r *Rand) PickWeighted(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("stats: PickWeighted with no positive weight")
+	}
+	t := r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		t -= w
+		if t < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Sample returns k distinct indices drawn uniformly from [0, n). If k >= n
+// it returns all n indices. The result is in random order.
+func (r *Rand) Sample(n, k int) []int {
+	if k >= n {
+		k = n
+	}
+	perm := r.Perm(n)
+	return perm[:k]
+}
+
+// Fork derives an independent deterministic stream from this one. Use it to
+// give each subsystem of the generator its own stream so that adding draws
+// in one subsystem does not perturb another.
+func (r *Rand) Fork() *Rand {
+	return NewRand(r.Int63())
+}

@@ -1,0 +1,200 @@
+// Package stats provides the small statistical toolkit used throughout the
+// FRAppE reproduction: empirical distribution functions (CDF/CCDF),
+// percentiles, heavy-tailed samplers, and deterministic random sources.
+//
+// Everything here is deliberately dependency-free and deterministic: the
+// synthetic world generator and the experiment harness both need repeatable
+// draws so that tables and figures can be regenerated bit-for-bit.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by summaries that are undefined on empty data.
+var ErrEmpty = errors.New("stats: empty data set")
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It does not modify xs.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range [0,100]")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) (float64, error) { return Percentile(xs, 50) }
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs))), nil
+}
+
+// Max returns the maximum of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Min returns the minimum of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// CDF is an empirical cumulative distribution function over float64 samples.
+// The zero value is not usable; construct with NewCDF.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from xs. The input is copied.
+func NewCDF(xs []float64) *CDF {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}
+}
+
+// Len reports the number of samples behind the CDF.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x), the fraction of samples that are <= x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	i := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
+	return float64(i) / float64(len(c.sorted))
+}
+
+// CCDFAt returns P(X > x) = 1 - At(x).
+func (c *CDF) CCDFAt(x float64) float64 { return 1 - c.At(x) }
+
+// FractionAtLeast returns P(X >= x), the fraction of samples >= x.
+func (c *CDF) FractionAtLeast(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] >= x })
+	return float64(len(c.sorted)-i) / float64(len(c.sorted))
+}
+
+// Quantile returns the value below which fraction q (0..1) of samples fall.
+func (c *CDF) Quantile(q float64) (float64, error) {
+	return Percentile(c.sorted, q*100)
+}
+
+// Point is one (X, Y) sample of a distribution-function curve.
+type Point struct {
+	X float64
+	Y float64 // cumulative fraction in [0,1]
+}
+
+// Curve returns the CDF evaluated at the given x positions, in order.
+func (c *CDF) Curve(xs []float64) []Point {
+	pts := make([]Point, len(xs))
+	for i, x := range xs {
+		pts[i] = Point{X: x, Y: c.At(x)}
+	}
+	return pts
+}
+
+// CCDFCurve returns the CCDF evaluated at the given x positions, in order.
+func (c *CDF) CCDFCurve(xs []float64) []Point {
+	pts := make([]Point, len(xs))
+	for i, x := range xs {
+		pts[i] = Point{X: x, Y: c.CCDFAt(x)}
+	}
+	return pts
+}
+
+// LogSpace returns n points spaced logarithmically between 10^loExp and
+// 10^hiExp inclusive. It is the usual x-axis for the paper's log-scale CDFs.
+func LogSpace(loExp, hiExp float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{math.Pow(10, loExp)}
+	}
+	out := make([]float64, n)
+	step := (hiExp - loExp) / float64(n-1)
+	for i := range out {
+		out[i] = math.Pow(10, loExp+step*float64(i))
+	}
+	return out
+}
+
+// LinSpace returns n points spaced linearly between lo and hi inclusive.
+func LinSpace(lo, hi float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + step*float64(i)
+	}
+	return out
+}

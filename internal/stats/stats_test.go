@@ -1,0 +1,374 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+		{75, 40},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", c.p, err)
+		}
+		if !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	got, err := Percentile(xs, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 3, 1e-9) {
+		t.Errorf("Percentile(30) = %v, want 3", got)
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Errorf("empty input: err = %v, want ErrEmpty", err)
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Error("p=-1: want error")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("p=101: want error")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMeanMedianStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, err := Mean(xs)
+	if err != nil || !almostEqual(m, 5, 1e-9) {
+		t.Errorf("Mean = %v (%v), want 5", m, err)
+	}
+	sd, err := StdDev(xs)
+	if err != nil || !almostEqual(sd, 2, 1e-9) {
+		t.Errorf("StdDev = %v (%v), want 2", sd, err)
+	}
+	md, err := Median(xs)
+	if err != nil || !almostEqual(md, 4.5, 1e-9) {
+		t.Errorf("Median = %v (%v), want 4.5", md, err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if m, _ := Min(xs); m != -1 {
+		t.Errorf("Min = %v, want -1", m)
+	}
+	if m, _ := Max(xs); m != 7 {
+		t.Errorf("Max = %v, want 7", m)
+	}
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Errorf("Min(nil) err = %v", err)
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Errorf("Max(nil) err = %v", err)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0},
+		{1, 0.25},
+		{2, 0.75},
+		{2.5, 0.75},
+		{3, 1},
+		{10, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); !almostEqual(got, tc.want, 1e-9) {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFFractionAtLeast(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	if got := c.FractionAtLeast(2); !almostEqual(got, 0.75, 1e-9) {
+		t.Errorf("FractionAtLeast(2) = %v, want 0.75", got)
+	}
+	if got := c.FractionAtLeast(3.5); got != 0 {
+		t.Errorf("FractionAtLeast(3.5) = %v, want 0", got)
+	}
+	if got := c.FractionAtLeast(0); got != 1 {
+		t.Errorf("FractionAtLeast(0) = %v, want 1", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.Len() != 0 || c.At(1) != 0 || c.FractionAtLeast(1) != 0 {
+		t.Error("empty CDF should report zeros")
+	}
+}
+
+func TestCDFQuantileRoundTrip(t *testing.T) {
+	xs := []float64{5, 1, 9, 3, 7}
+	c := NewCDF(xs)
+	q, err := c.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 5 {
+		t.Errorf("Quantile(0.5) = %v, want 5", q)
+	}
+}
+
+// Property: CDF.At is monotone non-decreasing and bounded in [0,1].
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		c := NewCDF(xs)
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		ya, yb := c.At(lo), c.At(hi)
+		return ya >= 0 && yb <= 1 && ya <= yb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: At(x) + CCDFAt(x) == 1.
+func TestCCDFComplementProperty(t *testing.T) {
+	f := func(xs []float64, x float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, v := range xs {
+			if !math.IsNaN(v) {
+				clean = append(clean, v)
+			}
+		}
+		if math.IsNaN(x) {
+			return true
+		}
+		c := NewCDF(clean)
+		return almostEqual(c.At(x)+c.CCDFAt(x), 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCurves(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	xs := []float64{0, 2, 4}
+	curve := c.Curve(xs)
+	if len(curve) != 3 {
+		t.Fatalf("len = %d", len(curve))
+	}
+	if curve[1].X != 2 || !almostEqual(curve[1].Y, 0.5, 1e-9) {
+		t.Errorf("curve[1] = %+v", curve[1])
+	}
+	cc := c.CCDFCurve(xs)
+	if !almostEqual(cc[1].Y, 0.5, 1e-9) {
+		t.Errorf("ccdf curve[1] = %+v", cc[1])
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	xs := LogSpace(0, 3, 4)
+	want := []float64{1, 10, 100, 1000}
+	if len(xs) != 4 {
+		t.Fatalf("len = %d", len(xs))
+	}
+	for i := range want {
+		if !almostEqual(xs[i], want[i], 1e-6) {
+			t.Errorf("xs[%d] = %v, want %v", i, xs[i], want[i])
+		}
+	}
+	if got := LogSpace(0, 3, 0); got != nil {
+		t.Errorf("n=0: got %v", got)
+	}
+	if got := LogSpace(2, 5, 1); len(got) != 1 || !almostEqual(got[0], 100, 1e-9) {
+		t.Errorf("n=1: got %v", got)
+	}
+}
+
+func TestLinSpace(t *testing.T) {
+	xs := LinSpace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if !almostEqual(xs[i], want[i], 1e-9) {
+			t.Errorf("xs[%d] = %v, want %v", i, xs[i], want[i])
+		}
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced diverging streams")
+		}
+	}
+}
+
+func TestRandBool(t *testing.T) {
+	r := NewRand(1)
+	if r.Bool(0) {
+		t.Error("Bool(0) must be false")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) must be true")
+	}
+	n := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.3) {
+			n++
+		}
+	}
+	frac := float64(n) / trials
+	if frac < 0.27 || frac > 0.33 {
+		t.Errorf("Bool(0.3) empirical rate %v", frac)
+	}
+}
+
+func TestIntBetween(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		v := r.IntBetween(3, 5)
+		if v < 3 || v > 5 {
+			t.Fatalf("IntBetween(3,5) = %d", v)
+		}
+	}
+	if v := r.IntBetween(4, 4); v != 4 {
+		t.Errorf("IntBetween(4,4) = %d", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("IntBetween(5,4) should panic")
+		}
+	}()
+	r.IntBetween(5, 4)
+}
+
+func TestParetoTail(t *testing.T) {
+	r := NewRand(99)
+	const n = 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Pareto(1, 1.2)
+	}
+	for _, x := range xs {
+		if x < 1 {
+			t.Fatalf("Pareto(1, ·) produced %v < xm", x)
+		}
+	}
+	// Median of Pareto(1, 1.2) is 2^(1/1.2) ≈ 1.78.
+	sort.Float64s(xs)
+	med := xs[n/2]
+	if med < 1.6 || med > 2.0 {
+		t.Errorf("Pareto median = %v, want ≈1.78", med)
+	}
+}
+
+func TestClampedPareto(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 1000; i++ {
+		if v := r.ClampedPareto(1, 0.5, 100); v > 100 {
+			t.Fatalf("ClampedPareto exceeded max: %v", v)
+		}
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	r := NewRand(11)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[r.PickWeighted([]float64{1, 2, 1})]++
+	}
+	if counts[1] < counts[0] || counts[1] < counts[2] {
+		t.Errorf("weight-2 bucket should dominate: %v", counts)
+	}
+	// Zero/negative weights are never picked.
+	for i := 0; i < 1000; i++ {
+		if idx := r.PickWeighted([]float64{0, 1, -3}); idx != 1 {
+			t.Fatalf("picked index %d with zero weight", idx)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("all-zero weights should panic")
+		}
+	}()
+	r.PickWeighted([]float64{0, 0})
+}
+
+func TestSample(t *testing.T) {
+	r := NewRand(3)
+	got := r.Sample(10, 4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 {
+			t.Fatalf("out of range: %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate: %d", v)
+		}
+		seen[v] = true
+	}
+	if got := r.Sample(3, 10); len(got) != 3 {
+		t.Errorf("k>n: len = %d, want 3", len(got))
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	a := NewRand(42)
+	f1 := a.Fork()
+	b := NewRand(42)
+	f2 := b.Fork()
+	for i := 0; i < 50; i++ {
+		if f1.Float64() != f2.Float64() {
+			t.Fatal("forks of identical parents must match")
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package svm
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+// Save serialises the model (and optionally nothing else) to w using gob
+// encoding, so a trained FRAppE classifier can be shipped to a watchdog
+// process and loaded without retraining.
+func (m *Model) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(m)
+}
+
+// Load reads a model previously written with Save.
+func Load(r io.Reader) (*Model, error) {
+	var m Model
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

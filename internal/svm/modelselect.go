@@ -1,0 +1,178 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Grid describes the (C, gamma) search space for RBF model selection, the
+// standard libsvm-tools procedure. Empty slices take the usual
+// powers-of-two defaults.
+type Grid struct {
+	C     []float64
+	Gamma []float64
+	// Folds for the inner cross-validation (default 5).
+	Folds int
+	// Seed drives the fold shuffle.
+	Seed int64
+}
+
+// GridResult is one evaluated parameter point.
+type GridResult struct {
+	C        float64
+	Gamma    float64
+	Accuracy float64
+}
+
+// DefaultGrid returns the customary coarse grid: C in 2^{-1..7},
+// gamma in 2^{-7..1}.
+func DefaultGrid() Grid {
+	var g Grid
+	for e := -1; e <= 7; e += 2 {
+		g.C = append(g.C, pow2(e))
+	}
+	for e := -7; e <= 1; e += 2 {
+		g.Gamma = append(g.Gamma, pow2(e))
+	}
+	g.Folds = 5
+	g.Seed = 1
+	return g
+}
+
+func pow2(e int) float64 {
+	v := 1.0
+	for i := 0; i < e; i++ {
+		v *= 2
+	}
+	for i := 0; i > e; i-- {
+		v /= 2
+	}
+	return v
+}
+
+// GridSearch evaluates every (C, gamma) pair with k-fold cross-validation
+// on an RBF kernel and returns all results plus the best point. Inputs
+// should already be scaled. It is deterministic for a fixed seed.
+func GridSearch(xs [][]float64, ys []float64, grid Grid) (best GridResult, all []GridResult, err error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return best, nil, errors.New("svm: invalid grid-search data")
+	}
+	if len(grid.C) == 0 || len(grid.Gamma) == 0 {
+		d := DefaultGrid()
+		if len(grid.C) == 0 {
+			grid.C = d.C
+		}
+		if len(grid.Gamma) == 0 {
+			grid.Gamma = d.Gamma
+		}
+	}
+	if grid.Folds < 2 {
+		grid.Folds = 5
+	}
+	if grid.Seed == 0 {
+		grid.Seed = 1
+	}
+	if len(xs) < grid.Folds {
+		return best, nil, fmt.Errorf("svm: %d samples cannot fill %d folds", len(xs), grid.Folds)
+	}
+
+	fold := stratifiedFolds(ys, grid.Folds, grid.Seed)
+	for _, c := range grid.C {
+		for _, gamma := range grid.Gamma {
+			acc, err := cvAccuracy(xs, ys, fold, grid.Folds, c, gamma)
+			if err != nil {
+				return best, nil, err
+			}
+			r := GridResult{C: c, Gamma: gamma, Accuracy: acc}
+			all = append(all, r)
+			if r.Accuracy > best.Accuracy {
+				best = r
+			}
+		}
+	}
+	return best, all, nil
+}
+
+// stratifiedFolds assigns each sample to a fold, keeping the class mix.
+func stratifiedFolds(ys []float64, k int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	fold := make([]int, len(ys))
+	var pos, neg []int
+	for i, y := range ys {
+		if y > 0 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	assign := func(idx []int) {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for i, j := range idx {
+			fold[j] = i % k
+		}
+	}
+	assign(pos)
+	assign(neg)
+	return fold
+}
+
+// cvAccuracy runs one k-fold evaluation at fixed (C, gamma).
+func cvAccuracy(xs [][]float64, ys []float64, fold []int, k int, c, gamma float64) (float64, error) {
+	correct, total := 0, 0
+	for f := 0; f < k; f++ {
+		var trX, teX [][]float64
+		var trY, teY []float64
+		for i := range xs {
+			if fold[i] == f {
+				teX = append(teX, xs[i])
+				teY = append(teY, ys[i])
+			} else {
+				trX = append(trX, xs[i])
+				trY = append(trY, ys[i])
+			}
+		}
+		if len(teX) == 0 {
+			continue
+		}
+		// Degenerate training folds (single class) predict that class.
+		onePos, oneNeg := false, false
+		for _, y := range trY {
+			if y > 0 {
+				onePos = true
+			} else {
+				oneNeg = true
+			}
+		}
+		if !onePos || !oneNeg {
+			maj := -1.0
+			if onePos {
+				maj = 1
+			}
+			for _, y := range teY {
+				if y == maj {
+					correct++
+				}
+				total++
+			}
+			continue
+		}
+		p := DefaultParams(len(xs[0]))
+		p.C = c
+		p.Kernel.Gamma = gamma
+		m, err := Train(trX, trY, p)
+		if err != nil {
+			return 0, err
+		}
+		for i := range teX {
+			if m.Predict(teX[i]) == teY[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, errors.New("svm: empty evaluation")
+	}
+	return float64(correct) / float64(total), nil
+}

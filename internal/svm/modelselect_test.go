@@ -1,0 +1,124 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPow2(t *testing.T) {
+	cases := map[int]float64{0: 1, 3: 8, -2: 0.25, 7: 128, -7: 1.0 / 128}
+	for e, want := range cases {
+		if got := pow2(e); math.Abs(got-want) > 1e-12 {
+			t.Errorf("pow2(%d) = %v, want %v", e, got, want)
+		}
+	}
+}
+
+func TestDefaultGrid(t *testing.T) {
+	g := DefaultGrid()
+	if len(g.C) != 5 || len(g.Gamma) != 5 {
+		t.Errorf("grid size = %dx%d", len(g.C), len(g.Gamma))
+	}
+	if g.C[0] != 0.5 || g.C[len(g.C)-1] != 128 {
+		t.Errorf("C range = %v", g.C)
+	}
+}
+
+func TestGridSearchFindsWorkableParams(t *testing.T) {
+	// Two concentric rings: needs a reasonably large gamma; linear-ish
+	// (tiny gamma) RBF underfits, so the search must prefer bigger gamma.
+	rng := rand.New(rand.NewSource(4))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 240; i++ {
+		angle := rng.Float64() * 2 * math.Pi
+		r := 0.2
+		label := -1.0
+		if i%2 == 0 {
+			r = 0.8
+			label = 1
+		}
+		r += rng.NormFloat64() * 0.03
+		xs = append(xs, []float64{0.5 + r*math.Cos(angle)/2, 0.5 + r*math.Sin(angle)/2})
+		ys = append(ys, label)
+	}
+	best, all, err := GridSearch(xs, ys, Grid{Folds: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 25 {
+		t.Errorf("evaluated %d points, want 25", len(all))
+	}
+	if best.Accuracy < 0.95 {
+		t.Errorf("best accuracy = %.3f (C=%v gamma=%v)", best.Accuracy, best.C, best.Gamma)
+	}
+	// The winning gamma cannot be the smallest on the grid: rings are not
+	// separable by a nearly-linear kernel.
+	if best.Gamma <= 1.0/128 {
+		t.Errorf("best gamma = %v, expected a larger width", best.Gamma)
+	}
+}
+
+func TestGridSearchDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 60; i++ {
+		x := rng.Float64()
+		y := -1.0
+		if x > 0.5 {
+			y = 1
+		}
+		xs = append(xs, []float64{x})
+		ys = append(ys, y)
+	}
+	g := Grid{C: []float64{1, 4}, Gamma: []float64{0.5, 2}, Folds: 3, Seed: 5}
+	b1, a1, err := GridSearch(xs, ys, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, a2, err := GridSearch(xs, ys, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 || len(a1) != len(a2) {
+		t.Error("grid search not deterministic")
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("result rows differ between runs")
+		}
+	}
+}
+
+func TestGridSearchErrors(t *testing.T) {
+	if _, _, err := GridSearch(nil, nil, Grid{}); err == nil {
+		t.Error("empty data: want error")
+	}
+	xs := [][]float64{{1}, {2}}
+	ys := []float64{1, -1}
+	if _, _, err := GridSearch(xs, ys, Grid{Folds: 5}); err == nil {
+		t.Error("too few samples for folds: want error")
+	}
+}
+
+func TestGridSearchSingleClassFolds(t *testing.T) {
+	// Highly imbalanced data: some training folds may collapse to one
+	// class; the search must still complete.
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 30; i++ {
+		xs = append(xs, []float64{float64(i % 7)})
+		ys = append(ys, -1)
+	}
+	xs = append(xs, []float64{10}, []float64{11})
+	ys = append(ys, 1, 1)
+	best, _, err := GridSearch(xs, ys, Grid{C: []float64{1}, Gamma: []float64{1}, Folds: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Accuracy == 0 {
+		t.Error("zero accuracy on trivially majority-predictable data")
+	}
+}

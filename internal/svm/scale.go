@@ -1,0 +1,67 @@
+package svm
+
+import "errors"
+
+// Scaler rescales each feature dimension to [0, 1] using the min and max
+// observed at fit time, the svm-scale step that libsvm users run before
+// training. Features that are constant in the training data map to 0.
+type Scaler struct {
+	Min []float64
+	Max []float64
+}
+
+// FitScaler learns per-dimension min/max from xs. All rows must have the
+// same length and there must be at least one row.
+func FitScaler(xs [][]float64) (*Scaler, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("svm: FitScaler on empty data")
+	}
+	dim := len(xs[0])
+	s := &Scaler{Min: make([]float64, dim), Max: make([]float64, dim)}
+	copy(s.Min, xs[0])
+	copy(s.Max, xs[0])
+	for _, row := range xs[1:] {
+		if len(row) != dim {
+			return nil, errors.New("svm: inconsistent feature dimensions")
+		}
+		for j, v := range row {
+			if v < s.Min[j] {
+				s.Min[j] = v
+			}
+			if v > s.Max[j] {
+				s.Max[j] = v
+			}
+		}
+	}
+	return s, nil
+}
+
+// Apply returns a scaled copy of x. Values outside the fitted range are
+// clamped to [0, 1] so that test-time outliers cannot blow up the kernel.
+func (s *Scaler) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		lo, hi := s.Min[j], s.Max[j]
+		if hi <= lo {
+			out[j] = 0
+			continue
+		}
+		sv := (v - lo) / (hi - lo)
+		if sv < 0 {
+			sv = 0
+		} else if sv > 1 {
+			sv = 1
+		}
+		out[j] = sv
+	}
+	return out
+}
+
+// ApplyAll scales every row of xs.
+func (s *Scaler) ApplyAll(xs [][]float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = s.Apply(x)
+	}
+	return out
+}

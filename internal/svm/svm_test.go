@@ -1,0 +1,400 @@
+package svm
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func trainOrDie(t *testing.T, xs [][]float64, ys []float64, p Params) *Model {
+	t.Helper()
+	m, err := Train(xs, ys, p)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return m
+}
+
+func accuracy(m *Model, xs [][]float64, ys []float64) float64 {
+	correct := 0
+	for i, x := range xs {
+		if m.Predict(x) == ys[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}
+
+func TestKernelEval(t *testing.T) {
+	u := []float64{1, 2}
+	v := []float64{3, 4}
+	lin := Kernel{Type: Linear}
+	if got := lin.Eval(u, v); got != 11 {
+		t.Errorf("linear = %v, want 11", got)
+	}
+	rbf := Kernel{Type: RBF, Gamma: 0.5}
+	want := math.Exp(-0.5 * 8) // |u-v|^2 = 4+4
+	if got := rbf.Eval(u, v); math.Abs(got-want) > 1e-12 {
+		t.Errorf("rbf = %v, want %v", got, want)
+	}
+	if got := rbf.Eval(u, u); got != 1 {
+		t.Errorf("rbf self = %v, want 1", got)
+	}
+	poly := Kernel{Type: Polynomial, Gamma: 1, Coef0: 1, Degree: 2}
+	if got := poly.Eval(u, v); got != 144 { // (11+1)^2
+		t.Errorf("poly = %v, want 144", got)
+	}
+}
+
+func TestKernelString(t *testing.T) {
+	if Linear.String() != "linear" || RBF.String() != "rbf" || Polynomial.String() != "polynomial" {
+		t.Error("kernel names wrong")
+	}
+	if KernelType(9).String() == "" {
+		t.Error("unknown kernel should still format")
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams(4)
+	if p.Kernel.Type != RBF || p.Kernel.Gamma != 0.25 || p.C != 1 {
+		t.Errorf("unexpected defaults: %+v", p)
+	}
+	if DefaultParams(0).Kernel.Gamma != 1 {
+		t.Error("dim=0 gamma should be 1")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	p := DefaultParams(1)
+	if _, err := Train(nil, nil, p); err == nil {
+		t.Error("empty data: want error")
+	}
+	if _, err := Train([][]float64{{1}}, []float64{1, 1}, p); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := Train([][]float64{{1}, {2}}, []float64{1, 0}, p); err == nil {
+		t.Error("bad label: want error")
+	}
+	if _, err := Train([][]float64{{1}, {2}}, []float64{1, 1}, p); err == nil {
+		t.Error("single class: want error")
+	}
+	bad := p
+	bad.C = 0
+	if _, err := Train([][]float64{{1}, {2}}, []float64{1, -1}, bad); err == nil {
+		t.Error("C=0: want error")
+	}
+}
+
+func TestLinearlySeparable1D(t *testing.T) {
+	xs := [][]float64{{0}, {0.1}, {0.2}, {0.8}, {0.9}, {1.0}}
+	ys := []float64{-1, -1, -1, 1, 1, 1}
+	for _, kt := range []KernelType{Linear, RBF} {
+		p := DefaultParams(1)
+		p.Kernel.Type = kt
+		m := trainOrDie(t, xs, ys, p)
+		if acc := accuracy(m, xs, ys); acc != 1 {
+			t.Errorf("%v kernel train accuracy = %v, want 1", kt, acc)
+		}
+	}
+}
+
+func TestLinearlySeparable2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		x := rng.Float64()
+		y := rng.Float64()
+		label := -1.0
+		if x+y > 1.05 {
+			label = 1
+		} else if x+y > 0.95 {
+			continue // margin band
+		}
+		xs = append(xs, []float64{x, y})
+		ys = append(ys, label)
+	}
+	p := DefaultParams(2)
+	p.C = 10
+	m := trainOrDie(t, xs, ys, p)
+	if acc := accuracy(m, xs, ys); acc < 0.98 {
+		t.Errorf("accuracy = %v, want >= 0.98", acc)
+	}
+}
+
+func TestXORNeedsRBF(t *testing.T) {
+	// XOR is the classic non-linearly-separable set: RBF must nail it.
+	xs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	ys := []float64{-1, 1, 1, -1}
+	p := DefaultParams(2)
+	p.Kernel.Gamma = 2
+	p.C = 100
+	m := trainOrDie(t, xs, ys, p)
+	if acc := accuracy(m, xs, ys); acc != 1 {
+		t.Errorf("RBF XOR accuracy = %v, want 1", acc)
+	}
+}
+
+func TestGeneralization(t *testing.T) {
+	// Two well-separated Gaussian blobs: a held-out set must classify
+	// almost perfectly.
+	rng := rand.New(rand.NewSource(7))
+	gen := func(n int, cx, cy, label float64) ([][]float64, []float64) {
+		var xs [][]float64
+		var ys []float64
+		for i := 0; i < n; i++ {
+			xs = append(xs, []float64{cx + rng.NormFloat64()*0.15, cy + rng.NormFloat64()*0.15})
+			ys = append(ys, label)
+		}
+		return xs, ys
+	}
+	trX1, trY1 := gen(100, 0.25, 0.25, -1)
+	trX2, trY2 := gen(100, 0.75, 0.75, 1)
+	teX1, teY1 := gen(50, 0.25, 0.25, -1)
+	teX2, teY2 := gen(50, 0.75, 0.75, 1)
+
+	xs := append(trX1, trX2...)
+	ys := append(trY1, trY2...)
+	m := trainOrDie(t, xs, ys, DefaultParams(2))
+
+	testX := append(teX1, teX2...)
+	testY := append(teY1, teY2...)
+	if acc := accuracy(m, testX, testY); acc < 0.95 {
+		t.Errorf("held-out accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestSoftMarginToleratesNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 300; i++ {
+		x := rng.Float64()
+		label := -1.0
+		if x > 0.5 {
+			label = 1
+		}
+		if rng.Float64() < 0.05 { // 5% label noise
+			label = -label
+		}
+		xs = append(xs, []float64{x})
+		ys = append(ys, label)
+	}
+	m := trainOrDie(t, xs, ys, DefaultParams(1))
+	if acc := accuracy(m, xs, ys); acc < 0.9 {
+		t.Errorf("noisy accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestTrainingDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		y := -1.0
+		if x[0] > x[1] {
+			y = 1
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	p := DefaultParams(2)
+	m1 := trainOrDie(t, xs, ys, p)
+	m2 := trainOrDie(t, xs, ys, p)
+	if m1.B != m2.B || m1.NumSV() != m2.NumSV() {
+		t.Errorf("same seed, different models: b %v vs %v, sv %d vs %d",
+			m1.B, m2.B, m1.NumSV(), m2.NumSV())
+	}
+}
+
+func TestAlphasRespectBoxConstraint(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 150; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		y := -1.0
+		if x[0]+0.2*rng.NormFloat64() > 0.5 {
+			y = 1
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	p := DefaultParams(2)
+	p.C = 2
+	m := trainOrDie(t, xs, ys, p)
+	for _, c := range m.Coef {
+		if math.Abs(c) > p.C+1e-9 {
+			t.Errorf("|coef| = %v exceeds C = %v", math.Abs(c), p.C)
+		}
+	}
+	// KKT dual constraint: sum alpha_i y_i == 0 -> sum coef == 0.
+	sum := 0.0
+	for _, c := range m.Coef {
+		sum += c
+	}
+	if math.Abs(sum) > 1e-6 {
+		t.Errorf("sum of coefs = %v, want ~0", sum)
+	}
+}
+
+func TestOnDemandKernelMatchesCached(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 80; i++ {
+		x := []float64{rng.Float64()}
+		y := -1.0
+		if x[0] > 0.5 {
+			y = 1
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	cached := DefaultParams(1)
+	m1 := trainOrDie(t, xs, ys, cached)
+	uncached := cached
+	uncached.CacheBytes = 1 // force on-demand path
+	m2 := trainOrDie(t, xs, ys, uncached)
+	// float32 caching introduces tiny differences; decisions must agree.
+	for _, x := range xs {
+		if m1.Predict(x) != m2.Predict(x) {
+			t.Fatalf("cached and uncached models disagree at %v", x)
+		}
+	}
+}
+
+func TestScaler(t *testing.T) {
+	xs := [][]float64{{0, 10, 5}, {10, 20, 5}}
+	s, err := FitScaler(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Apply([]float64{5, 15, 5})
+	want := []float64{0.5, 0.5, 0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Apply[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Out-of-range clamps.
+	clamped := s.Apply([]float64{-5, 100, 7})
+	if clamped[0] != 0 || clamped[1] != 1 {
+		t.Errorf("clamping failed: %v", clamped)
+	}
+	if _, err := FitScaler(nil); err == nil {
+		t.Error("empty FitScaler: want error")
+	}
+	if _, err := FitScaler([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("ragged FitScaler: want error")
+	}
+}
+
+func TestScalerProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([][]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			xs = append(xs, []float64{v})
+		}
+		s, err := FitScaler(xs)
+		if err != nil {
+			return false
+		}
+		for _, row := range s.ApplyAll(xs) {
+			if row[0] < 0 || row[0] > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModelSaveLoad(t *testing.T) {
+	xs := [][]float64{{0}, {0.2}, {0.8}, {1}}
+	ys := []float64{-1, -1, 1, 1}
+	m := trainOrDie(t, xs, ys, DefaultParams(1))
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, x := range xs {
+		if m.Predict(x) != m2.Predict(x) {
+			t.Fatalf("round-tripped model disagrees at %v", x)
+		}
+	}
+	if _, err := Load(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("Load(garbage): want error")
+	}
+}
+
+func TestDecisionValueSign(t *testing.T) {
+	xs := [][]float64{{0}, {1}}
+	ys := []float64{-1, 1}
+	m := trainOrDie(t, xs, ys, DefaultParams(1))
+	if m.DecisionValue([]float64{1}) <= m.DecisionValue([]float64{0}) {
+		t.Error("decision value should increase toward the +1 class")
+	}
+}
+
+func BenchmarkTrainRBF500(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 500; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		y := -1.0
+		if x[0]+x[1] > 1 {
+			y = 1
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	p := DefaultParams(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(xs, ys, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 300; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		y := -1.0
+		if x[0] > 0.5 {
+			y = 1
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	m, err := Train(xs, ys, DefaultParams(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := []float64{0.3, 0.7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(q)
+	}
+}

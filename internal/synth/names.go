@@ -1,0 +1,181 @@
+package synth
+
+import (
+	"fmt"
+
+	"frappe/internal/stats"
+)
+
+// Scam-campaign name templates, seeded with the names the paper reports
+// (Table 2, §5.3, Fig. 15) and extended with the same lure patterns.
+var scamNameTemplates = []string{
+	"What Does Your %s Mean?",
+	"Who Viewed Your %s?",
+	"%s Predictor",
+	"Free %s",
+	"WhosStalking %s?",
+	"Your %s In The Future",
+	"%s Meaning Finder",
+	"What Ur %s Implies!!!",
+	"Past %s",
+	"Profile %s Watchers",
+	"How Much Time On %s?",
+	"The %s App",
+	"Sexiest %s Test",
+	"%s Teller",
+	"Check My %s",
+	"Secret %s Revealer",
+}
+
+var scamNameWords = []string{
+	"Name", "Profile", "Life", "Future", "Love", "Death", "Crush",
+	"Stalker", "Friend", "Photo", "Status", "Fortune", "Destiny", "Past",
+	"Personality", "Soulmate", "Visitor", "Age", "Face", "Luck",
+}
+
+// Canonical paper names, used verbatim for the first few campaigns so the
+// reproduced tables read like the originals.
+var paperScamNames = []string{
+	"What Does Your Name Mean?",
+	"Free Phone Calls",
+	"The App",
+	"WhosStalking?",
+	"Future Teller",
+	"Death Predictor",
+	"Past Life",
+	"whats my name means",
+	"Name meaning finder",
+	"Profile Watchers",
+	"What is the sexiest thing about you?",
+}
+
+// Popular benign apps (the paper's whitelist heads and Table 9 victims).
+var popularBenignNames = []string{
+	"FarmVille",
+	"Facebook for iPhone",
+	"Mobile",
+	"Facebook for Android",
+	"Links",
+	"Zoo World",
+	"CityVille",
+	"Mafia Wars",
+	"Fortune Cookie",
+	"Words With Friends",
+}
+
+var benignNameAdjectives = []string{
+	"Happy", "Daily", "Social", "Super", "Mega", "Tiny", "Epic", "Magic",
+	"Pocket", "Golden", "Pixel", "Turbo", "Cozy", "Brave", "Lucky", "Swift",
+}
+
+var benignNameNouns = []string{
+	"Farm", "Quiz", "Poker", "Garden", "Kitchen", "Racing", "Trivia",
+	"Puzzle", "Aquarium", "Bakery", "City", "Safari", "Chess", "Karaoke",
+	"Horoscope", "Recipes", "Pets", "Gifts", "Radio", "News",
+}
+
+var benignCompanies = []string{
+	"Zynga", "Playdom", "CrowdStar", "RockYou", "Wooga", "Playfish",
+	"Digital Chocolate", "Kabam", "Peak Games", "Social Point",
+}
+
+var benignCategories = []string{
+	"Games", "Entertainment", "Lifestyle", "Utilities", "News",
+	"Sports", "Music", "Education", "Travel", "Photos",
+}
+
+// Scam hosting-domain stems (Table 3 lists the paper's top five).
+var scamDomainStems = []string{
+	"thenamemeans", "fastfreeupdates", "wikiworldmedia", "technicalyard",
+	"freeoffersites", "profileviewer", "bonuscreditz", "surveyrewardz",
+	"appprizes", "viralgiftly",
+}
+
+// Campaign post templates. Non-evasive campaigns repeat one of these
+// verbatim (triggering MyPageKeeper's similarity + keyword signals); the
+// first entries are the exact messages of Table 9.
+var scamMessages = []string{
+	"WOW I just got 5000 Facebook Credits for Free",
+	"Get your FREE 450 FACEBOOK CREDITS",
+	"NFL Playoffs Are Coming! Show Your Team Support!",
+	"WOW! I Just Got a Recharge of Rs 500.",
+	"Get Your Free Facebook Sim Card",
+	"OMG I cant believe who viewed my profile! Check yours FREE",
+	"HURRY limited offer: free iPad for the first 100 fans!",
+	"I just won a FREE gift card, click to claim yours",
+	"See who stalks you - FREE and instant!",
+	"Deal of the day: WIN an iPhone, no strings!",
+}
+
+// Evasive campaigns vary their text and avoid lure keywords, slipping past
+// the keyword/similarity heuristics (§7's obfuscation discussion).
+var evasiveMessages = []string{
+	"this actually worked for me, have a look",
+	"did not expect this to be real but it is",
+	"someone showed me this yesterday, quite something",
+	"you might want to see this before it goes away",
+	"a friend sent me this and now i get it",
+	"took me a minute to believe this one",
+}
+
+var benignMessages = []string{
+	"I just reached level %d!",
+	"Harvested %d crops on my farm today",
+	"New high score: %d points",
+	"Completed quest #%d with my neighbors",
+	"My daily horoscope for day %d was spot on",
+	"Listening to playlist %d right now",
+	"Just planted row %d of my virtual garden",
+	"Won hand %d at the poker table",
+}
+
+// nameGen deterministically issues app names, tracking uniqueness for the
+// benign pool.
+type nameGen struct {
+	rng  *stats.Rand
+	used map[string]bool
+	seq  int
+}
+
+func newNameGen(rng *stats.Rand) *nameGen {
+	return &nameGen{rng: rng, used: make(map[string]bool)}
+}
+
+// scamCampaignName returns the i-th campaign name: the paper's own names
+// first, then template-generated lookalikes. Campaign names may repeat
+// the same words across hackers — hackers are "lazy" (§4.2.1).
+func (g *nameGen) scamCampaignName(i int) string {
+	if i < len(paperScamNames) {
+		return paperScamNames[i]
+	}
+	tmpl := scamNameTemplates[g.rng.Intn(len(scamNameTemplates))]
+	word := scamNameWords[g.rng.Intn(len(scamNameWords))]
+	return fmt.Sprintf(tmpl, word)
+}
+
+// benignName returns a unique benign app name.
+func (g *nameGen) benignName() string {
+	for {
+		adj := benignNameAdjectives[g.rng.Intn(len(benignNameAdjectives))]
+		noun := benignNameNouns[g.rng.Intn(len(benignNameNouns))]
+		name := adj + " " + noun
+		if !g.used[name] {
+			g.used[name] = true
+			return name
+		}
+		g.seq++
+		name = fmt.Sprintf("%s %s %d", adj, noun, g.seq)
+		if !g.used[name] {
+			g.used[name] = true
+			return name
+		}
+	}
+}
+
+// scamDomain returns hacker h's d-th hosting domain. Stems repeat with
+// numeric suffixes: the paper's top domains are thenamemeans2.com,
+// thenamemeans3.com, etc.
+func scamDomain(h, d int) string {
+	stem := scamDomainStems[(h+d)%len(scamDomainStems)]
+	return fmt.Sprintf("%s%d.com", stem, h%7+2)
+}

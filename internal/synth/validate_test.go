@@ -1,0 +1,59 @@
+package synth
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDefaultConfigsValidate(t *testing.T) {
+	for _, scale := range []float64{0.001, 0.01, 0.15, 1.0} {
+		if err := Default(scale).Validate(); err != nil {
+			t.Errorf("Default(%v): %v", scale, err)
+		}
+	}
+	if err := TestConfig().Validate(); err != nil {
+		t.Errorf("TestConfig: %v", err)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero scale", func(c *Config) { c.Scale = 0 }},
+		{"negative apps", func(c *Config) { c.TotalApps = -1 }},
+		{"malicious fraction 0", func(c *Config) { c.FracMalicious = 0 }},
+		{"malicious fraction 1", func(c *Config) { c.FracMalicious = 1 }},
+		{"no months", func(c *Config) { c.Months = 0 }},
+		{"crawl inside window", func(c *Config) { c.CrawlMonth = c.Months - 1 }},
+		{"validation before crawl", func(c *Config) { c.ValidationMonth = c.CrawlMonth }},
+		{"rate above one", func(c *Config) { c.BenignDescriptionRate = 1.5 }},
+		{"negative rate", func(c *Config) { c.TyposquatRate = -0.1 }},
+		{"manual frac 1", func(c *Config) { c.ManualPostFrac = 1 }},
+		{"WOT shares exceed 1", func(c *Config) { c.MaliciousWOTUnknownRate = 0.9; c.MaliciousWOTLowRate = 0.2 }},
+		{"roles exceed 1", func(c *Config) { c.PromoterRate = 0.7; c.DualRate = 0.5 }},
+		{"deletion order", func(c *Config) { c.MaliciousDeletedByValidation = 0.1 }},
+		{"campaign mean", func(c *Config) { c.AppsPerCampaignName = 0 }},
+		{"no hackers", func(c *Config) { c.HackersPerMaliciousApp = 0 }},
+		{"zero materialization", func(c *Config) { c.MaxMaterializedPostsPerApp = 0 }},
+	}
+	for _, m := range mutations {
+		cfg := Default(0.01)
+		m.mut(&cfg)
+		if err := cfg.Validate(); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("%s: err = %v, want ErrInvalidConfig", m.name, err)
+		}
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Generate with invalid config should panic")
+		}
+	}()
+	cfg := Default(0.01)
+	cfg.Months = 0
+	Generate(cfg)
+}

@@ -1,0 +1,275 @@
+package textdist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceBasic(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"ca", "ac", 1},     // transposition
+		{"abcd", "acbd", 1}, // transposition
+		{"FarmVille", "FarmVile", 1},
+		{"a", "b", 1},
+		{"ab", "ba", 1},
+	}
+	for _, c := range cases {
+		if got := Distance(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistanceUnicode(t *testing.T) {
+	if got := Distance("héllo", "hello"); got != 1 {
+		t.Errorf("unicode distance = %d, want 1", got)
+	}
+	if got := Distance("日本語", "日本"); got != 1 {
+		t.Errorf("rune-based distance = %d, want 1", got)
+	}
+}
+
+func TestDistanceSymmetryProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		return Distance(a, b) == Distance(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceIdentityProperty(t *testing.T) {
+	f := func(a string) bool {
+		if len(a) > 50 {
+			a = a[:50]
+		}
+		return Distance(a, a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Triangle inequality holds for the plain Levenshtein part; OSA can violate
+// it in pathological cases, but distances must still be bounded by the
+// longer string's length and at least the length difference.
+func TestDistanceBoundsProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		ra, rb := []rune(a), []rune(b)
+		d := Distance(a, b)
+		max := len(ra)
+		if len(rb) > max {
+			max = len(rb)
+		}
+		diff := len(ra) - len(rb)
+		if diff < 0 {
+			diff = -diff
+		}
+		return d >= diff && d <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	if s := Similarity("abc", "abc"); s != 1 {
+		t.Errorf("identical similarity = %v", s)
+	}
+	if s := Similarity("", ""); s != 1 {
+		t.Errorf("empty similarity = %v", s)
+	}
+	if s := Similarity("abcd", "wxyz"); s != 0 {
+		t.Errorf("disjoint similarity = %v", s)
+	}
+	got := Similarity("FarmVille", "FarmVile")
+	want := 1 - 1.0/9
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("FarmVille/FarmVile similarity = %v, want %v", got, want)
+	}
+}
+
+func TestSimilarityRangeProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 25 {
+			a = a[:25]
+		}
+		if len(b) > 25 {
+			b = b[:25]
+		}
+		s := Similarity(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"  The   App ", "the app"},
+		{"FarmVille", "farmville"},
+		{"", ""},
+		{"A\tB\nC", "a b c"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStripVersion(t *testing.T) {
+	cases := []struct {
+		in       string
+		want     string
+		stripped bool
+	}{
+		{"Profile Watchers v4.32", "Profile Watchers", true},
+		{"How long have you spent logged in? v8", "How long have you spent logged in?", true},
+		{"Past Life 2", "Past Life", true},
+		{"FarmVille", "FarmVille", false},
+		{"App v2 beta", "App v2 beta", false}, // version not at end
+		{"v8", "v8", false},                   // bare version is the whole name
+	}
+	for _, c := range cases {
+		got, stripped := StripVersion(c.in)
+		if got != c.want || stripped != c.stripped {
+			t.Errorf("StripVersion(%q) = (%q,%v), want (%q,%v)",
+				c.in, got, stripped, c.want, c.stripped)
+		}
+	}
+}
+
+func TestClusterExact(t *testing.T) {
+	names := []string{"The App", "the  app", "FarmVille", "The App", "Zoo World"}
+	assign, n := Cluster(names, 1)
+	if n != 3 {
+		t.Fatalf("clusters = %d, want 3", n)
+	}
+	if assign[0] != assign[1] || assign[0] != assign[3] {
+		t.Errorf("identical names split: %v", assign)
+	}
+	if assign[0] == assign[2] || assign[2] == assign[4] {
+		t.Errorf("distinct names merged: %v", assign)
+	}
+	sizes := ClusterSizes(assign, n)
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != len(names) {
+		t.Errorf("cluster sizes sum to %d, want %d", total, len(names))
+	}
+}
+
+func TestClusterThreshold(t *testing.T) {
+	names := []string{"FarmVille", "FarmVile", "Mafia Wars"}
+	_, exact := Cluster(names, 1)
+	if exact != 3 {
+		t.Errorf("exact clusters = %d, want 3", exact)
+	}
+	assign, fuzzy := Cluster(names, 0.8)
+	if fuzzy != 2 {
+		t.Errorf("fuzzy clusters = %d, want 2", fuzzy)
+	}
+	if assign[0] != assign[1] {
+		t.Errorf("typo variants should merge at 0.8: %v", assign)
+	}
+}
+
+func TestClusterMonotoneInThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := []string{"what does your name mean", "free phone calls", "the app", "whosstalking", "farmville"}
+	var names []string
+	for i := 0; i < 200; i++ {
+		n := base[rng.Intn(len(base))]
+		if rng.Intn(3) == 0 { // mutate one character
+			b := []byte(n)
+			b[rng.Intn(len(b))] = byte('a' + rng.Intn(26))
+			n = string(b)
+		}
+		names = append(names, n)
+	}
+	prev := -1
+	for _, th := range []float64{1, 0.9, 0.8, 0.7, 0.6} {
+		_, c := Cluster(names, th)
+		if prev >= 0 && c > prev {
+			t.Errorf("clusters increased as threshold dropped: %d -> %d at %v", prev, c, th)
+		}
+		prev = c
+	}
+}
+
+func TestClusterEmpty(t *testing.T) {
+	assign, n := Cluster(nil, 1)
+	if len(assign) != 0 || n != 0 {
+		t.Errorf("empty input: assign=%v n=%d", assign, n)
+	}
+}
+
+func TestTyposquat(t *testing.T) {
+	popular := []string{"FarmVille", "CityVille", "Fortune Cookie"}
+	if m, ok := Typosquat("FarmVile", popular, 0.8); !ok || m != "FarmVille" {
+		t.Errorf("FarmVile: (%q,%v)", m, ok)
+	}
+	// Identical names are NOT typosquats.
+	if _, ok := Typosquat("farmville", popular, 0.8); ok {
+		t.Error("identical name flagged as typosquat")
+	}
+	if _, ok := Typosquat("Totally Different", popular, 0.8); ok {
+		t.Error("unrelated name flagged as typosquat")
+	}
+}
+
+func TestClusterLargeIdenticalHeavy(t *testing.T) {
+	// 87% of malicious app names repeat; exact-match clustering must stay
+	// fast for tens of thousands of names.
+	names := make([]string, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		names = append(names, "the app")
+	}
+	assign, n := Cluster(names, 1)
+	if n != 1 {
+		t.Fatalf("clusters = %d, want 1", n)
+	}
+	for _, a := range assign {
+		if a != 0 {
+			t.Fatal("assignment to non-zero cluster")
+		}
+	}
+}
+
+func TestSimilarityPrefix(t *testing.T) {
+	// Sanity: longer shared prefixes give higher similarity.
+	s1 := Similarity("name meaning finder", "name meaning")
+	s2 := Similarity("name meaning finder", "zzz")
+	if s1 <= s2 {
+		t.Errorf("prefix similarity ordering violated: %v <= %v", s1, s2)
+	}
+	if !strings.Contains("name meaning finder", "name meaning") {
+		t.Fatal("test invariant broken")
+	}
+}

@@ -1,0 +1,70 @@
+package frappe
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"frappe/internal/core"
+	"frappe/internal/crawler"
+	"frappe/internal/graphapi"
+	"frappe/internal/wot"
+)
+
+// Watchdog evaluates a single app ID on demand against live services: it
+// crawls the app's on-demand features over HTTP and runs a trained
+// classifier. This is the deployment §5.1 envisions — "a browser extension
+// that can evaluate any Facebook application at the time when a user is
+// considering installing it".
+type Watchdog struct {
+	classifier *Classifier
+	crawler    *crawler.Crawler
+}
+
+// NewWatchdog wires a trained classifier to a Graph-API endpoint and a WOT
+// endpoint. A classifier trained with FullFeatures works too: the
+// aggregation features are imputed from training statistics when the
+// watchdog has no cross-user view.
+func NewWatchdog(clf *Classifier, graphURL, wotURL string) (*Watchdog, error) {
+	if clf == nil {
+		return nil, fmt.Errorf("frappe: nil classifier")
+	}
+	c, err := crawler.New(crawler.Config{
+		Graph:   &graphapi.Client{BaseURL: graphURL},
+		WOT:     &wot.Client{BaseURL: wotURL},
+		Workers: 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("frappe: %w", err)
+	}
+	return &Watchdog{classifier: clf, crawler: c}, nil
+}
+
+// NewWatchdogFrom loads a serialised classifier (written with
+// Classifier.Save) and wires it like NewWatchdog.
+func NewWatchdogFrom(r io.Reader, graphURL, wotURL string) (*Watchdog, error) {
+	clf, err := core.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewWatchdog(clf, graphURL, wotURL)
+}
+
+// Evaluate crawls the app's on-demand features and classifies it.
+// core.ErrNotClassifiable is returned when the app is already deleted from
+// the graph.
+func (w *Watchdog) Evaluate(ctx context.Context, appID string) (Verdict, error) {
+	results, err := w.crawler.Crawl(ctx, []string{appID})
+	if err != nil {
+		return Verdict{AppID: appID}, err
+	}
+	r, ok := results[appID]
+	if !ok {
+		return Verdict{AppID: appID}, fmt.Errorf("frappe: no crawl result for %s", appID)
+	}
+	return w.classifier.Classify(AppRecord{ID: appID, Crawl: r})
+}
+
+// ErrNotClassifiable is returned by Evaluate for apps without a crawlable
+// summary (deleted or unknown).
+var ErrNotClassifiable = core.ErrNotClassifiable

@@ -1,0 +1,103 @@
+package frappe
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// The paper's long-term vision (§1, §9) is "an independent watchdog for
+// app assessment and ranking, so as to warn Facebook users before
+// installing apps". This file turns a Watchdog into exactly that: an HTTP
+// assessment service plus a ranking API.
+
+// Assessment is the watchdog service's verdict document.
+type Assessment struct {
+	AppID     string `json:"app_id"`
+	Malicious bool   `json:"malicious"`
+	// Score is the SVM decision value; higher means more malicious.
+	Score float64 `json:"score"`
+	// Deleted marks apps already removed from the graph — which the paper
+	// treats as confirmation of maliciousness.
+	Deleted bool   `json:"deleted,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Assess evaluates one app and folds the deleted-from-graph case into the
+// verdict instead of an error: a deleted app is reported as such.
+func (w *Watchdog) Assess(ctx context.Context, appID string) Assessment {
+	v, err := w.Evaluate(ctx, appID)
+	switch {
+	case errors.Is(err, ErrNotClassifiable):
+		return Assessment{AppID: appID, Deleted: true, Malicious: true,
+			Error: "app removed from the graph"}
+	case err != nil:
+		return Assessment{AppID: appID, Error: err.Error()}
+	default:
+		return Assessment{AppID: appID, Malicious: v.Malicious, Score: v.Score}
+	}
+}
+
+// Rank assesses many apps and returns them most-suspicious first (deleted
+// apps lead, then by descending score). Assessment errors are carried in
+// the rows rather than aborting the ranking.
+func (w *Watchdog) Rank(ctx context.Context, appIDs []string) []Assessment {
+	out := make([]Assessment, 0, len(appIDs))
+	for _, id := range appIDs {
+		out = append(out, w.Assess(ctx, id))
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Deleted != out[j].Deleted {
+			return out[i].Deleted
+		}
+		return out[i].Score > out[j].Score
+	})
+	return out
+}
+
+// WatchdogHandler exposes a Watchdog over HTTP:
+//
+//	GET /check?app=APPID            -> one Assessment
+//	GET /rank?app=A&app=B&app=C     -> ranked []Assessment
+//	GET /healthz                    -> 200 ok
+//
+// Each request is bounded by timeout (default 10s).
+func WatchdogHandler(w *Watchdog, timeout time.Duration) http.Handler {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.WriteHeader(http.StatusOK)
+		rw.Write([]byte("ok"))
+	})
+	mux.HandleFunc("/check", func(rw http.ResponseWriter, r *http.Request) {
+		appID := r.URL.Query().Get("app")
+		if appID == "" {
+			http.Error(rw, `{"error":"missing app"}`, http.StatusBadRequest)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		writeAssessJSON(rw, w.Assess(ctx, appID))
+	})
+	mux.HandleFunc("/rank", func(rw http.ResponseWriter, r *http.Request) {
+		ids := r.URL.Query()["app"]
+		if len(ids) == 0 {
+			http.Error(rw, `{"error":"missing app parameters"}`, http.StatusBadRequest)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		writeAssessJSON(rw, w.Rank(ctx, ids))
+	})
+	return mux
+}
+
+func writeAssessJSON(rw http.ResponseWriter, v interface{}) {
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(v)
+}
