@@ -16,20 +16,24 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"frappe"
+	"frappe/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("frappe: ")
 	graphURL := flag.String("graph", "", "Graph API base URL (required)")
 	wotURL := flag.String("wot", "", "WOT base URL (required)")
 	modelPath := flag.String("model", "frappe-model.gob", "trained classifier file")
 	jsonOut := flag.Bool("json", false, "emit one JSON assessment per line")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "log as JSON instead of text")
 	flag.Parse()
+
+	logger := telemetry.SetupProcessLogger(telemetry.LogConfig{
+		Component: "frappe", Level: *logLevel, JSON: *logJSON,
+	})
 
 	if *graphURL == "" || *wotURL == "" || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: frappe -graph URL -wot URL [-model FILE] APPID...")
@@ -37,12 +41,14 @@ func main() {
 	}
 	f, err := os.Open(*modelPath)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("opening model", "path", *modelPath, "err", err)
+		os.Exit(1)
 	}
 	wd, err := frappe.NewWatchdogFrom(f, *graphURL, *wotURL)
 	f.Close()
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("loading watchdog", "err", err)
+		os.Exit(1)
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -54,7 +60,8 @@ func main() {
 				anyMalicious = true
 			}
 			if err := enc.Encode(a); err != nil {
-				log.Fatal(err)
+				logger.Error("encoding assessment", "err", err)
+				os.Exit(1)
 			}
 			continue
 		}
@@ -63,7 +70,8 @@ func main() {
 		case errors.Is(err, frappe.ErrNotClassifiable):
 			fmt.Printf("%s\tDELETED (removed from the graph — the paper treats this as confirmation)\n", appID)
 		case err != nil:
-			log.Fatalf("evaluating %s: %v", appID, err)
+			logger.Error("evaluating app", "app", appID, "err", err)
+			os.Exit(1)
 		case v.Malicious:
 			anyMalicious = true
 			fmt.Printf("%s\tMALICIOUS (score %+.3f)\n", appID, v.Score)

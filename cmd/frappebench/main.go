@@ -4,37 +4,100 @@
 //
 // Usage:
 //
-//	frappebench [-scale 0.15] [-seed 20121210] [-quick]
+//	frappebench [-scale 0.15] [-seed 20121210] [-quick] [-bench-json FILE]
 //
 // -quick skips the classifier cross-validation experiments (the slowest
 // part) and prints only the measurement and forensics results.
+//
+// -bench-json writes per-stage wall-clock timings (world generation,
+// dataset build, classifier training, cross-validation) read back from the
+// process telemetry registry, plus a full metrics snapshot, so successive
+// BENCH_*.json files capture a perf trajectory across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"time"
 
 	"frappe/internal/experiments"
+	"frappe/internal/telemetry"
 )
 
+// benchDoc is the -bench-json document shape.
+type benchDoc struct {
+	Scale float64 `json:"scale"`
+	Seed  int64   `json:"seed"`
+	Quick bool    `json:"quick"`
+	// StagesSeconds holds per-stage wall clock, read from the telemetry
+	// registry: generate and build_datasets are last-run gauges; train and
+	// cross_validate are cumulative histogram sums across every Train /
+	// CrossValidate call the experiments made.
+	StagesSeconds map[string]float64 `json:"stages_seconds"`
+	TrainRuns     uint64             `json:"train_runs"`
+	CrossvalRuns  uint64             `json:"crossval_runs"`
+	TotalSeconds  float64            `json:"total_seconds"`
+	// Metrics is the full registry snapshot keyed name{labels}; histograms
+	// appear as {count, sum}.
+	Metrics interface{} `json:"metrics"`
+}
+
+func writeBenchJSON(path string, scale float64, seed int64, quick bool, total time.Duration) error {
+	reg := telemetry.Default()
+	trainSum, trainRuns := reg.HistogramSum("frappe_train_duration_seconds")
+	cvSum, cvRuns := reg.HistogramSum("frappe_crossval_duration_seconds")
+	doc := benchDoc{
+		Scale: scale,
+		Seed:  seed,
+		Quick: quick,
+		StagesSeconds: map[string]float64{
+			"generate":       reg.GaugeValue("frappe_synth_stage_seconds", "total"),
+			"build_datasets": reg.GaugeValue("frappe_dataset_stage_seconds", "total"),
+			"train":          trainSum,
+			"cross_validate": cvSum,
+		},
+		TrainRuns:    trainRuns,
+		CrossvalRuns: cvRuns,
+		TotalSeconds: total.Seconds(),
+		Metrics:      reg.ExpvarFunc()(),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("frappebench: ")
 	scale := flag.Float64("scale", experiments.DefaultScale,
 		"world scale (1.0 = the paper's 111K-app corpus)")
 	seed := flag.Int64("seed", 0, "world seed (0 = paper-calibrated default)")
 	quick := flag.Bool("quick", false, "skip the classifier experiments")
 	dotPath := flag.String("dot", "", "write the Fig. 1 snapshot component as Graphviz DOT to this file")
+	benchJSON := flag.String("bench-json", "", "write per-stage timings and a metrics snapshot as JSON to this file")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSONFlag := flag.Bool("log-json", false, "log as JSON instead of text")
 	flag.Parse()
+
+	logger := telemetry.SetupProcessLogger(telemetry.LogConfig{
+		Component: "frappebench", Level: *logLevel, JSON: *logJSONFlag,
+	})
 
 	start := time.Now()
 	fmt.Printf("Generating synthetic world at scale %.2f ...\n", *scale)
 	r, err := experiments.New(*scale, *seed)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("building experiment world", "err", err)
+		os.Exit(1)
 	}
 	fmt.Printf("World ready in %v: %d apps, %d monitored users, %d posts streamed.\n\n",
 		time.Since(start).Round(time.Millisecond),
@@ -64,47 +127,47 @@ func main() {
 	if !*quick {
 		t5, err := r.Table5()
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		section(experiments.RenderTable5(t5))
 		t6, err := r.Table6()
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		section(experiments.RenderTable6(t6))
 		head, err := r.FRAppE()
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		section(head.Render())
 		t8, err := r.Table8()
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		section(t8.Render())
 		robust, err := r.Robust()
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		section(robust.Render())
 		kernels, err := r.AblationKernels()
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		section(experiments.RenderKernels(kernels))
 		noise, err := r.AblationLabelNoise()
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		section(experiments.RenderNoise(noise))
 		gs, err := r.AblationGridSearch()
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		section(gs.Render())
 		lm, err := r.AblationLearnedMPK()
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		section(lm.Render())
 		section(r.Countermeasures().Render())
@@ -115,13 +178,13 @@ func main() {
 	if *dotPath != "" {
 		f, err := os.Create(*dotPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		if err := r.WriteFig1DOT(f); err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		fmt.Printf("Fig 1 snapshot written to %s (render with: dot -Tpng %s)\n\n", *dotPath, *dotPath)
 	}
@@ -131,5 +194,17 @@ func main() {
 	section(r.Fig16().Render())
 	section(experiments.RenderTable9(r.Table9()))
 
-	fmt.Fprintf(os.Stderr, "total runtime: %v\n", time.Since(start).Round(time.Millisecond))
+	total := time.Since(start)
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *scale, r.Seed, *quick, total); err != nil {
+			fatal(logger, err)
+		}
+		fmt.Fprintf(os.Stderr, "stage timings written to %s\n", *benchJSON)
+	}
+	fmt.Fprintf(os.Stderr, "total runtime: %v\n", total.Round(time.Millisecond))
+}
+
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("frappebench failed", "err", err)
+	os.Exit(1)
 }

@@ -11,11 +11,11 @@ import (
 	"context"
 	"encoding/json"
 	"flag"
-	"log"
 	"os"
 
 	"frappe/internal/datasets"
 	"frappe/internal/synth"
+	"frappe/internal/telemetry"
 )
 
 // appDump is one serialised app record.
@@ -52,23 +52,29 @@ type dump struct {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("frappegen: ")
 	scale := flag.Float64("scale", 0.01, "world scale (1.0 = paper scale)")
 	seed := flag.Int64("seed", 0, "world seed (0 = default)")
 	truth := flag.Bool("truth", false, "include hidden ground-truth labels")
 	out := flag.String("o", "-", "output file (- = stdout)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "log as JSON instead of text")
 	flag.Parse()
+
+	logger := telemetry.SetupProcessLogger(telemetry.LogConfig{
+		Component: "frappegen", Level: *logLevel, JSON: *logJSON,
+	})
 
 	cfg := synth.Default(*scale)
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	logger.Info("generating world", "scale", *scale, "seed", cfg.Seed)
 	w := synth.Generate(cfg)
 	b := &datasets.Builder{World: w}
 	d, err := b.Build(context.Background())
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("building datasets", "err", err)
+		os.Exit(1)
 	}
 
 	doc := dump{
@@ -125,13 +131,15 @@ func main() {
 	} else {
 		f, err = os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			logger.Error("creating output file", "path", *out, "err", err)
+			os.Exit(1)
 		}
 		defer f.Close()
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
-		log.Fatal(err)
+		logger.Error("encoding corpus", "err", err)
+		os.Exit(1)
 	}
 }

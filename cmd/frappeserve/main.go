@@ -9,60 +9,89 @@
 // Usage:
 //
 //	frappeserve [-scale 0.02] [-seed ...] [-model frappe-model.gob]
+//	            [-debug-addr 127.0.0.1:0] [-log-level info] [-log-json]
+//
+// The debug listener serves /metrics (Prometheus text format),
+// /debug/vars (expvar) and /debug/pprof; its resolved address is printed
+// at startup. -debug-addr "" disables it.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 
 	"frappe"
 	"frappe/internal/synth"
+	"frappe/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("frappeserve: ")
 	scale := flag.Float64("scale", 0.02, "world scale")
 	seed := flag.Int64("seed", 0, "world seed (0 = default)")
 	modelPath := flag.String("model", "frappe-model.gob", "where to write the trained classifier")
+	debugAddr := flag.String("debug-addr", "127.0.0.1:0",
+		"debug listen address for /metrics, /debug/vars and /debug/pprof (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "log as JSON instead of text")
 	flag.Parse()
+
+	logger := telemetry.SetupProcessLogger(telemetry.LogConfig{
+		Component: "frappeserve", Level: *logLevel, JSON: *logJSON,
+	})
 
 	cfg := synth.Default(*scale)
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
-	log.Printf("generating world at scale %.2f ...", *scale)
+	logger.Info("generating world", "scale", *scale, "seed", cfg.Seed)
 	w := frappe.GenerateWorld(cfg)
 
 	d, err := frappe.BuildDatasets(context.Background(), w)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("building datasets", "err", err)
+		os.Exit(1)
 	}
 	records, labels := frappe.LabeledSample(d)
+	logger.Info("training classifier", "records", len(records))
 	clf, err := frappe.Train(records, labels, frappe.Options{Features: frappe.LiteFeatures()})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("training", "err", err)
+		os.Exit(1)
 	}
 	f, err := os.Create(*modelPath)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("creating model file", "path", *modelPath, "err", err)
+		os.Exit(1)
 	}
 	if err := clf.Save(f); err != nil {
-		log.Fatal(err)
+		logger.Error("writing model", "path", *modelPath, "err", err)
+		os.Exit(1)
 	}
 	if err := f.Close(); err != nil {
-		log.Fatal(err)
+		logger.Error("closing model file", "path", *modelPath, "err", err)
+		os.Exit(1)
 	}
 
 	st, err := frappe.StartServices(w)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("starting services", "err", err)
+		os.Exit(1)
 	}
 	defer st.Close()
+
+	if *debugAddr != "" {
+		ds, err := telemetry.StartDebugServer(*debugAddr, st.Telemetry)
+		if err != nil {
+			logger.Error("starting debug server", "addr", *debugAddr, "err", err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		fmt.Printf("debug/metrics: http://%s/metrics (pprof at /debug/pprof/)\n", ds.Addr)
+		logger.Info("debug server listening", "addr", ds.Addr)
+	}
 
 	fmt.Printf("model written to %s\n", *modelPath)
 	fmt.Printf("graph API:    %s\n", st.GraphURL)
@@ -91,5 +120,5 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	<-ctx.Done()
-	log.Print("shutting down")
+	logger.Info("shutting down")
 }

@@ -6,33 +6,45 @@
 // Usage:
 //
 //	watchdogd -graph URL -wot URL -model frappe-model.gob [-listen :8080]
+//	          [-debug-addr 127.0.0.1:0] [-log-level info] [-log-json]
 //
 // Endpoints:
 //
-//	GET /check?app=APPID         one assessment
+//	GET /check?app=APPID         one assessment (502 when the crawl fails)
 //	GET /rank?app=A&app=B        ranked assessments, most suspicious first
 //	GET /healthz                 liveness
+//
+// The debug listener serves /metrics (Prometheus text format),
+// /debug/vars (expvar) and /debug/pprof; its resolved address is printed
+// at startup. -debug-addr "" disables it.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"time"
 
 	"frappe"
+	"frappe/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("watchdogd: ")
 	graphURL := flag.String("graph", "", "Graph API base URL (required)")
 	wotURL := flag.String("wot", "", "WOT base URL (required)")
 	modelPath := flag.String("model", "frappe-model.gob", "trained classifier file")
 	listen := flag.String("listen", "127.0.0.1:8466", "listen address")
+	rankWorkers := flag.Int("rank-workers", 0, "bounded fan-out width for /rank (0 = default 8)")
+	debugAddr := flag.String("debug-addr", "127.0.0.1:0",
+		"debug listen address for /metrics, /debug/vars and /debug/pprof (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "log as JSON instead of text")
 	flag.Parse()
+
+	logger := telemetry.SetupProcessLogger(telemetry.LogConfig{
+		Component: "watchdogd", Level: *logLevel, JSON: *logJSON,
+	})
 
 	if *graphURL == "" || *wotURL == "" {
 		fmt.Fprintln(os.Stderr, "usage: watchdogd -graph URL -wot URL [-model FILE] [-listen ADDR]")
@@ -40,12 +52,26 @@ func main() {
 	}
 	f, err := os.Open(*modelPath)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("opening model", "path", *modelPath, "err", err)
+		os.Exit(1)
 	}
 	wd, err := frappe.NewWatchdogFrom(f, *graphURL, *wotURL)
 	f.Close()
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("loading watchdog", "err", err)
+		os.Exit(1)
+	}
+	wd.RankWorkers = *rankWorkers
+
+	if *debugAddr != "" {
+		ds, err := telemetry.StartDebugServer(*debugAddr, nil)
+		if err != nil {
+			logger.Error("starting debug server", "addr", *debugAddr, "err", err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		fmt.Printf("debug/metrics: http://%s/metrics (pprof at /debug/pprof/)\n", ds.Addr)
+		logger.Info("debug server listening", "addr", ds.Addr)
 	}
 
 	srv := &http.Server{
@@ -53,8 +79,9 @@ func main() {
 		Handler:           frappe.WatchdogHandler(wd, 15*time.Second),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("assessing apps on http://%s (try /check?app=APPID)", *listen)
+	logger.Info("assessing apps", "addr", *listen, "graph", *graphURL, "wot", *wotURL)
 	if err := srv.ListenAndServe(); err != http.ErrServerClosed {
-		log.Fatal(err)
+		logger.Error("server exited", "err", err)
+		os.Exit(1)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"frappe/internal/svm"
 )
@@ -58,6 +59,7 @@ type Verdict struct {
 // known-malicious name set for the aggregation feature is built from the
 // malicious training records only.
 func Train(records []AppRecord, labels []bool, opts Options) (*Classifier, error) {
+	start := time.Now()
 	if len(records) == 0 {
 		return nil, errors.New("core: no training records")
 	}
@@ -102,6 +104,8 @@ func Train(records []AppRecord, labels []bool, opts Options) (*Classifier, error
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	trainTotal.With().Inc()
+	trainDuration.With().Observe(time.Since(start).Seconds())
 	return &Classifier{extractor: ext, scaler: scaler, model: model}, nil
 }
 
@@ -117,7 +121,9 @@ func (c *Classifier) Classify(r AppRecord) (Verdict, error) {
 		return Verdict{AppID: r.ID}, err
 	}
 	score := c.model.DecisionValue(c.scaler.Apply(v))
-	return Verdict{AppID: r.ID, Malicious: score >= 0, Score: score}, nil
+	verdict := Verdict{AppID: r.ID, Malicious: score >= 0, Score: score}
+	observeVerdict(verdict)
+	return verdict, nil
 }
 
 // ClassifyAll evaluates many records, skipping unclassifiable ones (no

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 )
 
 // Metrics are the three measures the paper reports for every classifier
@@ -103,6 +104,8 @@ func SampleRatio(records []AppRecord, labels []bool, ratio int, seed int64) ([]A
 // known-malicious name set is rebuilt from each training fold, so the
 // aggregation feature never leaks test labels.
 func CrossValidate(records []AppRecord, labels []bool, k int, opts Options) (Metrics, error) {
+	start := time.Now()
+	defer func() { crossvalDuration.With().Observe(time.Since(start).Seconds()) }()
 	var m Metrics
 	if k < 2 {
 		return m, errors.New("core: k must be >= 2")

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"frappe/internal/telemetry"
+)
+
+// Classifier metric families, registered on the process default registry so
+// a serving binary's /metrics covers training done in the same process:
+//
+//	frappe_train_total                        completed Train calls
+//	frappe_train_duration_seconds             per-Train wall clock (histogram)
+//	frappe_crossval_duration_seconds          per-CrossValidate wall clock
+//	frappe_classifications_total{verdict}     malicious / benign verdicts
+//	frappe_svm_decision_value                 SVM decision-value distribution
+var (
+	trainTotal = telemetry.Default().Counter("frappe_train_total",
+		"Completed classifier training runs.")
+	trainDuration = telemetry.Default().Histogram("frappe_train_duration_seconds",
+		"Wall-clock seconds per classifier training run.", nil)
+	crossvalDuration = telemetry.Default().Histogram("frappe_crossval_duration_seconds",
+		"Wall-clock seconds per cross-validation run (all folds).", nil)
+	classifications = telemetry.Default().Counter("frappe_classifications_total",
+		"Classification verdicts issued.", "verdict")
+	// Decision values live around the margin; the paper's scores rarely
+	// leave single digits, so a symmetric coarse ladder suffices.
+	decisionValues = telemetry.Default().Histogram("frappe_svm_decision_value",
+		"SVM decision values observed at classification time.",
+		[]float64{-5, -2, -1, -0.5, -0.1, 0, 0.1, 0.5, 1, 2, 5})
+)
+
+// observeVerdict tallies one classification outcome.
+func observeVerdict(v Verdict) {
+	verdict := "benign"
+	if v.Malicious {
+		verdict = "malicious"
+	}
+	classifications.With(verdict).Inc()
+	decisionValues.With().Observe(v.Score)
+}

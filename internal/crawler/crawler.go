@@ -15,8 +15,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"frappe/internal/graphapi"
+	"frappe/internal/telemetry"
 	"frappe/internal/wot"
 )
 
@@ -84,11 +86,15 @@ type Config struct {
 	// app is automatable at all; it models the paper's human-oriented
 	// redirect chains. Nil means everything is automatable.
 	Flakiness func(appID string, kind Kind) bool
+	// Telemetry receives crawl metrics; nil means the process default
+	// registry.
+	Telemetry *telemetry.Registry
 }
 
 // Crawler fetches app features concurrently.
 type Crawler struct {
 	cfg Config
+	ins *Instruments
 }
 
 // New returns a Crawler. Graph must be non-nil; WOT may be nil (scores are
@@ -105,7 +111,7 @@ func New(cfg Config) (*Crawler, error) {
 	} else if cfg.Retries == 0 {
 		cfg.Retries = 2
 	}
-	return &Crawler{cfg: cfg}, nil
+	return &Crawler{cfg: cfg, ins: NewInstruments(cfg.Telemetry)}, nil
 }
 
 // Crawl fetches every app ID and returns results keyed by ID. The context
@@ -145,15 +151,21 @@ feed:
 }
 
 // retry runs fn up to 1+Retries times, keeping the last error. ErrDeleted
-// and ErrNotCrawlable are terminal: retrying cannot help.
-func (c *Crawler) retry(fn func() error) error {
+// and ErrNotCrawlable are terminal: retrying cannot help. Every attempt is
+// counted; the terminal outcome is recorded once per surface.
+func (c *Crawler) retry(kind Kind, fn func() error) error {
 	var err error
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		c.ins.Attempts.With(kind.String()).Inc()
+		if attempt > 0 {
+			c.ins.Retries.With(kind.String()).Inc()
+		}
 		err = fn()
 		if err == nil || errors.Is(err, graphapi.ErrDeleted) || errors.Is(err, ErrNotCrawlable) {
-			return err
+			break
 		}
 	}
+	c.ins.Outcome(kind, err)
 	return err
 }
 
@@ -162,9 +174,11 @@ func (c *Crawler) automatable(id string, kind Kind) bool {
 }
 
 func (c *Crawler) crawlOne(id string) *Result {
+	start := time.Now()
 	r := &Result{AppID: id, WOTScore: wot.UnknownScore}
+	defer func() { c.ins.FinishApp(r, start) }()
 
-	r.SummaryErr = c.retry(func() error {
+	r.SummaryErr = c.retry(KindSummary, func() error {
 		s, err := c.cfg.Graph.Summary(id)
 		if err != nil {
 			return err
@@ -174,7 +188,7 @@ func (c *Crawler) crawlOne(id string) *Result {
 	})
 
 	if c.automatable(id, KindFeed) {
-		r.FeedErr = c.retry(func() error {
+		r.FeedErr = c.retry(KindFeed, func() error {
 			feed, err := c.cfg.Graph.Feed(id)
 			if err != nil {
 				return err
@@ -184,10 +198,11 @@ func (c *Crawler) crawlOne(id string) *Result {
 		})
 	} else {
 		r.FeedErr = ErrNotCrawlable
+		c.ins.Outcome(KindFeed, r.FeedErr)
 	}
 
 	if c.automatable(id, KindInstall) {
-		r.InstallErr = c.retry(func() error {
+		r.InstallErr = c.retry(KindInstall, func() error {
 			info, err := c.cfg.Graph.Install(id)
 			if err != nil {
 				return err
@@ -197,6 +212,7 @@ func (c *Crawler) crawlOne(id string) *Result {
 		})
 	} else {
 		r.InstallErr = ErrNotCrawlable
+		c.ins.Outcome(KindInstall, r.InstallErr)
 	}
 
 	if r.InstallErr == nil && c.cfg.WOT != nil {

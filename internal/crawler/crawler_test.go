@@ -10,6 +10,7 @@ import (
 
 	"frappe/internal/fbplatform"
 	"frappe/internal/graphapi"
+	"frappe/internal/telemetry"
 	"frappe/internal/wot"
 )
 
@@ -200,5 +201,49 @@ func TestNewValidation(t *testing.T) {
 func TestKindString(t *testing.T) {
 	if KindSummary.String() != "summary" || KindFeed.String() != "feed" || KindInstall.String() != "install" {
 		t.Error("Kind names wrong")
+	}
+}
+
+// TestCrawlTelemetry: the crawl instrumentation must expose the paper's
+// coverage gap — per-kind attempts, successes, failures, and the
+// ErrNotCrawlable rate — on the registry the crawler was configured with.
+func TestCrawlTelemetry(t *testing.T) {
+	_, cfg, done := testStack(t)
+	defer done()
+	reg := telemetry.New()
+	cfg.Telemetry = reg
+	cfg.Flakiness = func(appID string, kind Kind) bool {
+		return !(appID == "1" && kind == KindInstall)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// App 1: summary+feed ok, install not crawlable. App 2: all ok.
+	// App 3: deleted, every surface fails.
+	if _, err := c.Crawl(context.Background(), []string{"1", "2", "3"}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.CounterValue("frappe_crawl_attempts_total", "summary"); got != 3 {
+		t.Errorf("summary attempts = %d, want 3", got)
+	}
+	if got := reg.CounterValue("frappe_crawl_successes_total", "summary"); got != 2 {
+		t.Errorf("summary successes = %d, want 2", got)
+	}
+	if got := reg.CounterValue("frappe_crawl_failures_total", "summary"); got != 1 {
+		t.Errorf("summary failures = %d, want 1", got)
+	}
+	if got := reg.CounterValue("frappe_crawl_not_crawlable_total", "install"); got != 1 {
+		t.Errorf("install not-crawlable = %d, want 1", got)
+	}
+	if got := reg.CounterValue("frappe_crawl_deleted_total"); got != 1 {
+		t.Errorf("deleted = %d, want 1", got)
+	}
+	if got := reg.CounterValue("frappe_crawl_apps_total"); got != 3 {
+		t.Errorf("apps = %d, want 3", got)
+	}
+	if _, count := reg.HistogramSum("frappe_crawl_app_duration_seconds"); count != 3 {
+		t.Errorf("app duration observations = %d, want 3", count)
 	}
 }

@@ -19,11 +19,13 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"frappe/internal/crawler"
 	"frappe/internal/graphapi"
 	"frappe/internal/mypagekeeper"
 	"frappe/internal/synth"
+	"frappe/internal/telemetry"
 	"frappe/internal/wot"
 )
 
@@ -140,11 +142,35 @@ type Builder struct {
 	WOT   *wot.Client
 	// Workers is the crawl parallelism (default 16).
 	Workers int
+	// Telemetry receives dataset-build stage timings and crawl metrics;
+	// nil means the process default registry.
+	Telemetry *telemetry.Registry
+}
+
+func (b *Builder) registry() *telemetry.Registry {
+	if b.Telemetry != nil {
+		return b.Telemetry
+	}
+	return telemetry.Default()
+}
+
+// stageTimer records per-stage wall clock under
+// frappe_dataset_stage_seconds{stage}; the "total" stage spans Build.
+func (b *Builder) stageTimer() func(stage string, start time.Time) {
+	stages := b.registry().Gauge("frappe_dataset_stage_seconds",
+		"Wall-clock seconds of the last dataset-build stage run.", "stage")
+	return func(stage string, start time.Time) {
+		stages.With(stage).Set(time.Since(start).Seconds())
+	}
 }
 
 // Build assembles the corpus. It advances the world clock to the crawl
 // month first, so deletions up to that point are in effect.
 func (b *Builder) Build(ctx context.Context) (*Datasets, error) {
+	stage := b.stageTimer()
+	buildStart := time.Now()
+	defer func() { stage("total", buildStart) }()
+
 	w := b.World
 	w.AdvanceTo(w.Config.CrawlMonth)
 
@@ -159,14 +185,17 @@ func (b *Builder) Build(ctx context.Context) (*Datasets, error) {
 
 	// Step 1: the MPK ground-truth heuristic — any flagged post marks the
 	// app (§2.3).
+	start := time.Now()
 	for _, id := range d.DTotal {
 		if d.Stats[id].FlaggedPosts > 0 {
 			d.Flagged = append(d.Flagged, id)
 		}
 	}
+	stage("flag", start)
 
 	// Step 2: whitelisting. Popular, Social Bakers-vetted apps that got
 	// flagged are victims of piggybacking, not scams.
+	start = time.Now()
 	for _, id := range d.Flagged {
 		if _, err := w.SocialBakers.Rating(id); err == nil {
 			d.Whitelisted = append(d.Whitelisted, id)
@@ -174,14 +203,19 @@ func (b *Builder) Build(ctx context.Context) (*Datasets, error) {
 			d.Malicious = append(d.Malicious, id)
 		}
 	}
+	stage("whitelist", start)
 
 	// Step 3: benign selection — vetted, never-flagged apps first, then
 	// the highest-volume unflagged apps to reach parity with malicious.
+	start = time.Now()
 	d.Benign = b.selectBenign(d)
+	stage("select_benign", start)
 
 	// Step 4: crawl D-Sample.
+	start = time.Now()
 	sample := append(append([]string(nil), d.Malicious...), d.Benign...)
 	results, err := b.crawl(ctx, sample)
+	stage("crawl", start)
 	if err != nil {
 		return nil, err
 	}
@@ -270,6 +304,7 @@ func (b *Builder) crawl(ctx context.Context, ids []string) (map[string]*crawler.
 			WOT:       b.WOT,
 			Workers:   b.workers(),
 			Flakiness: flakiness,
+			Telemetry: b.registry(),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("datasets: %w", err)
@@ -288,17 +323,27 @@ func (b *Builder) workers() int {
 
 // crawlDirect is the in-process equivalent of the HTTP crawl: identical
 // visibility rules (deleted apps fail, uncrawlable installs fail), no
-// sockets. Used for the large §5.3 sweep over every untrained app.
+// sockets, and the same metric families as the HTTP crawler. Used for the
+// large §5.3 sweep over every untrained app.
 func (b *Builder) crawlDirect(ids []string, flaky func(string, crawler.Kind) bool) map[string]*crawler.Result {
 	w := b.World
+	ins := crawler.NewInstruments(b.registry())
 	out := make(map[string]*crawler.Result, len(ids))
 	for _, id := range ids {
+		appStart := time.Now()
 		r := &crawler.Result{AppID: id, WOTScore: wot.UnknownScore}
+		for _, k := range []crawler.Kind{crawler.KindSummary, crawler.KindFeed, crawler.KindInstall} {
+			ins.Attempts.With(k.String()).Inc()
+		}
 		app, err := w.Platform.Lookup(id)
 		if err != nil {
 			r.SummaryErr = graphapi.ErrDeleted
 			r.FeedErr = graphapi.ErrDeleted
 			r.InstallErr = graphapi.ErrDeleted
+			ins.Outcome(crawler.KindSummary, r.SummaryErr)
+			ins.Outcome(crawler.KindFeed, r.FeedErr)
+			ins.Outcome(crawler.KindInstall, r.InstallErr)
+			ins.FinishApp(r, appStart)
 			out[id] = r
 			continue
 		}
@@ -340,6 +385,10 @@ func (b *Builder) crawlDirect(ids []string, flaky func(string, crawler.Kind) boo
 		} else {
 			r.InstallErr = crawler.ErrNotCrawlable
 		}
+		ins.Outcome(crawler.KindSummary, r.SummaryErr)
+		ins.Outcome(crawler.KindFeed, r.FeedErr)
+		ins.Outcome(crawler.KindInstall, r.InstallErr)
+		ins.FinishApp(r, appStart)
 		out[id] = r
 	}
 	return out

@@ -17,6 +17,7 @@ import (
 	"frappe/internal/graphapi"
 	"frappe/internal/socialbakers"
 	"frappe/internal/synth"
+	"frappe/internal/telemetry"
 	"frappe/internal/wot"
 )
 
@@ -28,15 +29,30 @@ type Stack struct {
 	SocialBakersURL string
 	RedirectorURL   string
 
+	// Telemetry is the registry every service's HTTP middleware records
+	// into (request counts, status classes, latency histograms).
+	Telemetry *telemetry.Registry
+
 	servers []*http.Server
 	lns     []net.Listener
 	wg      sync.WaitGroup
 }
 
-// Start launches one HTTP server per service. Callers must Close the stack.
+// Start launches one HTTP server per service, instrumented against the
+// process default telemetry registry. Callers must Close the stack.
 func Start(w *synth.World) (*Stack, error) {
-	s := &Stack{}
+	return StartWith(w, nil)
+}
+
+// StartWith is Start with an explicit telemetry registry (nil means the
+// process default); tests use it to read metrics in isolation.
+func StartWith(w *synth.World, reg *telemetry.Registry) (*Stack, error) {
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	s := &Stack{Telemetry: reg}
 	type svc struct {
+		name    string
 		handler http.Handler
 		url     *string
 	}
@@ -44,11 +60,11 @@ func Start(w *synth.World) (*Stack, error) {
 	// Posts created over HTTP land on monitored walls.
 	graph.PostSink = func(p fbplatform.Post) { w.Monitor.Observe(p) }
 	services := []svc{
-		{graph, &s.GraphURL},
-		{w.Bitly, &s.BitlyURL},
-		{w.WOT, &s.WOTURL},
-		{w.SocialBakers, &s.SocialBakersURL},
-		{w.Redirector, &s.RedirectorURL},
+		{"graph", graph, &s.GraphURL},
+		{"bitly", w.Bitly, &s.BitlyURL},
+		{"wot", w.WOT, &s.WOTURL},
+		{"socialbakers", w.SocialBakers, &s.SocialBakersURL},
+		{"redirector", w.Redirector, &s.RedirectorURL},
 	}
 	for _, service := range services {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -57,7 +73,10 @@ func Start(w *synth.World) (*Stack, error) {
 			return nil, fmt.Errorf("stack: listen: %w", err)
 		}
 		*service.url = "http://" + ln.Addr().String()
-		srv := &http.Server{Handler: service.handler, ReadHeaderTimeout: 5 * time.Second}
+		srv := &http.Server{
+			Handler:           telemetry.Middleware(reg, service.name, service.handler),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
 		s.servers = append(s.servers, srv)
 		s.lns = append(s.lns, ln)
 		s.wg.Add(1)

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"frappe/internal/fbplatform"
 	"frappe/internal/redirector"
 	"frappe/internal/stats"
+	"frappe/internal/telemetry"
 	"frappe/internal/wot"
 )
 
@@ -35,21 +37,35 @@ func Generate(cfg Config) *World {
 	g.rngEco = g.rng.Fork()
 	g.rngProfile = g.rng.Fork()
 
-	g.genBenignApps()
-	g.genHackers()
-	g.genMaliciousApps()
-	g.genSites()
-	g.assignBlacklists()
-	g.seedReputations()
-	g.genPosts()
-	g.genManualPosts()
-	g.genClicks()
-	g.scheduleDeletions()
+	// Per-stage wall clock lands in frappe_synth_stage_seconds{stage}, so
+	// slow world builds are attributable to a phase rather than folklore.
+	stages := telemetry.Default().Gauge("frappe_synth_stage_seconds",
+		"Wall-clock seconds of the last world-generation stage run.", "stage")
+	genStart := time.Now()
+	timed := func(stage string, fn func()) {
+		start := time.Now()
+		fn()
+		stages.With(stage).Set(time.Since(start).Seconds())
+	}
+
+	timed("benign_apps", g.genBenignApps)
+	timed("hackers", g.genHackers)
+	timed("malicious_apps", g.genMaliciousApps)
+	timed("sites", g.genSites)
+	timed("blacklists", g.assignBlacklists)
+	timed("reputations", g.seedReputations)
+	timed("posts", g.genPosts)
+	timed("manual_posts", g.genManualPosts)
+	timed("clicks", g.genClicks)
+	timed("deletions", g.scheduleDeletions)
 
 	// Apply deletions that fall inside the observation window: some apps
 	// were already gone from the graph before the crawls started.
-	w.currentMonth = -1
-	w.AdvanceTo(cfg.Months - 1)
+	timed("advance", func() {
+		w.currentMonth = -1
+		w.AdvanceTo(cfg.Months - 1)
+	})
+	stages.With("total").Set(time.Since(genStart).Seconds())
 	return w
 }
 

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"expvar"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the operational side-channel of a long-running binary:
+// /metrics (Prometheus text), /debug/vars (expvar, including the bridged
+// registry), and /debug/pprof (CPU/heap/goroutine profiling). frappeserve
+// and watchdogd mount it behind their -debug-addr flag.
+type DebugServer struct {
+	// Addr is the resolved listen address (useful with ":0").
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartDebugServer listens on addr and serves the debug mux in a
+// goroutine. The registry (nil means Default) is published to expvar under
+// "frappe_metrics" and served at /metrics. Callers must Close the server.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	if reg == nil {
+		reg = Default()
+	}
+	reg.PublishExpvar("frappe_metrics")
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ds := &DebugServer{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+	}
+	go func() {
+		if err := ds.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			slog.Default().Error("debug server exited", "addr", ds.Addr, "err", err)
+		}
+	}()
+	return ds, nil
+}
+
+// Close stops the server.
+func (d *DebugServer) Close() error {
+	err := d.srv.Close()
+	_ = d.ln.Close()
+	return err
+}

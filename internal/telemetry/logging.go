@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// Shared structured-logging setup for the cmd/ binaries: every process logs
+// through log/slog with a component attribute, a parseable level, and an
+// optional JSON format, so crawl/serve/train logs are greppable and
+// machine-readable the same way across the fleet.
+
+// LogConfig configures NewLogger.
+type LogConfig struct {
+	// Component tags every record (e.g. "watchdogd").
+	Component string
+	// Level is "debug", "info", "warn" or "error" (default "info").
+	Level string
+	// JSON selects JSON output instead of logfmt-style text.
+	JSON bool
+	// Output defaults to os.Stderr.
+	Output io.Writer
+}
+
+// ParseLevel maps a level name to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return slog.LevelInfo, fmt.Errorf("telemetry: unknown log level %q", s)
+	}
+}
+
+// NewLogger builds a *slog.Logger per cfg. An unknown level falls back to
+// info (and is reported on the returned logger) rather than failing the
+// process over a typo.
+func NewLogger(cfg LogConfig) *slog.Logger {
+	out := cfg.Output
+	if out == nil {
+		out = os.Stderr
+	}
+	level, err := ParseLevel(cfg.Level)
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if cfg.JSON {
+		h = slog.NewJSONHandler(out, opts)
+	} else {
+		h = slog.NewTextHandler(out, opts)
+	}
+	logger := slog.New(h)
+	if cfg.Component != "" {
+		logger = logger.With("component", cfg.Component)
+	}
+	if err != nil {
+		logger.Warn("invalid log level, using info", "level", cfg.Level)
+	}
+	return logger
+}
+
+// SetupProcessLogger builds a logger per cfg and installs it as the slog
+// default, so package-level instrumentation (watchdog service, middleware)
+// logs through it too. It returns the logger for direct use.
+func SetupProcessLogger(cfg LogConfig) *slog.Logger {
+	logger := NewLogger(cfg)
+	slog.SetDefault(logger)
+	return logger
+}

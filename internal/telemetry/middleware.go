@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTP middleware shared by every loopback service in internal/stack and
+// by the watchdog assessment service. Metric names are part of the repo's
+// observability contract (see DESIGN.md "Observability"):
+//
+//	frappe_http_requests_total{service,code}      counter
+//	frappe_http_request_duration_seconds{service} histogram
+//	frappe_http_inflight_requests{service}        gauge
+
+// statusRecorder captures the response status code for labelling.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// codeClass folds a status code into its Prometheus-friendly class label.
+func codeClass(status int) string {
+	if status < 100 || status > 599 {
+		return "other"
+	}
+	return strconv.Itoa(status/100) + "xx"
+}
+
+// Middleware instruments next with per-request count, status class, latency
+// and in-flight gauges, all labelled by service. A nil registry means
+// Default(). The {service,code="2xx"} count series and the latency
+// histogram series are pre-created so /metrics exposes every instrumented
+// service from process start, before any traffic arrives.
+func Middleware(reg *Registry, service string, next http.Handler) http.Handler {
+	if reg == nil {
+		reg = Default()
+	}
+	requests := reg.Counter("frappe_http_requests_total",
+		"HTTP requests served, by service and status-code class.", "service", "code")
+	duration := reg.Histogram("frappe_http_request_duration_seconds",
+		"HTTP request latency in seconds, by service.", nil, "service")
+	inflight := reg.Gauge("frappe_http_inflight_requests",
+		"HTTP requests currently being served, by service.", "service")
+
+	requests.With(service, "2xx") // pre-create so the family is never empty
+	dur := duration.With(service)
+	inf := inflight.With(service)
+
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inf.Inc()
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		dur.Observe(time.Since(start).Seconds())
+		requests.With(service, codeClass(rec.status)).Inc()
+		inf.Dec()
+	})
+}

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestMiddlewareRecords(t *testing.T) {
+	r := New()
+	h := Middleware(r, "svc", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch req.URL.Path {
+		case "/boom":
+			http.Error(w, "boom", http.StatusInternalServerError)
+		case "/missing":
+			http.NotFound(w, req)
+		default:
+			w.Write([]byte("ok")) // implicit 200
+		}
+	}))
+	for _, path := range []string{"/", "/", "/boom", "/missing"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	}
+	if got := r.CounterValue("frappe_http_requests_total", "svc", "2xx"); got != 2 {
+		t.Errorf("2xx = %d, want 2", got)
+	}
+	if got := r.CounterValue("frappe_http_requests_total", "svc", "5xx"); got != 1 {
+		t.Errorf("5xx = %d, want 1", got)
+	}
+	if got := r.CounterValue("frappe_http_requests_total", "svc", "4xx"); got != 1 {
+		t.Errorf("4xx = %d, want 1", got)
+	}
+	if _, count := r.HistogramSum("frappe_http_request_duration_seconds", "svc"); count != 4 {
+		t.Errorf("duration count = %d, want 4", count)
+	}
+	if got := r.GaugeValue("frappe_http_inflight_requests", "svc"); got != 0 {
+		t.Errorf("inflight after drain = %v, want 0", got)
+	}
+}
+
+// TestMiddlewarePreCreatesSeries: /metrics must show every instrumented
+// service from process start, before any traffic arrives.
+func TestMiddlewarePreCreatesSeries(t *testing.T) {
+	r := New()
+	Middleware(r, "idle", http.NotFoundHandler())
+	if got := r.CounterValue("frappe_http_requests_total", "idle", "2xx"); got != 0 {
+		t.Errorf("pre-created series = %d, want 0", got)
+	}
+	found := false
+	for _, fam := range r.Snapshot() {
+		if fam.Name == "frappe_http_request_duration_seconds" && len(fam.Series) == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("latency histogram series not pre-created")
+	}
+}
+
+func TestDebugServerServesMetricsAndPprof(t *testing.T) {
+	r := New()
+	r.Counter("frappe_smoke_total", "Smoke.").With().Inc()
+	ds, err := StartDebugServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	for _, path := range []string{"/metrics", "/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + ds.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}

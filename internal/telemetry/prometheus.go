@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry in the Prometheus text exposition format
+// (version 0.0.4) and bridges it onto expvar, both without importing
+// anything beyond the stdlib.
+
+// WritePrometheus renders every family in text exposition format. Families
+// are sorted by name and series by label values, so output is
+// deterministic for a quiesced registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, fam := range r.Snapshot() {
+		if len(fam.Series) == 0 {
+			continue
+		}
+		if fam.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.Name, escapeHelp(fam.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.Name, fam.Kind); err != nil {
+			return err
+		}
+		for _, s := range fam.Series {
+			if err := writeSeries(w, fam, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, fam FamilySnapshot, s SeriesSnapshot) error {
+	if fam.Kind != KindHistogram {
+		_, err := fmt.Fprintf(w, "%s%s %s\n",
+			fam.Name, labelSet(fam.LabelNames, s.LabelValues, "", ""), formatFloat(s.Value))
+		return err
+	}
+	for i, upper := range fam.Buckets {
+		le := formatFloat(upper)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			fam.Name, labelSet(fam.LabelNames, s.LabelValues, "le", le), s.CumulativeCounts[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		fam.Name, labelSet(fam.LabelNames, s.LabelValues, "le", "+Inf"),
+		s.CumulativeCounts[len(fam.Buckets)]); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		fam.Name, labelSet(fam.LabelNames, s.LabelValues, "", ""), formatFloat(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+		fam.Name, labelSet(fam.LabelNames, s.LabelValues, "", ""), s.Count)
+	return err
+}
+
+// labelSet renders {a="x",b="y"} (plus an optional extra pair, used for
+// histogram le) or the empty string when there are no labels.
+func labelSet(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// ExpvarFunc returns an expvar.Func exposing the registry as a JSON map:
+// counters and gauges as numbers keyed name{labels}, histograms as
+// {count, sum} objects. Publish it under any name with expvar.Publish.
+func (r *Registry) ExpvarFunc() expvar.Func {
+	return func() interface{} {
+		out := make(map[string]interface{})
+		for _, fam := range r.Snapshot() {
+			for _, s := range fam.Series {
+				key := fam.Name + labelSet(fam.LabelNames, s.LabelValues, "", "")
+				if fam.Kind == KindHistogram {
+					out[key] = map[string]interface{}{"count": s.Count, "sum": s.Sum}
+				} else {
+					out[key] = s.Value
+				}
+			}
+		}
+		return out
+	}
+}
+
+// PublishExpvar publishes the registry under the given expvar name exactly
+// once; repeat calls with the same name are no-ops (expvar.Publish panics
+// on duplicates, which is hostile to tests and multi-init paths).
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, r.ExpvarFunc())
+}

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden locks the text exposition format: a quiesced
+// registry must render byte-for-byte deterministically.
+func TestPrometheusGolden(t *testing.T) {
+	r := New()
+	req := r.Counter("frappe_http_requests_total", "HTTP requests.", "service", "code")
+	req.With("graph", "2xx").Add(3)
+	req.With("graph", "5xx").Inc()
+	req.With("wot", "2xx").Add(2)
+	r.Gauge("frappe_http_inflight_requests", "In-flight.", "service").With("graph").Set(1)
+	h := r.Histogram("frappe_http_request_duration_seconds", "Latency.", []float64{0.01, 0.1, 1}, "service")
+	h.With("graph").Observe(0.005)
+	h.With("graph").Observe(0.05)
+	h.With("graph").Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP frappe_http_inflight_requests In-flight.
+# TYPE frappe_http_inflight_requests gauge
+frappe_http_inflight_requests{service="graph"} 1
+# HELP frappe_http_request_duration_seconds Latency.
+# TYPE frappe_http_request_duration_seconds histogram
+frappe_http_request_duration_seconds_bucket{service="graph",le="0.01"} 1
+frappe_http_request_duration_seconds_bucket{service="graph",le="0.1"} 2
+frappe_http_request_duration_seconds_bucket{service="graph",le="1"} 2
+frappe_http_request_duration_seconds_bucket{service="graph",le="+Inf"} 3
+frappe_http_request_duration_seconds_sum{service="graph"} 5.055
+frappe_http_request_duration_seconds_count{service="graph"} 3
+# HELP frappe_http_requests_total HTTP requests.
+# TYPE frappe_http_requests_total counter
+frappe_http_requests_total{service="graph",code="2xx"} 3
+frappe_http_requests_total{service="graph",code="5xx"} 1
+frappe_http_requests_total{service="wot",code="2xx"} 2
+`
+	// Series order within a family follows label-value order (service
+	// first), so graph sorts before wot.
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := New()
+	r.Counter("c_total", "C.", "v").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `c_total{v="a\"b\\c\nd"} 1`) {
+		t.Errorf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestEmptyFamilyOmitted(t *testing.T) {
+	r := New()
+	r.Counter("never_used_total", "Unused.", "k") // family, no series
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("empty family rendered:\n%s", b.String())
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := New()
+	r.Counter("c_total", "C.").With().Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "c_total 1") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}
+
+func TestExpvarFunc(t *testing.T) {
+	r := New()
+	r.Counter("c_total", "C.", "k").With("x").Add(2)
+	r.Histogram("h_seconds", "H.", []float64{1}).With().Observe(0.5)
+	raw, err := json.Marshal(r.ExpvarFunc()())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	if !strings.Contains(s, `"c_total{k=\"x\"}":2`) {
+		t.Errorf("expvar JSON missing counter: %s", s)
+	}
+	if !strings.Contains(s, `"h_seconds":{"count":1,"sum":0.5}`) {
+		t.Errorf("expvar JSON missing histogram: %s", s)
+	}
+}

@@ -1,0 +1,421 @@
+// Package telemetry is the repo's dependency-free observability substrate:
+// atomic counters, gauges, and fixed-bucket latency histograms behind a
+// Registry, exposed in Prometheus text format and over expvar, plus shared
+// HTTP middleware, structured-logging setup, and a pprof debug server.
+//
+// The paper's pipeline (§2.3, §5) is measurement all the way down —
+// MyPageKeeper's value came from continuously observing 91M posts — and
+// this package gives the reproduction the same property: crawl coverage,
+// per-service request latency, and classification throughput become live
+// observables instead of folklore.
+//
+// Everything is stdlib-only by design (go.mod stays empty of requires):
+// counters are atomic.Uint64, gauges and histogram sums are CAS loops over
+// float64 bits, and the exposition writer emits the Prometheus text format
+// directly.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates metric families.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing count.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a fixed-bucket distribution.
+	KindHistogram
+)
+
+// String names the kind in Prometheus TYPE terms.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Registry holds metric families. The zero value is not usable; call New.
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// family is one named metric family: a kind, a help string, a label schema,
+// and the live series keyed by their label values.
+type family struct {
+	name       string
+	help       string
+	kind       Kind
+	labelNames []string
+	buckets    []float64 // histogram upper bounds, sorted, no +Inf
+
+	mu     sync.RWMutex
+	series map[string]interface{} // *Counter | *Gauge | *Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the process-wide registry that the instrumented packages
+// (stack, crawler, datasets, core, synth, the watchdog service) record into
+// unless handed an explicit one.
+func Default() *Registry {
+	defaultOnce.Do(func() { defaultReg = New() })
+	return defaultReg
+}
+
+// lookup returns the family, creating it on first use. Re-registering an
+// existing name with a different kind or label schema is a programming
+// error and panics.
+func (r *Registry) lookup(name, help string, kind Kind, labelNames []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %s (was %s)", name, kind, f.kind))
+		}
+		if len(f.labelNames) != len(labelNames) {
+			panic(fmt.Sprintf("telemetry: %s re-registered with labels %v (was %v)", name, labelNames, f.labelNames))
+		}
+		for i := range labelNames {
+			if f.labelNames[i] != labelNames[i] {
+				panic(fmt.Sprintf("telemetry: %s re-registered with labels %v (was %v)", name, labelNames, f.labelNames))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name:       name,
+		help:       help,
+		kind:       kind,
+		labelNames: append([]string(nil), labelNames...),
+		buckets:    append([]float64(nil), buckets...),
+		series:     make(map[string]interface{}),
+	}
+	sort.Float64s(f.buckets)
+	r.families[name] = f
+	return f
+}
+
+// seriesKey joins label values; 0x1f (unit separator) cannot appear in
+// practical label values and keeps the key unambiguous.
+func seriesKey(values []string) string { return strings.Join(values, "\x1f") }
+
+// get returns the series for the label values, creating it with make on
+// first use.
+func (f *family) get(values []string, make func() interface{}) interface{} {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("telemetry: %s expects %d label values, got %d", f.name, len(f.labelNames), len(values)))
+	}
+	key := seriesKey(values)
+	f.mu.RLock()
+	s, ok := f.series[key]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s = make()
+	f.series[key] = s
+	return s
+}
+
+// ---------------------------------------------------------------- counters
+
+// Counter is a monotonically increasing count. Use Inc/Add.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// CounterVec is a counter family with a fixed label schema.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (created on first
+// use). The number of values must match the registration label names.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.get(labelValues, func() interface{} { return &Counter{} }).(*Counter)
+}
+
+// Counter registers (or returns) a counter family. With no label names the
+// family holds a single series, addressed as vec.With().
+func (r *Registry) Counter(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{f: r.lookup(name, help, KindCounter, labelNames, nil)}
+}
+
+// ------------------------------------------------------------------ gauges
+
+// Gauge is a float value that can move in both directions.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (CAS loop; safe under contention).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// GaugeVec is a gauge family with a fixed label schema.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.get(labelValues, func() interface{} { return &Gauge{} }).(*Gauge)
+}
+
+// Gauge registers (or returns) a gauge family.
+func (r *Registry) Gauge(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{f: r.lookup(name, help, KindGauge, labelNames, nil)}
+}
+
+// -------------------------------------------------------------- histograms
+
+// Histogram is a fixed-bucket distribution. Buckets are upper bounds; an
+// implicit +Inf bucket catches the tail. Observe is lock-free.
+type Histogram struct {
+	upper   []float64 // sorted upper bounds, no +Inf
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(upper []float64) *Histogram {
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound >= v; the last slot is +Inf.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		s := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Cumulative returns the cumulative per-bucket counts; the final entry is
+// the +Inf bucket and equals Count (modulo racing observers).
+func (h *Histogram) Cumulative() []uint64 {
+	out := make([]uint64, len(h.counts))
+	var acc uint64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		out[i] = acc
+	}
+	return out
+}
+
+// HistogramVec is a histogram family with a fixed label schema.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	f := v.f
+	return f.get(labelValues, func() interface{} { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// Histogram registers (or returns) a histogram family with the given
+// upper-bound buckets (nil means DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if len(buckets) == 0 {
+		buckets = DefBuckets()
+	}
+	return &HistogramVec{f: r.lookup(name, help, KindHistogram, labelNames, buckets)}
+}
+
+// DefBuckets is the default latency bucket ladder, in seconds.
+func DefBuckets() []float64 {
+	return []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+// LinearBuckets returns count buckets of the given width starting at start.
+func LinearBuckets(start, width float64, count int) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// --------------------------------------------------------------- snapshots
+
+// SeriesSnapshot is one series' point-in-time state.
+type SeriesSnapshot struct {
+	// LabelValues parallel the family's label names.
+	LabelValues []string
+	// Value holds counter counts and gauge values.
+	Value float64
+	// Count/Sum/CumulativeCounts are set for histograms only;
+	// CumulativeCounts parallels the family's Buckets plus a final +Inf.
+	Count            uint64
+	Sum              float64
+	CumulativeCounts []uint64
+}
+
+// FamilySnapshot is one family's point-in-time state.
+type FamilySnapshot struct {
+	Name       string
+	Help       string
+	Kind       Kind
+	LabelNames []string
+	Buckets    []float64
+	Series     []SeriesSnapshot
+}
+
+// Snapshot captures every family and series, sorted by family name and
+// series label values, suitable for exposition or programmatic reads.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{
+			Name:       f.name,
+			Help:       f.help,
+			Kind:       f.kind,
+			LabelNames: f.labelNames,
+			Buckets:    f.buckets,
+		}
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ss := SeriesSnapshot{}
+			if len(f.labelNames) > 0 {
+				ss.LabelValues = strings.Split(k, "\x1f")
+			}
+			switch m := f.series[k].(type) {
+			case *Counter:
+				ss.Value = float64(m.Value())
+			case *Gauge:
+				ss.Value = m.Value()
+			case *Histogram:
+				ss.Count = m.Count()
+				ss.Sum = m.Sum()
+				ss.CumulativeCounts = m.Cumulative()
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		f.mu.RUnlock()
+		out = append(out, fs)
+	}
+	return out
+}
+
+// CounterValue reads one counter series (0 if absent). Label values must be
+// in registration order.
+func (r *Registry) CounterValue(name string, labelValues ...string) uint64 {
+	if c, ok := r.find(name, labelValues); ok {
+		if m, ok := c.(*Counter); ok {
+			return m.Value()
+		}
+	}
+	return 0
+}
+
+// GaugeValue reads one gauge series (0 if absent).
+func (r *Registry) GaugeValue(name string, labelValues ...string) float64 {
+	if g, ok := r.find(name, labelValues); ok {
+		if m, ok := g.(*Gauge); ok {
+			return m.Value()
+		}
+	}
+	return 0
+}
+
+// HistogramSum reads one histogram series' sum and count (zeros if absent).
+func (r *Registry) HistogramSum(name string, labelValues ...string) (sum float64, count uint64) {
+	if h, ok := r.find(name, labelValues); ok {
+		if m, ok := h.(*Histogram); ok {
+			return m.Sum(), m.Count()
+		}
+	}
+	return 0, 0
+}
+
+func (r *Registry) find(name string, labelValues []string) (interface{}, bool) {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	s, ok := f.series[seriesKey(labelValues)]
+	return s, ok
+}

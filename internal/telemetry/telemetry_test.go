@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterSemantics(t *testing.T) {
+	r := New()
+	vec := r.Counter("jobs_total", "Jobs.", "kind")
+	vec.With("a").Inc()
+	vec.With("a").Add(4)
+	vec.With("b").Inc()
+	if got := r.CounterValue("jobs_total", "a"); got != 5 {
+		t.Errorf("counter a = %d, want 5", got)
+	}
+	if got := r.CounterValue("jobs_total", "b"); got != 1 {
+		t.Errorf("counter b = %d, want 1", got)
+	}
+	if got := r.CounterValue("jobs_total", "missing"); got != 0 {
+		t.Errorf("missing series = %d, want 0", got)
+	}
+	// Same name re-registration returns the same underlying family.
+	again := r.Counter("jobs_total", "Jobs.", "kind")
+	again.With("a").Inc()
+	if got := r.CounterValue("jobs_total", "a"); got != 6 {
+		t.Errorf("re-registered counter a = %d, want 6", got)
+	}
+}
+
+func TestGaugeSemantics(t *testing.T) {
+	r := New()
+	g := r.Gauge("depth", "Depth.").With()
+	g.Set(2.5)
+	g.Add(1.5)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %v, want 4", got)
+	}
+	g.Set(-1)
+	if got := r.GaugeValue("depth"); got != -1 {
+		t.Errorf("gauge after Set(-1) = %v, want -1", got)
+	}
+}
+
+func TestHistogramSemantics(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", "Latency.", []float64{0.1, 1, 10}).With()
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-55.65) > 1e-9 {
+		t.Errorf("sum = %v, want 55.65", got)
+	}
+	// 0.05 and 0.1 land in le=0.1 (bounds are inclusive); 0.5 in le=1;
+	// 5 in le=10; 50 only in +Inf.
+	want := []uint64{2, 3, 4, 5}
+	got := h.Cumulative()
+	if len(got) != len(want) {
+		t.Fatalf("cumulative = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cumulative[%d] = %d, want %d (%v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("x", "X.")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "X.")
+}
+
+func TestLabelArityMismatchPanics(t *testing.T) {
+	r := New()
+	vec := r.Counter("x", "X.", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity did not panic")
+		}
+	}()
+	vec.With("only-one")
+}
+
+// TestConcurrentIncrements is the race-detector workout for the atomic and
+// locked paths: CI runs the package under -race.
+func TestConcurrentIncrements(t *testing.T) {
+	r := New()
+	c := r.Counter("c", "C.", "w")
+	g := r.Gauge("g", "G.")
+	h := r.Histogram("h", "H.", []float64{1, 2, 3})
+
+	const workers, perWorker = 32, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w%4))
+			for i := 0; i < perWorker; i++ {
+				c.With(lbl).Inc()
+				g.With().Add(1)
+				h.With().Observe(float64(i % 5))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total uint64
+	for _, lbl := range []string{"a", "b", "c", "d"} {
+		total += r.CounterValue("c", lbl)
+	}
+	if want := uint64(workers * perWorker); total != want {
+		t.Errorf("counter total = %d, want %d", total, want)
+	}
+	if got := r.GaugeValue("g"); got != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	if _, count := r.HistogramSum("h"); count != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", count, workers*perWorker)
+	}
+	inf := h.With().Cumulative()
+	if got := inf[len(inf)-1]; got != workers*perWorker {
+		t.Errorf("+Inf cumulative = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestSnapshotShape(t *testing.T) {
+	r := New()
+	r.Counter("b_total", "B.", "k").With("x").Inc()
+	r.Gauge("a_gauge", "A.").With().Set(7)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot families = %d, want 2", len(snap))
+	}
+	if snap[0].Name != "a_gauge" || snap[1].Name != "b_total" {
+		t.Errorf("families not sorted: %s, %s", snap[0].Name, snap[1].Name)
+	}
+	if snap[1].Series[0].LabelValues[0] != "x" {
+		t.Errorf("label values = %v", snap[1].Series[0].LabelValues)
+	}
+}

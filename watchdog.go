@@ -2,6 +2,7 @@ package frappe
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -19,6 +20,9 @@ import (
 type Watchdog struct {
 	classifier *Classifier
 	crawler    *crawler.Crawler
+
+	// RankWorkers bounds Rank's assessment fan-out (default 8).
+	RankWorkers int
 }
 
 // NewWatchdog wires a trained classifier to a Graph-API endpoint and a WOT
@@ -61,6 +65,13 @@ func (w *Watchdog) Evaluate(ctx context.Context, appID string) (Verdict, error) 
 	r, ok := results[appID]
 	if !ok {
 		return Verdict{AppID: appID}, fmt.Errorf("frappe: no crawl result for %s", appID)
+	}
+	// A summary crawl that failed for any reason other than deletion (the
+	// Graph endpoint unreachable, say) is a crawl failure, not a verdict:
+	// without this distinction a network outage would report every app as
+	// deleted-and-malicious.
+	if r.SummaryErr != nil && !errors.Is(r.SummaryErr, graphapi.ErrDeleted) {
+		return Verdict{AppID: appID}, fmt.Errorf("frappe: crawling %s: %w", appID, r.SummaryErr)
 	}
 	return w.classifier.Classify(AppRecord{ID: appID, Crawl: r})
 }

@@ -4,9 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
 	"sort"
+	"sync"
 	"time"
+
+	"frappe/internal/telemetry"
 )
 
 // The paper's long-term vision (§1, §9) is "an independent watchdog for
@@ -26,29 +30,76 @@ type Assessment struct {
 	Error   string `json:"error,omitempty"`
 }
 
+// Watchdog assessment metrics (process default registry):
+//
+//	frappe_assessments_total{outcome}   ok / deleted / error
+//	frappe_rank_fanout_width            workers used by the last Rank call
+var (
+	assessTotal = telemetry.Default().Counter("frappe_assessments_total",
+		"Watchdog assessments, by outcome.", "outcome")
+	rankFanout = telemetry.Default().Gauge("frappe_rank_fanout_width",
+		"Worker-pool width used by the most recent Rank call.").With()
+)
+
 // Assess evaluates one app and folds the deleted-from-graph case into the
 // verdict instead of an error: a deleted app is reported as such.
 func (w *Watchdog) Assess(ctx context.Context, appID string) Assessment {
 	v, err := w.Evaluate(ctx, appID)
 	switch {
 	case errors.Is(err, ErrNotClassifiable):
+		assessTotal.With("deleted").Inc()
 		return Assessment{AppID: appID, Deleted: true, Malicious: true,
 			Error: "app removed from the graph"}
 	case err != nil:
+		assessTotal.With("error").Inc()
 		return Assessment{AppID: appID, Error: err.Error()}
 	default:
+		assessTotal.With("ok").Inc()
 		return Assessment{AppID: appID, Malicious: v.Malicious, Score: v.Score}
 	}
 }
 
-// Rank assesses many apps and returns them most-suspicious first (deleted
-// apps lead, then by descending score). Assessment errors are carried in
-// the rows rather than aborting the ranking.
+// defaultRankWorkers bounds Rank's fan-out when the Watchdog does not set
+// its own width.
+const defaultRankWorkers = 8
+
+// Rank assesses many apps concurrently — a bounded worker pool, width
+// min(RankWorkers, len(appIDs)) — and returns them most-suspicious first
+// (deleted apps lead, then by descending score). Assessment errors are
+// carried in the rows rather than aborting the ranking; once ctx is
+// cancelled, remaining apps are reported with the context error.
 func (w *Watchdog) Rank(ctx context.Context, appIDs []string) []Assessment {
-	out := make([]Assessment, 0, len(appIDs))
-	for _, id := range appIDs {
-		out = append(out, w.Assess(ctx, id))
+	workers := w.RankWorkers
+	if workers <= 0 {
+		workers = defaultRankWorkers
 	}
+	if workers > len(appIDs) {
+		workers = len(appIDs)
+	}
+	rankFanout.Set(float64(workers))
+
+	out := make([]Assessment, len(appIDs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				if err := ctx.Err(); err != nil {
+					out[idx] = Assessment{AppID: appIDs[idx], Error: err.Error()}
+					continue
+				}
+				out[idx] = w.Assess(ctx, appIDs[idx])
+			}
+		}()
+	}
+	for idx := range appIDs {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Deleted != out[j].Deleted {
 			return out[i].Deleted
@@ -64,7 +115,11 @@ func (w *Watchdog) Rank(ctx context.Context, appIDs []string) []Assessment {
 //	GET /rank?app=A&app=B&app=C     -> ranked []Assessment
 //	GET /healthz                    -> 200 ok
 //
-// Each request is bounded by timeout (default 10s).
+// Each request is bounded by timeout (default 10s). A /check whose
+// assessment failed (crawl error, not a deleted-app verdict) returns 502
+// with the error in the body; /rank always returns 200 and carries per-row
+// errors, matching its don't-abort contract. All endpoints are
+// instrumented as service "watchdog" on the default telemetry registry.
 func WatchdogHandler(w *Watchdog, timeout time.Duration) http.Handler {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
@@ -82,7 +137,15 @@ func WatchdogHandler(w *Watchdog, timeout time.Duration) http.Handler {
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
-		writeAssessJSON(rw, w.Assess(ctx, appID))
+		a := w.Assess(ctx, appID)
+		status := http.StatusOK
+		// A deleted app is a verdict (the paper treats deletion as
+		// confirmation); any other assessment error means the upstream
+		// crawl failed and the verdict is unusable.
+		if a.Error != "" && !a.Deleted {
+			status = http.StatusBadGateway
+		}
+		writeAssessJSON(rw, status, a)
 	})
 	mux.HandleFunc("/rank", func(rw http.ResponseWriter, r *http.Request) {
 		ids := r.URL.Query()["app"]
@@ -92,12 +155,17 @@ func WatchdogHandler(w *Watchdog, timeout time.Duration) http.Handler {
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
-		writeAssessJSON(rw, w.Rank(ctx, ids))
+		writeAssessJSON(rw, http.StatusOK, w.Rank(ctx, ids))
 	})
-	return mux
+	return telemetry.Middleware(nil, "watchdog", mux)
 }
 
-func writeAssessJSON(rw http.ResponseWriter, v interface{}) {
+func writeAssessJSON(rw http.ResponseWriter, status int, v interface{}) {
 	rw.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(rw).Encode(v)
+	rw.WriteHeader(status)
+	if err := json.NewEncoder(rw).Encode(v); err != nil {
+		// The status line is gone; all that's left is to make the failure
+		// visible to operators.
+		slog.Default().Error("watchdog: encoding assessment response", "err", err)
+	}
 }

@@ -1,0 +1,183 @@
+package frappe
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"frappe/internal/telemetry"
+)
+
+// trainedWatchdog returns a watchdog over the shared world's live services.
+func trainedWatchdog(t *testing.T) (*Watchdog, func()) {
+	t.Helper()
+	w, d := sharedWorld(t)
+	records, labels := LabeledSample(d)
+	clf, err := Train(records, labels, Options{Features: LiteFeatures(), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := StartServices(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, err := NewWatchdog(clf, st.GraphURL, st.WOTURL)
+	if err != nil {
+		st.Close()
+		t.Fatal(err)
+	}
+	return wd, st.Close
+}
+
+// deadEndWatchdog returns a watchdog whose Graph endpoint refuses every
+// connection — the crawl-failure (not deleted-app) path.
+func deadEndWatchdog(t *testing.T) *Watchdog {
+	t.Helper()
+	_, d := sharedWorld(t)
+	records, labels := LabeledSample(d)
+	clf, err := Train(records, labels, Options{Features: LiteFeatures(), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reserve a port and close it so connections are refused immediately.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+	wd, err := NewWatchdog(clf, dead, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+// TestCheckCrawlFailureIsNot200 is the satellite bugfix: a /check whose
+// upstream crawl failed must not return 200 with an error buried in the
+// body — and must not masquerade as a deleted-app verdict either.
+func TestCheckCrawlFailureIsNot200(t *testing.T) {
+	wd := deadEndWatchdog(t)
+	srv := httptest.NewServer(WatchdogHandler(wd, 10*time.Second))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/check?app=1000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("status = %d, want %d", resp.StatusCode, http.StatusBadGateway)
+	}
+	var a Assessment
+	if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Error == "" {
+		t.Error("assessment carries no error")
+	}
+	if a.Deleted {
+		t.Errorf("crawl failure reported as deleted: %+v", a)
+	}
+}
+
+// TestCheckDeletedAppIs200 pins the counterpart: a deleted app is a
+// verdict (the paper treats deletion as confirmation), not a failure.
+func TestCheckDeletedAppIs200(t *testing.T) {
+	wd, closeStack := trainedWatchdog(t)
+	defer closeStack()
+	w, _ := sharedWorld(t)
+	var deleted string
+	for _, id := range w.MaliciousIDs {
+		if _, err := w.Platform.Lookup(id); err != nil {
+			deleted = id
+			break
+		}
+	}
+	if deleted == "" {
+		t.Skip("world has no deleted app")
+	}
+	srv := httptest.NewServer(WatchdogHandler(wd, 10*time.Second))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/check?app=" + deleted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("deleted app status = %d, want 200", resp.StatusCode)
+	}
+	var a Assessment
+	if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Deleted || !a.Malicious {
+		t.Errorf("deleted assessment = %+v", a)
+	}
+}
+
+// TestRankFansOut exercises the bounded worker pool: results must be
+// complete, sorted, and identical to the sequential semantics, and the
+// fan-out width must land in the telemetry gauge.
+func TestRankFansOut(t *testing.T) {
+	wd, closeStack := trainedWatchdog(t)
+	defer closeStack()
+	w, _ := sharedWorld(t)
+
+	var ids []string
+	for _, id := range append(append([]string(nil), w.MaliciousIDs...), w.BenignIDs...) {
+		ids = append(ids, id)
+		if len(ids) == 12 {
+			break
+		}
+	}
+	wd.RankWorkers = 4
+	out := wd.Rank(context.Background(), ids)
+	if len(out) != len(ids) {
+		t.Fatalf("Rank returned %d rows for %d ids", len(out), len(ids))
+	}
+	seen := make(map[string]bool, len(out))
+	for _, a := range out {
+		seen[a.AppID] = true
+	}
+	for _, id := range ids {
+		if !seen[id] {
+			t.Errorf("app %s missing from ranking", id)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Deleted && !out[i-1].Deleted {
+			t.Errorf("deleted app ranked below live app at %d", i)
+		}
+		if out[i-1].Deleted == out[i].Deleted && out[i-1].Score < out[i].Score {
+			t.Errorf("scores out of order at %d: %.3f < %.3f", i, out[i-1].Score, out[i].Score)
+		}
+	}
+	if got := telemetry.Default().GaugeValue("frappe_rank_fanout_width"); got != 4 {
+		t.Errorf("fan-out gauge = %v, want 4", got)
+	}
+}
+
+// TestRankCancelledContext: once the context is gone, remaining rows carry
+// the context error instead of hanging.
+func TestRankCancelledContext(t *testing.T) {
+	wd, closeStack := trainedWatchdog(t)
+	defer closeStack()
+	w, _ := sharedWorld(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := wd.Rank(ctx, w.BenignIDs[:3])
+	if len(out) != 3 {
+		t.Fatalf("Rank returned %d rows", len(out))
+	}
+	for _, a := range out {
+		if a.Error == "" {
+			t.Errorf("cancelled assessment has no error: %+v", a)
+		}
+	}
+}
