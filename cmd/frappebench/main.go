@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"runtime"
 	"time"
 
 	"frappe/internal/experiments"
@@ -32,6 +33,10 @@ type benchDoc struct {
 	Scale float64 `json:"scale"`
 	Seed  int64   `json:"seed"`
 	Quick bool    `json:"quick"`
+	// Workers is the GOMAXPROCS the run used; the parallel engine keeps
+	// results byte-identical across worker counts, so BENCH files differing
+	// only here are directly comparable.
+	Workers int `json:"workers"`
 	// StagesSeconds holds per-stage wall clock, read from the telemetry
 	// registry: generate and build_datasets are last-run gauges; train and
 	// cross_validate are cumulative histogram sums across every Train /
@@ -50,9 +55,10 @@ func writeBenchJSON(path string, scale float64, seed int64, quick bool, total ti
 	trainSum, trainRuns := reg.HistogramSum("frappe_train_duration_seconds")
 	cvSum, cvRuns := reg.HistogramSum("frappe_crossval_duration_seconds")
 	doc := benchDoc{
-		Scale: scale,
-		Seed:  seed,
-		Quick: quick,
+		Scale:   scale,
+		Seed:    seed,
+		Quick:   quick,
+		Workers: runtime.GOMAXPROCS(0),
 		StagesSeconds: map[string]float64{
 			"generate":       reg.GaugeValue("frappe_synth_stage_seconds", "total"),
 			"build_datasets": reg.GaugeValue("frappe_dataset_stage_seconds", "total"),
@@ -82,6 +88,7 @@ func main() {
 		"world scale (1.0 = the paper's 111K-app corpus)")
 	seed := flag.Int64("seed", 0, "world seed (0 = paper-calibrated default)")
 	quick := flag.Bool("quick", false, "skip the classifier experiments")
+	workersFlag := flag.Int("workers", 0, "cap worker parallelism via GOMAXPROCS (0 = all cores); results are identical for any value")
 	dotPath := flag.String("dot", "", "write the Fig. 1 snapshot component as Graphviz DOT to this file")
 	benchJSON := flag.String("bench-json", "", "write per-stage timings and a metrics snapshot as JSON to this file")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -91,6 +98,9 @@ func main() {
 	logger := telemetry.SetupProcessLogger(telemetry.LogConfig{
 		Component: "frappebench", Level: *logLevel, JSON: *logJSONFlag,
 	})
+	if *workersFlag > 0 {
+		runtime.GOMAXPROCS(*workersFlag)
+	}
 
 	start := time.Now()
 	fmt.Printf("Generating synthetic world at scale %.2f ...\n", *scale)

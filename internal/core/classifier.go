@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"frappe/internal/svm"
+	"frappe/internal/workerpool"
 )
 
 // Options configures FRAppE training.
@@ -18,6 +19,10 @@ type Options struct {
 	SVM *svm.Params
 	// Seed drives sampling and SMO tie-breaking (default 1).
 	Seed int64
+	// Workers bounds the pools that run cross-validation folds and batch
+	// evaluation (0 = GOMAXPROCS). Results are identical for any value:
+	// folds derive their seeds from Seed, not from execution order.
+	Workers int
 }
 
 func (o Options) features() []Feature {
@@ -126,21 +131,60 @@ func (c *Classifier) Classify(r AppRecord) (Verdict, error) {
 	return verdict, nil
 }
 
+// batchVectors extracts and scales feature vectors for every record on a
+// bounded worker pool. Each slot holds either a scaled vector or that
+// record's extraction error; slots are indexed by record, so the result is
+// identical for any worker count.
+func (c *Classifier) batchVectors(records []AppRecord, workers int) ([][]float64, []error) {
+	vecs := make([][]float64, len(records))
+	errs := make([]error, len(records))
+	workerpool.Run(len(records), workers, func(i int) {
+		v, err := c.extractor.Vector(records[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		vecs[i] = c.scaler.Apply(v)
+	})
+	return vecs, errs
+}
+
+// ClassifyBatch evaluates many records through the vectorised prediction
+// path: feature extraction fans out over a bounded pool (workers <= 0 means
+// GOMAXPROCS), then one DecisionValues call scores all rows against the
+// flattened support-vector matrix. Verdicts come back in record order and
+// are identical to per-record Classify calls; unclassifiable records (no
+// summary) are skipped and reported by ID.
+func (c *Classifier) ClassifyBatch(records []AppRecord, workers int) (verdicts []Verdict, skipped []string, err error) {
+	start := time.Now()
+	vecs, errs := c.batchVectors(records, workers)
+	keep := make([]int, 0, len(records)) // record index per scored row
+	rows := make([][]float64, 0, len(records))
+	for i := range records {
+		switch {
+		case errors.Is(errs[i], ErrNotClassifiable):
+			skipped = append(skipped, records[i].ID)
+		case errs[i] != nil:
+			return nil, nil, errs[i]
+		default:
+			keep = append(keep, i)
+			rows = append(rows, vecs[i])
+		}
+	}
+	scores := c.model.DecisionValues(rows)
+	verdicts = make([]Verdict, len(rows))
+	for k, i := range keep {
+		verdicts[k] = Verdict{AppID: records[i].ID, Malicious: scores[k] >= 0, Score: scores[k]}
+		observeVerdict(verdicts[k])
+	}
+	batchClassifyDuration.With().Observe(time.Since(start).Seconds())
+	return verdicts, skipped, nil
+}
+
 // ClassifyAll evaluates many records, skipping unclassifiable ones (no
 // summary). It returns the verdicts and the IDs that were skipped.
 func (c *Classifier) ClassifyAll(records []AppRecord) (verdicts []Verdict, skipped []string, err error) {
-	for _, r := range records {
-		v, cerr := c.Classify(r)
-		if errors.Is(cerr, ErrNotClassifiable) {
-			skipped = append(skipped, r.ID)
-			continue
-		}
-		if cerr != nil {
-			return nil, nil, cerr
-		}
-		verdicts = append(verdicts, v)
-	}
-	return verdicts, skipped, nil
+	return c.ClassifyBatch(records, 0)
 }
 
 // Save serialises the trained classifier (feature set, known-malicious

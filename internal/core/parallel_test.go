@@ -1,0 +1,99 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+// The parallel engine's contract: Metrics are byte-identical for any
+// Options.Workers value, because folds write index-addressed slots and
+// per-fold seeds derive from (Seed, fold), never from execution order.
+func TestCrossValidateWorkerDeterminism(t *testing.T) {
+	records, labels := completeSet(t)
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	var ref Metrics
+	for i, w := range counts {
+		opts := Options{Features: LiteFeatures(), Seed: 7, Workers: w}
+		m, err := CrossValidate(records, labels, 5, opts)
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", w, err)
+		}
+		if i == 0 {
+			ref = m
+			continue
+		}
+		if m != ref {
+			t.Errorf("Workers=%d gave %+v, Workers=%d gave %+v — parallel CV is not deterministic",
+				w, m, counts[0], ref)
+		}
+	}
+}
+
+// EvaluateWorkers must tally the exact confusion matrix of a sequential
+// Classify loop, for any worker count.
+func TestEvaluateMatchesSequentialClassify(t *testing.T) {
+	records, labels := completeSet(t)
+	clf, err := Train(records, labels, Options{Features: FullFeatures(), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want Metrics
+	for i, r := range records {
+		v, err := clf.Classify(r)
+		if err != nil {
+			t.Fatalf("Classify %s: %v", r.ID, err)
+		}
+		switch {
+		case labels[i] && v.Malicious:
+			want.TP++
+		case labels[i] && !v.Malicious:
+			want.FN++
+		case !labels[i] && v.Malicious:
+			want.FP++
+		default:
+			want.TN++
+		}
+	}
+
+	for _, w := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		got, err := EvaluateWorkers(clf, records, labels, w)
+		if err != nil {
+			t.Fatalf("EvaluateWorkers(%d): %v", w, err)
+		}
+		if got != want {
+			t.Errorf("EvaluateWorkers(%d) = %+v, sequential Classify loop = %+v", w, got, want)
+		}
+	}
+}
+
+// ClassifyBatch must return the same verdicts — scores bit-exact — as
+// calling Classify per record, in record order.
+func TestClassifyBatchMatchesClassify(t *testing.T) {
+	records, labels := completeSet(t)
+	clf, err := Train(records, labels, Options{Features: LiteFeatures(), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 3} {
+		verdicts, skipped, err := clf.ClassifyBatch(records, w)
+		if err != nil {
+			t.Fatalf("ClassifyBatch(workers=%d): %v", w, err)
+		}
+		if len(skipped) != 0 {
+			t.Fatalf("unexpected skipped records: %v", skipped)
+		}
+		if len(verdicts) != len(records) {
+			t.Fatalf("got %d verdicts for %d records", len(verdicts), len(records))
+		}
+		for i, r := range records {
+			want, err := clf.Classify(r)
+			if err != nil {
+				t.Fatalf("Classify %s: %v", r.ID, err)
+			}
+			if verdicts[i] != want {
+				t.Errorf("workers=%d record %s: batch %+v != single %+v", w, r.ID, verdicts[i], want)
+			}
+		}
+	}
+}

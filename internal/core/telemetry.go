@@ -10,6 +10,9 @@ import (
 //	frappe_train_total                        completed Train calls
 //	frappe_train_duration_seconds             per-Train wall clock (histogram)
 //	frappe_crossval_duration_seconds          per-CrossValidate wall clock
+//	frappe_crossval_fold_seconds              per-fold wall clock (histogram)
+//	frappe_crossval_fold_workers              fold-pool width of the last CV run
+//	frappe_classify_batch_seconds             per-ClassifyBatch wall clock
 //	frappe_classifications_total{verdict}     malicious / benign verdicts
 //	frappe_svm_decision_value                 SVM decision-value distribution
 var (
@@ -19,6 +22,12 @@ var (
 		"Wall-clock seconds per classifier training run.", nil)
 	crossvalDuration = telemetry.Default().Histogram("frappe_crossval_duration_seconds",
 		"Wall-clock seconds per cross-validation run (all folds).", nil)
+	crossvalFoldDuration = telemetry.Default().Histogram("frappe_crossval_fold_seconds",
+		"Wall-clock seconds per cross-validation fold (train + evaluate).", nil)
+	crossvalWorkers = telemetry.Default().Gauge("frappe_crossval_fold_workers",
+		"Worker-pool width used by the most recent CrossValidate call.")
+	batchClassifyDuration = telemetry.Default().Histogram("frappe_classify_batch_seconds",
+		"Wall-clock seconds per ClassifyBatch call.", nil)
 	classifications = telemetry.Default().Counter("frappe_classifications_total",
 		"Classification verdicts issued.", "verdict")
 	// Decision values live around the margin; the paper's scores rarely

@@ -125,6 +125,9 @@ func ValidateFlagged(flagged []AppRecord, cfg ValidationConfig) ValidationReport
 		Cumulative:  make(map[ValidationTechnique]int),
 		Outcome:     make(map[string]ValidationTechnique),
 	}
+	// Compile the popular list once; the typosquat check below probes every
+	// flagged app against it.
+	popular := textdist.NewPopularSet(cfg.PopularNames)
 
 	checks := []struct {
 		tech  ValidationTechnique
@@ -145,7 +148,7 @@ func ValidateFlagged(flagged []AppRecord, cfg ValidationConfig) ValidationReport
 			return false
 		}},
 		{ValTyposquat, func(r AppRecord) bool {
-			_, ok := textdist.Typosquat(r.Name(), cfg.PopularNames, cfg.TyposquatThreshold)
+			_, ok := popular.Typosquat(r.Name(), cfg.TyposquatThreshold)
 			return ok
 		}},
 	}

@@ -59,6 +59,32 @@ func (k Kernel) Eval(u, v []float64) float64 {
 	}
 }
 
+// EvalNorm computes K(u, v) given the precomputed squared norms of u and v.
+// For the RBF kernel this rewrites |u-v|^2 as ‖u‖² + ‖v‖² − 2u·v so that one
+// dot product (plus two cached norms) replaces the subtract-square loop; the
+// other kernels only need the dot product. Hot paths that evaluate one
+// vector against many (kernel-matrix precompute, support-vector prediction)
+// cache the norms once and call this.
+func (k Kernel) EvalNorm(u, v []float64, uNorm, vNorm float64) float64 {
+	switch k.Type {
+	case Linear:
+		return dot(u, v)
+	case Polynomial:
+		return math.Pow(k.Gamma*dot(u, v)+k.Coef0, float64(k.Degree))
+	case RBF:
+		sq := uNorm + vNorm - 2*dot(u, v)
+		if sq < 0 { // cancellation for near-identical vectors
+			sq = 0
+		}
+		return math.Exp(-k.Gamma * sq)
+	default:
+		panic("svm: unknown kernel type")
+	}
+}
+
+// SqNorm returns ‖x‖², the cached quantity EvalNorm consumes.
+func SqNorm(x []float64) float64 { return dot(x, x) }
+
 func dot(u, v []float64) float64 {
 	s := 0.0
 	for i := range u {

@@ -164,8 +164,12 @@ func cvAccuracy(xs [][]float64, ys []float64, fold []int, k int, c, gamma float6
 		if err != nil {
 			return 0, err
 		}
-		for i := range teX {
-			if m.Predict(teX[i]) == teY[i] {
+		for i, score := range m.DecisionValues(teX) {
+			pred := -1.0
+			if score >= 0 {
+				pred = 1
+			}
+			if pred == teY[i] {
 				correct++
 			}
 			total++

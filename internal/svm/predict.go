@@ -1,0 +1,80 @@
+package svm
+
+import (
+	"time"
+
+	"frappe/internal/workerpool"
+)
+
+// ensurePredictCache flattens the support vectors into one row-major
+// backing array and precomputes their squared norms, so every prediction
+// costs one dot product per support vector (the RBF distance is recovered
+// from the cached norms) over contiguous memory. Built once, lazily, so
+// models arriving via gob Load get it too.
+func (m *Model) ensurePredictCache() {
+	m.predOnce.Do(func() {
+		if len(m.SV) == 0 {
+			return
+		}
+		m.svDim = len(m.SV[0])
+		m.svFlat = make([]float64, len(m.SV)*m.svDim)
+		m.svNorms = make([]float64, len(m.SV))
+		for i, sv := range m.SV {
+			copy(m.svFlat[i*m.svDim:(i+1)*m.svDim], sv)
+			m.svNorms[i] = SqNorm(sv)
+		}
+	})
+}
+
+// decisionValueNorm computes f(x) given x's precomputed squared norm,
+// walking the flattened support-vector matrix. Summation is in SV order, so
+// single and batch prediction agree bit-for-bit.
+func (m *Model) decisionValueNorm(x []float64, xNorm float64) float64 {
+	s := m.B
+	d := m.svDim
+	for i := range m.svNorms {
+		s += m.Coef[i] * m.Kernel.EvalNorm(m.svFlat[i*d:i*d+d], x, m.svNorms[i], xNorm)
+	}
+	return s
+}
+
+// DecisionValue returns f(x) = sum coef_i K(sv_i, x) + b. Positive values
+// classify as the +1 class.
+func (m *Model) DecisionValue(x []float64) float64 {
+	m.ensurePredictCache()
+	if len(m.SV) == 0 {
+		return m.B
+	}
+	return m.decisionValueNorm(x, SqNorm(x))
+}
+
+// DecisionValues computes f(x) for every row of xs, fanning the rows out
+// over a bounded worker pool (GOMAXPROCS wide). Each row writes only its
+// own output slot, so the result is identical to calling DecisionValue in
+// a loop — for any worker count.
+func (m *Model) DecisionValues(xs [][]float64) []float64 {
+	start := time.Now()
+	m.ensurePredictCache()
+	out := make([]float64, len(xs))
+	if len(m.SV) == 0 {
+		for i := range out {
+			out[i] = m.B
+		}
+		return out
+	}
+	workers := workerpool.Clamp(0, len(xs))
+	batchPredictWorkers.With().Set(float64(workers))
+	workerpool.Run(len(xs), workers, func(i int) {
+		out[i] = m.decisionValueNorm(xs[i], SqNorm(xs[i]))
+	})
+	batchPredictDuration.With().Observe(time.Since(start).Seconds())
+	return out
+}
+
+// Predict returns +1 or -1 for x.
+func (m *Model) Predict(x []float64) float64 {
+	if m.DecisionValue(x) >= 0 {
+		return 1
+	}
+	return -1
+}

@@ -4,6 +4,10 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"sync"
+	"time"
+
+	"frappe/internal/workerpool"
 )
 
 // Params configures training. The zero value is not meaningful; use
@@ -49,30 +53,20 @@ func DefaultParams(dim int) Params {
 }
 
 // Model is a trained SVM. Predictions depend only on the support vectors.
+// The unexported fields are a lazily built prediction cache (flattened
+// support-vector matrix plus squared norms, see predict.go); they are not
+// serialised and rebuild on first use after Load.
 type Model struct {
 	Kernel  Kernel
 	SV      [][]float64 // support vectors
 	Coef    []float64   // alpha_i * y_i for each support vector
 	B       float64     // bias
 	Classes [2]float64  // label values for -1 and +1 sides (for reporting)
-}
 
-// DecisionValue returns f(x) = sum coef_i K(sv_i, x) + b. Positive values
-// classify as the +1 class.
-func (m *Model) DecisionValue(x []float64) float64 {
-	s := m.B
-	for i, sv := range m.SV {
-		s += m.Coef[i] * m.Kernel.Eval(sv, x)
-	}
-	return s
-}
-
-// Predict returns +1 or -1 for x.
-func (m *Model) Predict(x []float64) float64 {
-	if m.DecisionValue(x) >= 0 {
-		return 1
-	}
-	return -1
+	predOnce sync.Once
+	svFlat   []float64 // SV rows flattened row-major, cache-friendly
+	svNorms  []float64 // per-SV ‖sv‖² for EvalNorm
+	svDim    int
 }
 
 // NumSV returns the number of support vectors.
@@ -82,6 +76,7 @@ func (m *Model) NumSV() int { return len(m.SV) }
 type trainer struct {
 	x      [][]float64
 	y      []float64
+	xnorms []float64 // per-row ‖x‖², feeding Kernel.EvalNorm
 	alpha  []float64
 	errs   []float64
 	b      float64
@@ -138,20 +133,24 @@ func Train(xs [][]float64, ys []float64, p Params) (*Model, error) {
 	}
 
 	tr := &trainer{
-		x:     xs,
-		y:     ys,
-		alpha: make([]float64, n),
-		errs:  make([]float64, n),
-		p:     p,
-		rng:   rand.New(rand.NewSource(p.Seed)),
-		maxIt: maxIt,
+		x:      xs,
+		y:      ys,
+		xnorms: make([]float64, n),
+		alpha:  make([]float64, n),
+		errs:   make([]float64, n),
+		p:      p,
+		rng:    rand.New(rand.NewSource(p.Seed)),
+		maxIt:  maxIt,
+	}
+	for i := range xs {
+		tr.xnorms[i] = SqNorm(xs[i])
 	}
 	if int64(n)*int64(n)*4 <= int64(p.CacheBytes) {
 		tr.precomputeKernel()
 	} else {
 		tr.kdiag = make([]float64, n)
 		for i := range xs {
-			tr.kdiag[i] = p.Kernel.Eval(xs[i], xs[i])
+			tr.kdiag[i] = p.Kernel.EvalNorm(xs[i], xs[i], tr.xnorms[i], tr.xnorms[i])
 		}
 	}
 	// With all alphas zero, f(x_i) = 0, so E_i = -y_i.
@@ -179,7 +178,14 @@ func Train(xs [][]float64, ys []float64, p Params) (*Model, error) {
 	return &m, nil
 }
 
+// precomputeKernel fills the full n×n kernel matrix. The upper triangle is
+// partitioned row-wise over a bounded worker pool (row i also writes its
+// mirror column, so workers touch disjoint cells) and every entry goes
+// through Kernel.EvalNorm with the cached squared norms, so one dot product
+// replaces the subtract-square loop. Entries are pure functions of (i, j),
+// which makes the result bit-identical for any worker count.
 func (t *trainer) precomputeKernel() {
+	start := time.Now()
 	n := len(t.x)
 	t.kcache = make([][]float32, n)
 	t.kdiag = make([]float64, n)
@@ -187,14 +193,23 @@ func (t *trainer) precomputeKernel() {
 	for i := 0; i < n; i++ {
 		t.kcache[i] = flat[i*n : (i+1)*n]
 	}
-	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
-			v := float32(t.p.Kernel.Eval(t.x[i], t.x[j]))
-			t.kcache[i][j] = v
-			t.kcache[j][i] = v
+	workers := workerpool.Clamp(0, n)
+	precomputeWorkers.With().Set(float64(workers))
+	// Early rows carry the longest triangle spans; small chunks keep the
+	// pool balanced without contending on the counter.
+	workerpool.RunChunked(n, workers, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xi, ni := t.x[i], t.xnorms[i]
+			row := t.kcache[i]
+			for j := i; j < n; j++ {
+				v := float32(t.p.Kernel.EvalNorm(xi, t.x[j], ni, t.xnorms[j]))
+				row[j] = v
+				t.kcache[j][i] = v
+			}
+			t.kdiag[i] = float64(row[i])
 		}
-		t.kdiag[i] = float64(t.kcache[i][i])
-	}
+	})
+	precomputeDuration.With().Observe(time.Since(start).Seconds())
 }
 
 func (t *trainer) kernel(i, j int) float64 {
@@ -204,7 +219,7 @@ func (t *trainer) kernel(i, j int) float64 {
 	if i == j {
 		return t.kdiag[i]
 	}
-	return t.p.Kernel.Eval(t.x[i], t.x[j])
+	return t.p.Kernel.EvalNorm(t.x[i], t.x[j], t.xnorms[i], t.xnorms[j])
 }
 
 // run executes Platt's SMO main loop: alternate between a sweep over all
@@ -363,9 +378,18 @@ func (t *trainer) takeStep(i1, i2 int) bool {
 	d2 := y2 * (a2new - a2)
 	// E_i tracks u(x_i) - y_i under u = w·x - b; the incremental update is
 	// exact and applies to i1 and i2 as well (their errors become 0 only
-	// when they end up non-bound).
-	for i := range t.errs {
-		t.errs[i] += d1*t.kernel(i1, i) + d2*t.kernel(i2, i) - bdelta
+	// when they end up non-bound). With the matrix cached, walking the two
+	// rows directly keeps this O(n) sweep — SMO's hottest loop — free of
+	// per-element calls and bounds checks.
+	if t.kcache != nil {
+		r1, r2 := t.kcache[i1], t.kcache[i2]
+		for i := range t.errs {
+			t.errs[i] += d1*float64(r1[i]) + d2*float64(r2[i]) - bdelta
+		}
+	} else {
+		for i := range t.errs {
+			t.errs[i] += d1*t.kernel(i1, i) + d2*t.kernel(i2, i) - bdelta
+		}
 	}
 	t.alpha[i1] = a1new
 	t.alpha[i2] = a2new

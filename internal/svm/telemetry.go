@@ -1,0 +1,22 @@
+package svm
+
+import (
+	"frappe/internal/telemetry"
+)
+
+// SVM metric families (process default registry):
+//
+//	frappe_svm_kernel_precompute_seconds   per-training kernel-matrix precompute
+//	frappe_svm_kernel_precompute_workers   pool width of the last precompute
+//	frappe_svm_batch_predict_seconds       per-DecisionValues wall clock
+//	frappe_svm_batch_predict_workers       pool width of the last batch predict
+var (
+	precomputeDuration = telemetry.Default().Histogram("frappe_svm_kernel_precompute_seconds",
+		"Wall-clock seconds per kernel-matrix precompute.", nil)
+	precomputeWorkers = telemetry.Default().Gauge("frappe_svm_kernel_precompute_workers",
+		"Worker-pool width used by the most recent kernel precompute.")
+	batchPredictDuration = telemetry.Default().Histogram("frappe_svm_batch_predict_seconds",
+		"Wall-clock seconds per batch DecisionValues call.", nil)
+	batchPredictWorkers = telemetry.Default().Gauge("frappe_svm_batch_predict_workers",
+		"Worker-pool width used by the most recent batch DecisionValues call.")
+)

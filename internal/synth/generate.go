@@ -1020,8 +1020,18 @@ func (w *World) ManualFlaggedPosts() int64 {
 // above 1M; the top app in the paper saw 1,742,359).
 func (g *generator) genClicks() {
 	apps := g.w.Monitor.Apps()
+	// Apps() hands back a map; iterating it directly would pair links with
+	// click draws in map order, making the world differ run to run for the
+	// same seed. Walk the apps in sorted order so the RNG stream lands
+	// deterministically.
+	ids := make([]string, 0, len(apps))
+	for id := range apps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	seen := map[string]bool{}
-	for _, as := range apps {
+	for _, id := range ids {
+		as := apps[id]
 		for _, link := range as.Links {
 			if !g.w.Bitly.IsShort(link) || seen[link] {
 				continue

@@ -1,0 +1,134 @@
+package textdist
+
+import "sync"
+
+// distBuf holds the reusable working state of one distance computation:
+// three DP rows plus two rune buffers, recycled through a pool so the
+// clustering and typosquat loops — which call into the DP millions of times
+// at corpus scale — stop paying three slice allocations per call.
+type distBuf struct {
+	prev2, prev, cur []int
+	ra, rb           []rune
+}
+
+var distPool = sync.Pool{New: func() interface{} { return new(distBuf) }}
+
+func (b *distBuf) rows(width int) (prev2, prev, cur []int) {
+	if cap(b.prev2) < width {
+		b.prev2 = make([]int, width)
+		b.prev = make([]int, width)
+		b.cur = make([]int, width)
+	}
+	return b.prev2[:width], b.prev[:width], b.cur[:width]
+}
+
+// appendRunes decodes s into buf without allocating when capacity suffices.
+func appendRunes(buf []rune, s string) []rune {
+	buf = buf[:0]
+	for _, r := range s {
+		buf = append(buf, r)
+	}
+	return buf
+}
+
+// DistanceAtMost reports the Damerau–Levenshtein distance between a and b
+// if it is at most k, using Ukkonen's band trick: only cells within k of
+// the diagonal can contribute, so the DP costs O(max(la,lb)·k) instead of
+// O(la·lb), and a row whose in-band minimum already exceeds k aborts early.
+// When ok is true, d equals Distance(a, b); when false, the true distance
+// exceeds k and d is only a lower bound.
+func DistanceAtMost(a, b string, k int) (d int, ok bool) {
+	if k < 0 {
+		return 0, false
+	}
+	buf := distPool.Get().(*distBuf)
+	buf.ra = appendRunes(buf.ra, a)
+	buf.rb = appendRunes(buf.rb, b)
+	d, ok = distanceAtMostRunes(buf, buf.ra, buf.rb, k)
+	distPool.Put(buf)
+	return d, ok
+}
+
+// distanceAtMostRunes is the banded OSA core. It reads rows from buf (ra/rb
+// must not alias buf's rune buffers unless they are exactly buf.ra/buf.rb).
+func distanceAtMostRunes(buf *distBuf, ra, rb []rune, k int) (int, bool) {
+	la, lb := len(ra), len(rb)
+	if la > lb {
+		ra, rb = rb, ra
+		la, lb = lb, la
+	}
+	if lb-la > k {
+		return lb - la, false
+	}
+	if la == 0 {
+		return lb, lb <= k
+	}
+	inf := k + 1
+	prev2, prev, cur := buf.rows(lb + 1)
+	// Row 0 is the insertion ramp, clipped to the band.
+	hi0 := lb
+	if hi0 > k {
+		hi0 = k
+	}
+	for j := 0; j <= hi0; j++ {
+		prev[j] = j
+	}
+	if hi0+1 <= lb {
+		prev[hi0+1] = inf
+	}
+	for i := 1; i <= la; i++ {
+		jlo, jhi := i-k, i+k
+		if jlo < 1 {
+			jlo = 1
+		}
+		if jhi > lb {
+			jhi = lb
+		}
+		// Cells just outside the band read as "more than k".
+		if jlo == 1 {
+			if i <= k {
+				cur[0] = i
+			} else {
+				cur[0] = inf
+			}
+		} else {
+			cur[jlo-1] = inf
+		}
+		rowMin := inf
+		ai := ra[i-1]
+		for j := jlo; j <= jhi; j++ {
+			cost := 1
+			if ai == rb[j-1] {
+				cost = 0
+			}
+			d := prev[j] + 1 // deletion
+			if ins := cur[j-1] + 1; ins < d {
+				d = ins
+			}
+			if sub := prev[j-1] + cost; sub < d {
+				d = sub
+			}
+			if i > 1 && j > 1 && ai == rb[j-2] && ra[i-2] == rb[j-1] {
+				if t := prev2[j-2] + 1; t < d {
+					d = t
+				}
+			}
+			if d > inf {
+				d = inf // clamp so out-of-band reads stay saturated
+			}
+			cur[j] = d
+			if d < rowMin {
+				rowMin = d
+			}
+		}
+		if jhi+1 <= lb {
+			cur[jhi+1] = inf
+		}
+		if rowMin > k {
+			return rowMin, false
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	d := prev[lb]
+	return d, d <= k
+}

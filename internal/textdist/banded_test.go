@@ -1,0 +1,207 @@
+package textdist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomName draws a short string over a small alphabet (including a
+// multi-byte rune and spaces), so random pairs land on both sides of any
+// band limit.
+func randomName(rng *rand.Rand, maxLen int) string {
+	alphabet := []rune("abcdé ")
+	n := rng.Intn(maxLen + 1)
+	r := make([]rune, n)
+	for i := range r {
+		r[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(r)
+}
+
+// Property: DistanceAtMost(a, b, k) reports (Distance(a,b), true) whenever
+// the true distance is <= k, and (_, false) otherwise.
+func TestDistanceAtMostAgreesWithDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(20121210))
+	for trial := 0; trial < 5000; trial++ {
+		a := randomName(rng, 14)
+		b := randomName(rng, 14)
+		k := rng.Intn(16) - 1 // includes k = -1 and k = 0
+		want := Distance(a, b)
+		d, ok := DistanceAtMost(a, b, k)
+		if want <= k && k >= 0 {
+			if !ok || d != want {
+				t.Fatalf("DistanceAtMost(%q, %q, %d) = (%d, %v), want (%d, true)",
+					a, b, k, d, ok, want)
+			}
+		} else if ok {
+			t.Fatalf("DistanceAtMost(%q, %q, %d) = (%d, true), but Distance = %d > k",
+				a, b, k, d, want)
+		}
+	}
+}
+
+func TestDistanceAtMostEdges(t *testing.T) {
+	cases := []struct {
+		a, b string
+		k    int
+		d    int
+		ok   bool
+	}{
+		{"", "", 0, 0, true},
+		{"", "abc", 3, 3, true},
+		{"", "abc", 2, 0, false},
+		{"same", "same", 0, 0, true},
+		{"farmville", "farmvile", 1, 1, true},
+		{"farmville", "farmvile", 0, 0, false},
+		{"ab", "ba", 1, 1, true}, // transposition inside the band
+		{"anything", "x", -1, 0, false},
+	}
+	for _, c := range cases {
+		d, ok := DistanceAtMost(c.a, c.b, c.k)
+		if ok != c.ok || (ok && d != c.d) {
+			t.Errorf("DistanceAtMost(%q, %q, %d) = (%d, %v), want (%d, %v)",
+				c.a, c.b, c.k, d, ok, c.d, c.ok)
+		}
+	}
+}
+
+// naiveTyposquat is the pre-PopularSet implementation: re-normalise the
+// whole popular list per call, full-width DP, first match wins.
+func naiveTyposquat(name string, popular []string, threshold float64) (string, bool) {
+	n := Normalize(name)
+	for _, p := range popular {
+		pn := Normalize(p)
+		if n == pn {
+			continue
+		}
+		if Similarity(n, pn) >= threshold {
+			return p, true
+		}
+	}
+	return "", false
+}
+
+func TestPopularSetMatchesNaiveTyposquat(t *testing.T) {
+	popular := []string{"FarmVille", "CityVille", "Texas HoldEm Poker", "Candy Crush", "Words With Friends", "8 Ball Pool"}
+	set := NewPopularSet(popular)
+	rng := rand.New(rand.NewSource(77))
+	probes := []string{"FarmVile", "farmville", "CityVile", "Candy Crash", "totally different", "", "Texas HoldEm Pokr"}
+	for i := 0; i < 500; i++ {
+		probes = append(probes, randomName(rng, 20))
+	}
+	for _, threshold := range []float64{0.7, 0.85, 0.95} {
+		for _, name := range probes {
+			wantMatch, wantOK := naiveTyposquat(name, popular, threshold)
+			gotMatch, gotOK := set.Typosquat(name, threshold)
+			if gotOK != wantOK || gotMatch != wantMatch {
+				t.Fatalf("Typosquat(%q, %.2f) = (%q, %v), naive = (%q, %v)",
+					name, threshold, gotMatch, gotOK, wantMatch, wantOK)
+			}
+			oneMatch, oneOK := Typosquat(name, popular, threshold)
+			if oneOK != wantOK || oneMatch != wantMatch {
+				t.Fatalf("one-shot Typosquat(%q, %.2f) = (%q, %v), naive = (%q, %v)",
+					name, threshold, oneMatch, oneOK, wantMatch, wantOK)
+			}
+		}
+	}
+}
+
+func TestPopularSetEmpty(t *testing.T) {
+	var nilSet *PopularSet
+	if _, ok := nilSet.Typosquat("FarmVile", 0.8); ok {
+		t.Error("nil PopularSet matched")
+	}
+	if _, ok := NewPopularSet(nil).Typosquat("FarmVile", 0.8); ok {
+		t.Error("empty PopularSet matched")
+	}
+}
+
+// naiveCluster is the original quadratic leader loop: full DP per
+// comparison, acceptance by the exact Similarity inequality.
+func naiveCluster(names []string, threshold float64) ([]int, int) {
+	assign := make([]int, len(names))
+	type leader struct {
+		key string
+		id  int
+	}
+	var leaders []leader
+	exact := make(map[string]int)
+	clusters := 0
+	for i, n := range names {
+		key := Normalize(n)
+		if c, ok := exact[key]; ok {
+			assign[i] = c
+			continue
+		}
+		found := -1
+		for _, l := range leaders {
+			if Similarity(key, l.key) >= threshold {
+				found = l.id
+				break
+			}
+		}
+		if found < 0 {
+			found = clusters
+			leaders = append(leaders, leader{key: key, id: found})
+			clusters++
+		}
+		exact[key] = found
+		assign[i] = found
+	}
+	return assign, clusters
+}
+
+// The banded + length-pruned leader loop must produce bit-identical cluster
+// assignments to the quadratic reference, at any threshold.
+func TestClusterMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	names := []string{"FarmVille", "FarmVile", "farm ville", "Profile Watchers v4.32",
+		"Profile Watchers v7", "CityVille", "The App", "The App ", ""}
+	for i := 0; i < 300; i++ {
+		names = append(names, randomName(rng, 12))
+	}
+	for _, threshold := range []float64{0.5, 0.7, 0.85, 0.99} {
+		wantAssign, wantClusters := naiveCluster(names, threshold)
+		gotAssign, gotClusters := Cluster(names, threshold)
+		if gotClusters != wantClusters {
+			t.Fatalf("threshold %.2f: %d clusters, reference %d", threshold, gotClusters, wantClusters)
+		}
+		for i := range names {
+			if gotAssign[i] != wantAssign[i] {
+				t.Fatalf("threshold %.2f: name %q assigned %d, reference %d",
+					threshold, names[i], gotAssign[i], wantAssign[i])
+			}
+		}
+	}
+}
+
+func benchNames(n int) []string {
+	rng := rand.New(rand.NewSource(8))
+	base := []string{"farmville", "cityville", "profile watchers", "texas holdem poker",
+		"candy crush saga", "words with friends", "the best quiz", "daily horoscope"}
+	names := make([]string, n)
+	for i := range names {
+		s := base[rng.Intn(len(base))]
+		if rng.Intn(2) == 0 { // typo variant
+			r := []rune(s)
+			r[rng.Intn(len(r))] = rune('a' + rng.Intn(26))
+			s = string(r)
+		}
+		names[i] = s
+	}
+	return names
+}
+
+func BenchmarkDistanceAtMost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		DistanceAtMost("profile watchers v4.32", "profile watchers v7", 3)
+	}
+}
+
+func BenchmarkClusterTypoHeavy(b *testing.B) {
+	names := benchNames(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cluster(names, 0.85)
+	}
+}

@@ -12,7 +12,23 @@ package textdist
 import (
 	"regexp"
 	"strings"
+	"time"
 	"unicode"
+
+	"frappe/internal/telemetry"
+)
+
+// Clustering metric families (process default registry):
+//
+//	frappe_textdist_cluster_seconds        per-Cluster wall clock
+//	frappe_textdist_pruned_total{reason}   leader comparisons skipped
+//	                                       (length bound) or aborted early
+//	                                       (band exceeded)
+var (
+	clusterDuration = telemetry.Default().Histogram("frappe_textdist_cluster_seconds",
+		"Wall-clock seconds per threshold-based Cluster call.", nil)
+	clusterPruned = telemetry.Default().Counter("frappe_textdist_pruned_total",
+		"Leader-loop candidate comparisons avoided, by pruning stage.", "reason")
 )
 
 // Distance returns the Damerau–Levenshtein distance between a and b: the
@@ -20,7 +36,18 @@ import (
 // transpositions needed to turn a into b. Comparison is rune-based, so
 // multi-byte names are handled correctly.
 func Distance(a, b string) int {
-	ra, rb := []rune(a), []rune(b)
+	buf := distPool.Get().(*distBuf)
+	buf.ra = appendRunes(buf.ra, a)
+	buf.rb = appendRunes(buf.rb, b)
+	d := distanceRunes(buf, buf.ra, buf.rb)
+	distPool.Put(buf)
+	return d
+}
+
+// distanceRunes is the full-width OSA DP ("optimal string alignment": each
+// substring edited at most once, the common "Damerau–Levenshtein" used in
+// measurement papers), running on buf's pooled rows.
+func distanceRunes(buf *distBuf, ra, rb []rune) int {
 	la, lb := len(ra), len(rb)
 	if la == 0 {
 		return lb
@@ -28,11 +55,7 @@ func Distance(a, b string) int {
 	if lb == 0 {
 		return la
 	}
-	// Optimal string alignment variant (each substring edited at most once),
-	// which is the common "Damerau–Levenshtein" used in measurement papers.
-	prev2 := make([]int, lb+1) // row i-2
-	prev := make([]int, lb+1)  // row i-1
-	cur := make([]int, lb+1)   // row i
+	prev2, prev, cur := buf.rows(lb + 1) // rows i-2, i-1, i
 	for j := 0; j <= lb; j++ {
 		prev[j] = j
 	}
@@ -123,33 +146,63 @@ func Cluster(names []string, threshold float64) (assign []int, clusters int) {
 	}
 	// Leader clustering: exemplars are the first name of each cluster.
 	// Names identical after normalisation short-circuit via the exact map.
+	// Leaders keep their decoded runes, and each comparison first checks
+	// whether the length difference alone already exceeds the distance the
+	// threshold allows — if so the candidate is pruned without touching the
+	// DP; survivors run the band-limited DP with the same budget. Both
+	// bounds are slack by one to absorb float rounding, and the accepting
+	// check is the exact same Similarity inequality as before, so cluster
+	// assignments are identical to the quadratic loop's.
+	start := time.Now()
 	type leader struct {
-		name string
-		id   int
+		runes []rune
+		id    int
 	}
 	var leaders []leader
 	exact := make(map[string]int)
+	buf := distPool.Get().(*distBuf)
+	defer distPool.Put(buf)
 	for i, n := range names {
 		key := Normalize(n)
 		if c, ok := exact[key]; ok {
 			assign[i] = c
 			continue
 		}
+		kr := []rune(key)
 		found := -1
 		for _, l := range leaders {
-			if Similarity(key, l.name) >= threshold {
+			maxLen := len(kr)
+			if len(l.runes) > maxLen {
+				maxLen = len(l.runes)
+			}
+			budget := int((1-threshold)*float64(maxLen)) + 1
+			diff := len(kr) - len(l.runes)
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > budget {
+				clusterPruned.With("length").Inc()
+				continue
+			}
+			d, ok := distanceAtMostRunes(buf, kr, l.runes, budget)
+			if !ok {
+				clusterPruned.With("band").Inc()
+				continue
+			}
+			if maxLen == 0 || 1-float64(d)/float64(maxLen) >= threshold {
 				found = l.id
 				break
 			}
 		}
 		if found < 0 {
 			found = clusters
-			leaders = append(leaders, leader{name: key, id: found})
+			leaders = append(leaders, leader{runes: kr, id: found})
 			clusters++
 		}
 		exact[key] = found
 		assign[i] = found
 	}
+	clusterDuration.With().Observe(time.Since(start).Seconds())
 	return assign, clusters
 }
 
@@ -163,20 +216,75 @@ func ClusterSizes(assign []int, clusters int) []int {
 	return sizes
 }
 
-// Typosquat reports whether name is a near-miss of any of the popular names:
-// similar (similarity >= threshold) but not identical after normalisation.
-// It returns the popular name matched, or "" if none. This is the paper's
-// 'FarmVile' vs 'FarmVille' check (§5.3).
-func Typosquat(name string, popular []string, threshold float64) (string, bool) {
-	n := Normalize(name)
+// PopularSet is a compiled set of popular app names for typosquat checks:
+// each name is normalised and decoded to runes once at construction, so a
+// sweep that probes thousands of flagged apps against the same popular list
+// stops re-normalising the whole list on every call. Construct with
+// NewPopularSet; the zero value matches nothing.
+type PopularSet struct {
+	entries []popEntry
+}
+
+type popEntry struct {
+	original string
+	key      string
+	runes    []rune
+}
+
+// NewPopularSet compiles the popular names, preserving their order (the
+// first sufficiently similar name wins, as in Typosquat).
+func NewPopularSet(popular []string) *PopularSet {
+	s := &PopularSet{entries: make([]popEntry, 0, len(popular))}
 	for _, p := range popular {
-		pn := Normalize(p)
-		if n == pn {
+		key := Normalize(p)
+		s.entries = append(s.entries, popEntry{original: p, key: key, runes: []rune(key)})
+	}
+	return s
+}
+
+// Typosquat reports whether name is a near-miss of any popular name:
+// similar (similarity >= threshold) but not identical after normalisation.
+// It returns the popular name matched, or "" if none. Candidates whose
+// length difference already exceeds the threshold's distance budget are
+// pruned, and the rest run the band-limited DP.
+func (s *PopularSet) Typosquat(name string, threshold float64) (string, bool) {
+	if s == nil || len(s.entries) == 0 {
+		return "", false
+	}
+	n := Normalize(name)
+	nr := []rune(n)
+	buf := distPool.Get().(*distBuf)
+	defer distPool.Put(buf)
+	for _, e := range s.entries {
+		if n == e.key {
 			continue
 		}
-		if Similarity(n, pn) >= threshold {
-			return p, true
+		maxLen := len(nr)
+		if len(e.runes) > maxLen {
+			maxLen = len(e.runes)
+		}
+		budget := int((1-threshold)*float64(maxLen)) + 1
+		diff := len(nr) - len(e.runes)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > budget {
+			continue
+		}
+		d, ok := distanceAtMostRunes(buf, nr, e.runes, budget)
+		if !ok {
+			continue
+		}
+		if maxLen == 0 || 1-float64(d)/float64(maxLen) >= threshold {
+			return e.original, true
 		}
 	}
 	return "", false
+}
+
+// Typosquat is the one-shot form of PopularSet.Typosquat — the paper's
+// 'FarmVile' vs 'FarmVille' check (§5.3). Callers probing many names
+// against the same popular list should compile a PopularSet once instead.
+func Typosquat(name string, popular []string, threshold float64) (string, bool) {
+	return NewPopularSet(popular).Typosquat(name, threshold)
 }

@@ -1,0 +1,83 @@
+// Package workerpool is the repo's shared bounded-fan-out idiom: a fixed
+// number of goroutines draining an atomic work counter. Every parallel hot
+// path (SMO kernel precompute, batch prediction, cross-validation folds,
+// watchdog ranking) uses it so that worker counts are bounded, telemetry
+// can report pool widths uniformly, and — because each work item writes
+// only to its own output slot — results are identical for any width.
+package workerpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Clamp resolves a requested worker count: n <= 0 means GOMAXPROCS, and the
+// pool is never wider than the number of work items (but at least 1).
+func Clamp(workers, items int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Run invokes fn(i) for every i in [0, n) from a pool of the given width
+// (clamped via Clamp) and blocks until all items are done. Items are handed
+// out dynamically, so callers must not depend on execution order; writing
+// to out[i] inside fn is safe and deterministic.
+func Run(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Clamp(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// RunChunked invokes fn(lo, hi) over half-open index ranges covering [0, n),
+// handing out chunk indices at a time. Use it when per-item work is tiny
+// (e.g. one kernel-matrix row) and the atomic counter would otherwise become
+// the bottleneck.
+func RunChunked(n, workers, chunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	items := (n + chunk - 1) / chunk
+	Run(items, workers, func(i int) {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}

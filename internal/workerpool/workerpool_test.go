@@ -1,0 +1,87 @@
+package workerpool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestClamp(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		workers, items, want int
+	}{
+		{0, 100, procs}, // <= 0 means GOMAXPROCS
+		{-3, 100, procs},
+		{4, 100, 4},
+		{8, 3, 3}, // never wider than the work
+		{5, 0, 1}, // but at least 1
+		{0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.workers, c.items); got != c.want {
+			t.Errorf("Clamp(%d, %d) = %d, want %d", c.workers, c.items, got, c.want)
+		}
+	}
+}
+
+// Every index in [0, n) must be visited exactly once, for any width —
+// including the width-1 fast path and widths above the item count.
+func TestRunCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64, 0} {
+		const n = 1000
+		counts := make([]int32, n)
+		Run(n, workers, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	called := false
+	Run(0, 4, func(int) { called = true })
+	Run(-1, 4, func(int) { called = true })
+	if called {
+		t.Error("Run invoked fn for empty input")
+	}
+}
+
+// Chunks must tile [0, n) exactly: half-open, non-overlapping, in-range,
+// including the short tail chunk.
+func TestRunChunkedTilesRange(t *testing.T) {
+	for _, c := range []struct{ n, chunk int }{{100, 7}, {100, 1}, {5, 100}, {99, 3}, {1, 1}} {
+		counts := make([]int32, c.n)
+		RunChunked(c.n, 4, c.chunk, func(lo, hi int) {
+			if lo < 0 || hi > c.n || lo >= hi {
+				t.Errorf("n=%d chunk=%d: bad range [%d, %d)", c.n, c.chunk, lo, hi)
+				return
+			}
+			if hi-lo > c.chunk {
+				t.Errorf("n=%d chunk=%d: range [%d, %d) exceeds chunk", c.n, c.chunk, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+		for i, v := range counts {
+			if v != 1 {
+				t.Fatalf("n=%d chunk=%d: index %d covered %d times", c.n, c.chunk, i, v)
+			}
+		}
+	}
+}
+
+func TestRunChunkedClampsChunk(t *testing.T) {
+	var total atomic.Int32
+	RunChunked(10, 2, 0, func(lo, hi int) { // chunk < 1 behaves as 1
+		total.Add(int32(hi - lo))
+	})
+	if total.Load() != 10 {
+		t.Errorf("covered %d items, want 10", total.Load())
+	}
+}

@@ -7,10 +7,10 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
-	"sync"
 	"time"
 
 	"frappe/internal/telemetry"
+	"frappe/internal/workerpool"
 )
 
 // The paper's long-term vision (§1, §9) is "an independent watchdog for
@@ -79,26 +79,13 @@ func (w *Watchdog) Rank(ctx context.Context, appIDs []string) []Assessment {
 	rankFanout.Set(float64(workers))
 
 	out := make([]Assessment, len(appIDs))
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range next {
-				if err := ctx.Err(); err != nil {
-					out[idx] = Assessment{AppID: appIDs[idx], Error: err.Error()}
-					continue
-				}
-				out[idx] = w.Assess(ctx, appIDs[idx])
-			}
-		}()
-	}
-	for idx := range appIDs {
-		next <- idx
-	}
-	close(next)
-	wg.Wait()
+	workerpool.Run(len(appIDs), workers, func(idx int) {
+		if err := ctx.Err(); err != nil {
+			out[idx] = Assessment{AppID: appIDs[idx], Error: err.Error()}
+			return
+		}
+		out[idx] = w.Assess(ctx, appIDs[idx])
+	})
 
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Deleted != out[j].Deleted {
