@@ -10,6 +10,12 @@
 //
 //	frappeserve [-scale 0.02] [-seed ...] [-model frappe-model.gob]
 //	            [-debug-addr 127.0.0.1:0] [-log-level info] [-log-json]
+//	            [-fault-error-rate 0] [-fault-hang-rate 0]
+//	            [-fault-latency 0] [-fault-seed 1]
+//
+// The fault flags inject deterministic, seeded failures into every served
+// service (502s, hangs, latency) — the paper's hostile crawl environment
+// on demand, for exercising client-side retries and circuit breakers.
 //
 // The debug listener serves /metrics (Prometheus text format),
 // /debug/vars (expvar) and /debug/pprof; its resolved address is printed
@@ -36,6 +42,12 @@ func main() {
 		"debug listen address for /metrics, /debug/vars and /debug/pprof (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "log as JSON instead of text")
+	faultErrorRate := flag.Float64("fault-error-rate", 0,
+		"probability [0,1] a service request is answered with an injected 502")
+	faultHangRate := flag.Float64("fault-hang-rate", 0,
+		"probability [0,1] a service request hangs until the client gives up")
+	faultLatency := flag.Duration("fault-latency", 0, "latency added to every service request")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault-injection RNG")
 	flag.Parse()
 
 	logger := telemetry.SetupProcessLogger(telemetry.LogConfig{
@@ -75,7 +87,21 @@ func main() {
 		os.Exit(1)
 	}
 
-	st, err := frappe.StartServices(w)
+	var faults *frappe.FaultSpec
+	if *faultErrorRate > 0 || *faultHangRate > 0 || *faultLatency > 0 {
+		faults = &frappe.FaultSpec{
+			Seed: *faultSeed,
+			Default: frappe.ServiceFaults{
+				ErrorRate: *faultErrorRate,
+				HangRate:  *faultHangRate,
+				Latency:   *faultLatency,
+			},
+		}
+		logger.Info("fault injection enabled",
+			"error_rate", *faultErrorRate, "hang_rate", *faultHangRate,
+			"latency", *faultLatency, "fault_seed", *faultSeed)
+	}
+	st, err := frappe.StartServicesWithFaults(w, faults)
 	if err != nil {
 		logger.Error("starting services", "err", err)
 		os.Exit(1)

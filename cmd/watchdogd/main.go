@@ -6,13 +6,23 @@
 // Usage:
 //
 //	watchdogd -graph URL -wot URL -model frappe-model.gob [-listen :8080]
+//	          [-timeout 5s] [-retries 2]
+//	          [-breaker-threshold 5] [-breaker-cooldown 10s]
+//	          [-verdict-ttl 30s]
 //	          [-debug-addr 127.0.0.1:0] [-log-level info] [-log-json]
 //
 // Endpoints:
 //
-//	GET /check?app=APPID         one assessment (502 when the crawl fails)
+//	GET /check?app=APPID         one assessment: 200 verdict, 404 deleted
+//	                             (still a verdict), 502 upstream failure,
+//	                             503 + Retry-After when the upstream
+//	                             circuit breaker is open
 //	GET /rank?app=A&app=B        ranked assessments, most suspicious first
 //	GET /healthz                 liveness
+//
+// Verdicts are cached for -verdict-ttl (singleflighted per app ID while
+// being computed), so repeated /check traffic for hot apps costs one
+// upstream crawl per TTL window.
 //
 // The debug listener serves /metrics (Prometheus text format),
 // /debug/vars (expvar) and /debug/pprof; its resolved address is printed
@@ -36,6 +46,15 @@ func main() {
 	modelPath := flag.String("model", "frappe-model.gob", "trained classifier file")
 	listen := flag.String("listen", "127.0.0.1:8466", "listen address")
 	rankWorkers := flag.Int("rank-workers", 0, "bounded fan-out width for /rank (0 = default 8)")
+	timeout := flag.Duration("timeout", 5*time.Second,
+		"per-attempt upstream HTTP timeout (negative = none)")
+	retries := flag.Int("retries", 0, "extra upstream attempts per fetch (0 = default 2, negative = none)")
+	breakerThreshold := flag.Int("breaker-threshold", 0,
+		"consecutive upstream failures before the circuit opens (0 = default 5, negative = disabled)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0,
+		"how long an open circuit waits before probing (0 = default 10s)")
+	verdictTTL := flag.Duration("verdict-ttl", 30*time.Second,
+		"how long verdicts are served from cache (0 = no caching)")
 	debugAddr := flag.String("debug-addr", "127.0.0.1:0",
 		"debug listen address for /metrics, /debug/vars and /debug/pprof (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -55,7 +74,15 @@ func main() {
 		logger.Error("opening model", "path", *modelPath, "err", err)
 		os.Exit(1)
 	}
-	wd, err := frappe.NewWatchdogFrom(f, *graphURL, *wotURL)
+	wd, err := frappe.NewWatchdogFromWith(f, frappe.WatchdogConfig{
+		GraphURL:         *graphURL,
+		WOTURL:           *wotURL,
+		Timeout:          *timeout,
+		Retries:          *retries,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		VerdictTTL:       *verdictTTL,
+	})
 	f.Close()
 	if err != nil {
 		logger.Error("loading watchdog", "err", err)

@@ -70,6 +70,14 @@ type Feature = core.Feature
 // Stack runs a world's services as loopback HTTP servers.
 type Stack = stack.Stack
 
+// ServiceFaults are per-service fault-injection knobs (error rate, hang
+// rate, added latency) for a running stack.
+type ServiceFaults = stack.ServiceFaults
+
+// FaultSpec configures deterministic, seeded fault injection across a
+// stack's services; see StartServicesWithFaults.
+type FaultSpec = stack.FaultSpec
+
 // DefaultConfig returns the paper-calibrated world configuration at the
 // given scale; 1.0 reproduces the full 111K-app corpus, experiments
 // default to 0.1.
@@ -81,6 +89,14 @@ func GenerateWorld(cfg WorldConfig) *World { return synth.Generate(cfg) }
 // StartServices exposes the world's services (Graph API, bit.ly, WOT,
 // Social Bakers, indirection redirector) over loopback HTTP.
 func StartServices(w *World) (*Stack, error) { return stack.Start(w) }
+
+// StartServicesWithFaults is StartServices with deterministic fault
+// injection: every service is wrapped with seeded error/hang/latency
+// middleware so resilience behaviour is reproducible. A nil spec behaves
+// exactly like StartServices.
+func StartServicesWithFaults(w *World, faults *FaultSpec) (*Stack, error) {
+	return stack.StartOpts(w, stack.Options{Faults: faults})
+}
 
 // BuildDatasets assembles the corpus in-process (fast path). Use
 // BuildDatasetsHTTP to exercise the full networking stack.

@@ -11,6 +11,7 @@
 package bitly
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -18,6 +19,8 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+
+	"frappe/internal/httpx"
 )
 
 // ErrNotFound is returned for unknown short links.
@@ -238,15 +241,16 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 type Client struct {
 	// BaseURL is the API endpoint, e.g. "http://127.0.0.1:PORT".
 	BaseURL string
-	// HTTPClient defaults to http.DefaultClient.
-	HTTPClient *http.Client
+	// HTTP is the resilient transport (timeouts, retries, breaker); nil
+	// means the shared httpx.Default().
+	HTTP *httpx.Client
 }
 
-func (c *Client) httpClient() *http.Client {
-	if c.HTTPClient != nil {
-		return c.HTTPClient
+func (c *Client) transport() *httpx.Client {
+	if c.HTTP != nil {
+		return c.HTTP
 	}
-	return http.DefaultClient
+	return httpx.Default()
 }
 
 func (c *Client) get(path string, params url.Values, out interface{}) error {
@@ -254,14 +258,13 @@ func (c *Client) get(path string, params url.Values, out interface{}) error {
 	if len(params) > 0 {
 		u += "?" + params.Encode()
 	}
-	resp, err := c.httpClient().Get(u)
+	resp, err := c.transport().Get(context.Background(), u)
 	if err != nil {
 		return fmt.Errorf("bitly: %w", err)
 	}
-	defer resp.Body.Close()
 	var env apiResponse
 	env.Data = out
-	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+	if err := json.Unmarshal(resp.Body, &env); err != nil {
 		return fmt.Errorf("bitly: decoding response: %w", err)
 	}
 	if env.StatusCode == 404 {

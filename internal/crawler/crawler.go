@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"frappe/internal/graphapi"
+	"frappe/internal/httpx"
 	"frappe/internal/telemetry"
 	"frappe/internal/wot"
 )
@@ -80,7 +81,9 @@ type Config struct {
 	WOT   *wot.Client
 	// Workers is the crawl parallelism (default 8).
 	Workers int
-	// Retries is how many extra attempts each fetch gets (default 2).
+	// Retries is how many extra transport attempts each fetch gets
+	// (default 2). It only applies to clients without an explicit
+	// httpx transport: New installs one configured with this budget.
 	Retries int
 	// Flakiness, if non-nil, reports whether a given surface of a given
 	// app is automatable at all; it models the paper's human-oriented
@@ -98,7 +101,9 @@ type Crawler struct {
 }
 
 // New returns a Crawler. Graph must be non-nil; WOT may be nil (scores are
-// then reported unknown).
+// then reported unknown). Clients without an explicit httpx transport get
+// one here, sized to cfg.Retries — retries, backoff, and circuit breaking
+// all live in that shared layer, not in the crawler.
 func New(cfg Config) (*Crawler, error) {
 	if cfg.Graph == nil {
 		return nil, errors.New("crawler: nil graph client")
@@ -110,6 +115,20 @@ func New(cfg Config) (*Crawler, error) {
 		cfg.Retries = 0
 	} else if cfg.Retries == 0 {
 		cfg.Retries = 2
+	}
+	if cfg.Graph.HTTP == nil {
+		cfg.Graph.HTTP = httpx.New(httpx.Config{
+			Service:     "graph",
+			MaxAttempts: cfg.Retries + 1,
+			Telemetry:   cfg.Telemetry,
+		})
+	}
+	if cfg.WOT != nil && cfg.WOT.HTTP == nil {
+		cfg.WOT.HTTP = httpx.New(httpx.Config{
+			Service:     "wot",
+			MaxAttempts: cfg.Retries + 1,
+			Telemetry:   cfg.Telemetry,
+		})
 	}
 	return &Crawler{cfg: cfg, ins: NewInstruments(cfg.Telemetry)}, nil
 }
@@ -150,21 +169,13 @@ feed:
 	return results, ctxErr
 }
 
-// retry runs fn up to 1+Retries times, keeping the last error. ErrDeleted
-// and ErrNotCrawlable are terminal: retrying cannot help. Every attempt is
-// counted; the terminal outcome is recorded once per surface.
-func (c *Crawler) retry(kind Kind, fn func() error) error {
-	var err error
-	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
-		c.ins.Attempts.With(kind.String()).Inc()
-		if attempt > 0 {
-			c.ins.Retries.With(kind.String()).Inc()
-		}
-		err = fn()
-		if err == nil || errors.Is(err, graphapi.ErrDeleted) || errors.Is(err, ErrNotCrawlable) {
-			break
-		}
-	}
+// fetch runs one surface fetch and records its terminal outcome.
+// Transport-level retry, backoff, and terminal-error classification
+// (deleted and not-crawlable are never retried) live in internal/httpx,
+// underneath the service clients — the crawler only observes the result.
+func (c *Crawler) fetch(kind Kind, fn func() error) error {
+	c.ins.Attempts.With(kind.String()).Inc()
+	err := fn()
 	c.ins.Outcome(kind, err)
 	return err
 }
@@ -178,7 +189,7 @@ func (c *Crawler) crawlOne(id string) *Result {
 	r := &Result{AppID: id, WOTScore: wot.UnknownScore}
 	defer func() { c.ins.FinishApp(r, start) }()
 
-	r.SummaryErr = c.retry(KindSummary, func() error {
+	r.SummaryErr = c.fetch(KindSummary, func() error {
 		s, err := c.cfg.Graph.Summary(id)
 		if err != nil {
 			return err
@@ -188,7 +199,7 @@ func (c *Crawler) crawlOne(id string) *Result {
 	})
 
 	if c.automatable(id, KindFeed) {
-		r.FeedErr = c.retry(KindFeed, func() error {
+		r.FeedErr = c.fetch(KindFeed, func() error {
 			feed, err := c.cfg.Graph.Feed(id)
 			if err != nil {
 				return err
@@ -202,7 +213,7 @@ func (c *Crawler) crawlOne(id string) *Result {
 	}
 
 	if c.automatable(id, KindInstall) {
-		r.InstallErr = c.retry(KindInstall, func() error {
+		r.InstallErr = c.fetch(KindInstall, func() error {
 			info, err := c.cfg.Graph.Install(id)
 			if err != nil {
 				return err

@@ -13,20 +13,21 @@ import (
 // same families — the paper's ~37%/~19% permission-crawl coverage (§2.3)
 // becomes a live observable either way:
 //
-//	frappe_crawl_attempts_total{kind}       one per surface fetch attempt
+//	frappe_crawl_attempts_total{kind}       one per surface fetch
 //	frappe_crawl_successes_total{kind}      fetches that yielded data
 //	frappe_crawl_failures_total{kind}       terminal failures (incl. deleted)
 //	frappe_crawl_not_crawlable_total{kind}  install flows automation can't drive
 //	frappe_crawl_deleted_total              apps gone from the graph
-//	frappe_crawl_retries_total{kind}        extra attempts beyond the first
 //	frappe_crawl_apps_total                 apps fully crawled
 //	frappe_crawl_app_duration_seconds       per-app wall clock (histogram)
+//
+// Network-level retries, backoff, and breaker activity are counted by
+// the frappe_httpx_* families (internal/httpx), underneath these.
 type Instruments struct {
 	Attempts     *telemetry.CounterVec
 	Successes    *telemetry.CounterVec
 	Failures     *telemetry.CounterVec
 	NotCrawlable *telemetry.CounterVec
-	Retries      *telemetry.CounterVec
 	Deleted      *telemetry.CounterVec
 	Apps         *telemetry.CounterVec
 	AppDuration  *telemetry.HistogramVec
@@ -47,8 +48,6 @@ func NewInstruments(reg *telemetry.Registry) *Instruments {
 			"Crawl fetches that failed terminally, by surface kind.", "kind"),
 		NotCrawlable: reg.Counter("frappe_crawl_not_crawlable_total",
 			"Crawl surfaces skipped because the install flow defeats automation, by kind.", "kind"),
-		Retries: reg.Counter("frappe_crawl_retries_total",
-			"Extra fetch attempts beyond the first, by surface kind.", "kind"),
 		Deleted: reg.Counter("frappe_crawl_deleted_total",
 			"Apps found deleted from the graph during a crawl."),
 		Apps: reg.Counter("frappe_crawl_apps_total",

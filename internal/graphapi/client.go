@@ -2,13 +2,15 @@ package graphapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"net/url"
 	"strings"
+
+	"frappe/internal/httpx"
 )
 
 // ErrDeleted is returned when the Graph API answers `false`, i.e. the app
@@ -29,36 +31,32 @@ type Client struct {
 	// BaseURL is the API root, e.g. "https://graph.facebook.com" or a test
 	// server URL.
 	BaseURL string
-	// HTTPClient defaults to http.DefaultClient.
-	HTTPClient *http.Client
+	// HTTP is the resilient transport (timeouts, retries, breaker); nil
+	// means the shared httpx.Default().
+	HTTP *httpx.Client
 }
 
-func (c *Client) httpClient() *http.Client {
-	if c.HTTPClient != nil {
-		return c.HTTPClient
+func (c *Client) transport() *httpx.Client {
+	if c.HTTP != nil {
+		return c.HTTP
 	}
-	return http.DefaultClient
+	return httpx.Default()
 }
 
 // get fetches path and returns the body, translating the Graph API's
 // literal `false` into ErrDeleted.
 func (c *Client) get(path string) ([]byte, error) {
-	resp, err := c.httpClient().Get(strings.TrimRight(c.BaseURL, "/") + path)
+	resp, err := c.transport().Get(context.Background(), strings.TrimRight(c.BaseURL, "/")+path)
 	if err != nil {
 		return nil, fmt.Errorf("graphapi: %w", err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
-		return nil, fmt.Errorf("graphapi: reading body: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("graphapi: unexpected status %s", resp.Status)
 	}
-	if bytes.Equal(bytes.TrimSpace(body), []byte("false")) {
+	if bytes.Equal(bytes.TrimSpace(resp.Body), []byte("false")) {
 		return nil, ErrDeleted
 	}
-	return body, nil
+	return resp.Body, nil
 }
 
 // Summary fetches the app summary for id.
@@ -92,11 +90,10 @@ func (c *Client) Feed(id string) ([]FeedPost, error) {
 // crawl. Deleted apps yield ErrDeleted.
 func (c *Client) Install(id string) (InstallInfo, error) {
 	u := strings.TrimRight(c.BaseURL, "/") + "/apps/application.php?id=" + url.QueryEscape(id)
-	resp, err := c.httpClient().Get(u)
+	resp, err := c.transport().Get(context.Background(), u)
 	if err != nil {
 		return InstallInfo{}, fmt.Errorf("graphapi: %w", err)
 	}
-	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusNotFound {
 		return InstallInfo{}, ErrDeleted
 	}
@@ -109,7 +106,7 @@ func (c *Client) Install(id string) (InstallInfo, error) {
 		Perms       string `json:"perms"`
 		RedirectURI string `json:"redirect_uri"`
 	}
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&doc); err != nil {
+	if err := json.Unmarshal(resp.Body, &doc); err != nil {
 		return InstallInfo{}, fmt.Errorf("graphapi: decoding install landing: %w", err)
 	}
 	info := InstallInfo{

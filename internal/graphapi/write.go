@@ -1,10 +1,10 @@
 package graphapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -179,14 +179,9 @@ func (s *Server) deliver(p fbplatform.Post) {
 // postJSON issues a POST with query parameters and decodes the response.
 func (c *Client) postJSON(path string, params url.Values, out interface{}) error {
 	u := strings.TrimRight(c.BaseURL, "/") + path + "?" + params.Encode()
-	resp, err := c.httpClient().Post(u, "application/x-www-form-urlencoded", nil)
+	resp, err := c.transport().Post(context.Background(), u, "application/x-www-form-urlencoded", nil)
 	if err != nil {
 		return fmt.Errorf("graphapi: %w", err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
-		return fmt.Errorf("graphapi: reading body: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
 		var ed struct {
@@ -194,7 +189,7 @@ func (c *Client) postJSON(path string, params url.Values, out interface{}) error
 				Message string `json:"message"`
 			} `json:"error"`
 		}
-		if json.Unmarshal(body, &ed) == nil && ed.Error.Message != "" {
+		if json.Unmarshal(resp.Body, &ed) == nil && ed.Error.Message != "" {
 			return fmt.Errorf("graphapi: %s: %s", resp.Status, ed.Error.Message)
 		}
 		return fmt.Errorf("graphapi: unexpected status %s", resp.Status)
@@ -202,7 +197,7 @@ func (c *Client) postJSON(path string, params url.Values, out interface{}) error
 	if out == nil {
 		return nil
 	}
-	if err := json.Unmarshal(body, out); err != nil {
+	if err := json.Unmarshal(resp.Body, out); err != nil {
 		return fmt.Errorf("graphapi: decoding response: %w", err)
 	}
 	return nil

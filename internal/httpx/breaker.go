@@ -1,0 +1,90 @@
+package httpx
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker state values, exported through the breaker-state gauge.
+const (
+	stateClosed   = 0
+	stateHalfOpen = 1
+	stateOpen     = 2
+)
+
+// breaker is a per-host circuit breaker: closed until `threshold`
+// consecutive failures, then open for `cooldown`, then half-open — one
+// probe at a time — until a success closes it or a failure re-opens it.
+type breaker struct {
+	host      string
+	threshold int
+	cooldown  time.Duration
+
+	mu        sync.Mutex
+	state     int
+	fails     int
+	openUntil time.Time
+	probing   bool
+}
+
+func newBreaker(threshold int, cooldown time.Duration, host string) *breaker {
+	return &breaker{host: host, threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may proceed now. In half-open state
+// only one probe is admitted at a time.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if now.Before(b.openUntil) {
+			return false
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// record reports an attempt outcome. Failures are transport errors and
+// 5xx responses; anything the upstream answered coherently counts as a
+// success for breaker purposes.
+func (b *breaker) record(ok bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = stateClosed
+		b.fails = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case stateHalfOpen:
+		// The probe failed: straight back to open.
+		b.state = stateOpen
+		b.openUntil = now.Add(b.cooldown)
+		b.probing = false
+	default:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = stateOpen
+			b.openUntil = now.Add(b.cooldown)
+		}
+	}
+}
+
+// snapshot returns the current state for the telemetry gauge.
+func (b *breaker) snapshot() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

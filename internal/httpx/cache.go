@@ -1,0 +1,72 @@
+package httpx
+
+import (
+	"sync"
+	"time"
+)
+
+// cacheMaxEntries bounds the TTL cache; when full, an arbitrary entry is
+// evicted (the cache is a hot-set optimisation, not a store of record).
+const cacheMaxEntries = 4096
+
+// ttlCache is a GET response cache with a fixed TTL.
+type ttlCache struct {
+	ttl time.Duration
+
+	mu      sync.Mutex
+	entries map[string]cacheEntry
+}
+
+type cacheEntry struct {
+	resp    Response
+	expires time.Time
+}
+
+func newTTLCache(ttl time.Duration) *ttlCache {
+	return &ttlCache{ttl: ttl, entries: make(map[string]cacheEntry)}
+}
+
+// get returns a copy of the cached response for key, if fresh.
+func (c *ttlCache) get(key string, now time.Time) (*Response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	if !now.Before(e.expires) {
+		delete(c.entries, key)
+		return nil, false
+	}
+	r := e.resp
+	r.FromCache = true
+	r.Attempts = 0
+	return &r, true
+}
+
+// put stores resp under key. Only terminal upstream answers land here
+// (the retry loop never returns a cached 5xx as success).
+func (c *ttlCache) put(key string, resp *Response, now time.Time) {
+	if resp == nil || resp.StatusCode >= 500 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) >= cacheMaxEntries {
+		for k := range c.entries {
+			delete(c.entries, k)
+			break
+		}
+	}
+	r := *resp
+	r.FromCache = false
+	r.Shared = false
+	c.entries[key] = cacheEntry{resp: r, expires: now.Add(c.ttl)}
+}
+
+// len reports the live entry count (telemetry/tests).
+func (c *ttlCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

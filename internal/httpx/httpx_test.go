@@ -1,0 +1,468 @@
+package httpx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"frappe/internal/telemetry"
+)
+
+// fakeClock is a manually-advanced clock for breaker/cache tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// sleepRecorder captures backoff sleeps instead of sleeping.
+type sleepRecorder struct {
+	mu     sync.Mutex
+	sleeps []time.Duration
+}
+
+func (s *sleepRecorder) Sleep(d time.Duration) {
+	s.mu.Lock()
+	s.sleeps = append(s.sleeps, d)
+	s.mu.Unlock()
+}
+
+func (s *sleepRecorder) Sleeps() []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]time.Duration(nil), s.sleeps...)
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	c := New(Config{})
+	if c.cfg.Timeout != DefaultTimeout {
+		t.Errorf("Timeout = %v, want %v", c.cfg.Timeout, DefaultTimeout)
+	}
+	if c.base.Timeout != DefaultTimeout {
+		t.Errorf("underlying http.Client.Timeout = %v, want %v", c.base.Timeout, DefaultTimeout)
+	}
+	if c.cfg.MaxAttempts != DefaultMaxAttempts {
+		t.Errorf("MaxAttempts = %d, want %d", c.cfg.MaxAttempts, DefaultMaxAttempts)
+	}
+	if c.cfg.BreakerThreshold != DefaultBreakerThreshold {
+		t.Errorf("BreakerThreshold = %d, want %d", c.cfg.BreakerThreshold, DefaultBreakerThreshold)
+	}
+}
+
+// TestHangingServerTimesOut is the regression test for the old
+// http.DefaultClient fallback: a server that never answers must not
+// stall the caller beyond the configured timeout.
+func TestHangingServerTimesOut(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // hang until the client gives up
+	}))
+	defer srv.Close()
+
+	c := New(Config{
+		Service:     "hang",
+		Timeout:     150 * time.Millisecond,
+		MaxAttempts: 1,
+		Telemetry:   telemetry.New(),
+	})
+	start := time.Now()
+	_, err := c.Get(context.Background(), srv.URL)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Get against a hanging server returned nil error")
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("Get took %v; timeout did not bound the hang", elapsed)
+	}
+}
+
+func TestBackoffScheduleWithFakeSleeper(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "boom", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+
+	rec := &sleepRecorder{}
+	reg := telemetry.New()
+	c := New(Config{
+		Service:     "backoff",
+		MaxAttempts: 4,
+		BackoffBase: 100 * time.Millisecond,
+		BackoffMax:  350 * time.Millisecond,
+		Sleep:       rec.Sleep,
+		JitterSeed:  42,
+		Telemetry:   reg,
+	})
+	resp, err := c.Get(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatalf("Get: %v (an exhausted 5xx returns the response, not an error)", err)
+	}
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("status = %d, want 502", resp.StatusCode)
+	}
+	if got := hits.Load(); got != 4 {
+		t.Errorf("upstream hits = %d, want 4", got)
+	}
+
+	sleeps := rec.Sleeps()
+	if len(sleeps) != 3 {
+		t.Fatalf("sleeps = %v, want 3 entries", sleeps)
+	}
+	// Schedule: min(max, base·2^(n-1)) with uniform jitter in [d/2, d].
+	for i, d := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 350 * time.Millisecond} {
+		if sleeps[i] < d/2 || sleeps[i] > d {
+			t.Errorf("sleep %d = %v, want in [%v, %v]", i, sleeps[i], d/2, d)
+		}
+	}
+
+	if got := reg.CounterValue("frappe_httpx_attempts_total", "backoff"); got != 4 {
+		t.Errorf("attempts counter = %d, want 4", got)
+	}
+	if got := reg.CounterValue("frappe_httpx_retries_total", "backoff"); got != 3 {
+		t.Errorf("retries counter = %d, want 3", got)
+	}
+	if got := reg.CounterValue("frappe_httpx_requests_total", "backoff", "exhausted"); got != 1 {
+		t.Errorf("exhausted counter = %d, want 1", got)
+	}
+}
+
+// TestTerminalStatusesShortCircuit: 2xx and 4xx answers carry service
+// semantics (deleted apps arrive as 404 or a literal `false` body) and
+// must never be retried.
+func TestTerminalStatusesShortCircuit(t *testing.T) {
+	for _, status := range []int{http.StatusOK, http.StatusNotFound, http.StatusBadRequest} {
+		t.Run(strconv.Itoa(status), func(t *testing.T) {
+			var hits atomic.Int32
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				hits.Add(1)
+				w.WriteHeader(status)
+				fmt.Fprint(w, "false")
+			}))
+			defer srv.Close()
+			c := New(Config{
+				Service:     "terminal",
+				MaxAttempts: 5,
+				Sleep:       func(time.Duration) { t.Error("slept on a terminal response") },
+				Telemetry:   telemetry.New(),
+			})
+			resp, err := c.Get(context.Background(), srv.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != status {
+				t.Errorf("status = %d, want %d", resp.StatusCode, status)
+			}
+			if string(resp.Body) != "false" {
+				t.Errorf("body = %q", resp.Body)
+			}
+			if got := hits.Load(); got != 1 {
+				t.Errorf("upstream hits = %d, want exactly 1", got)
+			}
+		})
+	}
+}
+
+func TestNetworkErrorRetriesThenFails(t *testing.T) {
+	// Reserve a port and close it so connections are refused immediately.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+
+	reg := telemetry.New()
+	c := New(Config{
+		Service:     "dead",
+		MaxAttempts: 3,
+		Sleep:       func(time.Duration) {},
+		Telemetry:   reg,
+	})
+	_, err = c.Get(context.Background(), dead)
+	if err == nil {
+		t.Fatal("Get against a dead endpoint returned nil error")
+	}
+	if got := reg.CounterValue("frappe_httpx_attempts_total", "dead"); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+	if got := reg.CounterValue("frappe_httpx_requests_total", "dead", "error"); got != 1 {
+		t.Errorf("error outcome = %d, want 1", got)
+	}
+}
+
+func TestBreakerOpenHalfOpenClose(t *testing.T) {
+	healthy := atomic.Bool{}
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if healthy.Load() {
+			fmt.Fprint(w, "ok")
+			return
+		}
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	host := srv.Listener.Addr().String()
+
+	clock := newFakeClock()
+	reg := telemetry.New()
+	c := New(Config{
+		Service:          "breaker",
+		MaxAttempts:      1, // one network attempt per call, to step states precisely
+		BreakerThreshold: 2,
+		BreakerCooldown:  10 * time.Second,
+		Now:              clock.Now,
+		Sleep:            func(time.Duration) {},
+		Telemetry:        reg,
+	})
+	get := func() (*Response, error) { return c.Get(context.Background(), srv.URL) }
+
+	// Two consecutive failures open the breaker.
+	for i := 0; i < 2; i++ {
+		if resp, err := get(); err != nil || resp.StatusCode != 500 {
+			t.Fatalf("call %d: resp=%v err=%v", i, resp, err)
+		}
+	}
+	if got := reg.GaugeValue("frappe_httpx_breaker_state", "breaker", host); got != stateOpen {
+		t.Fatalf("breaker state = %v, want open (%d)", got, stateOpen)
+	}
+
+	// Open: rejected without touching the network.
+	before := hits.Load()
+	if _, err := get(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker err = %v, want ErrCircuitOpen", err)
+	}
+	if hits.Load() != before {
+		t.Error("open breaker still hit the upstream")
+	}
+
+	// After the cooldown a half-open probe goes through; a success closes.
+	clock.Advance(11 * time.Second)
+	healthy.Store(true)
+	if resp, err := get(); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("half-open probe: resp=%v err=%v", resp, err)
+	}
+	if got := reg.GaugeValue("frappe_httpx_breaker_state", "breaker", host); got != stateClosed {
+		t.Errorf("breaker state after good probe = %v, want closed", got)
+	}
+
+	// Re-open, and a failed probe goes straight back to open.
+	healthy.Store(false)
+	for i := 0; i < 2; i++ {
+		if _, err := get(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clock.Advance(11 * time.Second)
+	if resp, err := get(); err != nil || resp.StatusCode != 500 {
+		t.Fatalf("failing probe: resp=%v err=%v", resp, err)
+	}
+	if _, err := get(); !errors.Is(err, ErrCircuitOpen) {
+		t.Errorf("after failed probe err = %v, want ErrCircuitOpen", err)
+	}
+}
+
+func TestSingleflightCollapsesConcurrentGets(t *testing.T) {
+	var hits atomic.Int32
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		once.Do(func() { close(entered) })
+		<-release
+		fmt.Fprint(w, "payload")
+	}))
+	defer srv.Close()
+
+	reg := telemetry.New()
+	c := New(Config{Service: "sf", MaxAttempts: 1, Telemetry: reg})
+
+	const followers = 7
+	results := make(chan *Response, followers+1)
+	errs := make(chan error, followers+1)
+	run := func() {
+		resp, err := c.Get(context.Background(), srv.URL)
+		results <- resp
+		errs <- err
+	}
+	go run() // leader
+	<-entered
+	for i := 0; i < followers; i++ {
+		go run()
+	}
+	// Wait until every follower is parked on the leader's flight, then
+	// let the upstream answer — a deterministic collapse.
+	for c.sf.waiting(srv.URL) < followers {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	for i := 0; i < followers+1; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+		if resp := <-results; string(resp.Body) != "payload" {
+			t.Errorf("body = %q", resp.Body)
+		}
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("upstream hits = %d, want 1", got)
+	}
+	if got := reg.CounterValue("frappe_httpx_singleflight_shared_total", "sf"); got != followers {
+		t.Errorf("shared counter = %d, want %d", got, followers)
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		fmt.Fprint(w, "cached")
+	}))
+	defer srv.Close()
+
+	clock := newFakeClock()
+	reg := telemetry.New()
+	c := New(Config{
+		Service:   "cache",
+		CacheTTL:  time.Minute,
+		Now:       clock.Now,
+		Telemetry: reg,
+	})
+
+	r1, err := c.Get(context.Background(), srv.URL)
+	if err != nil || r1.FromCache {
+		t.Fatalf("first get: %+v, %v", r1, err)
+	}
+	r2, err := c.Get(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.FromCache || string(r2.Body) != "cached" {
+		t.Errorf("second get not served from cache: %+v", r2)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("upstream hits = %d, want 1 while fresh", got)
+	}
+
+	clock.Advance(61 * time.Second)
+	r3, err := c.Get(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.FromCache {
+		t.Error("expired entry served from cache")
+	}
+	if got := hits.Load(); got != 2 {
+		t.Errorf("upstream hits = %d, want 2 after expiry", got)
+	}
+	if got := reg.CounterValue("frappe_httpx_cache_total", "cache", "hit"); got != 1 {
+		t.Errorf("cache hits = %d, want 1", got)
+	}
+	if got := reg.CounterValue("frappe_httpx_cache_total", "cache", "miss"); got != 2 {
+		t.Errorf("cache misses = %d, want 2", got)
+	}
+}
+
+// TestConcurrentWorkout drives every layer at once under -race: mixed
+// URLs, cache on, singleflight on, a flaky upstream to exercise retries
+// and the breaker.
+func TestConcurrentWorkout(t *testing.T) {
+	var n atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%7 == 0 {
+			http.Error(w, "flaky", http.StatusBadGateway)
+			return
+		}
+		fmt.Fprint(w, r.URL.Path)
+	}))
+	defer srv.Close()
+
+	c := New(Config{
+		Service:     "workout",
+		MaxAttempts: 3,
+		BackoffBase: time.Microsecond,
+		BackoffMax:  10 * time.Microsecond,
+		CacheTTL:    50 * time.Millisecond,
+		Telemetry:   telemetry.New(),
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				u := srv.URL + "/p" + strconv.Itoa(i%5)
+				resp, err := c.Get(context.Background(), u)
+				if err != nil {
+					t.Errorf("get %s: %v", u, err)
+					return
+				}
+				if resp.StatusCode == http.StatusOK {
+					parsed, _ := url.Parse(u)
+					if string(resp.Body) != parsed.Path {
+						t.Errorf("body = %q, want %q", resp.Body, parsed.Path)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestPostRetriesAndReturnsBody(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			http.Error(w, "transient", http.StatusServiceUnavailable)
+			return
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "application/x-www-form-urlencoded" {
+			t.Errorf("content type = %q", ct)
+		}
+		fmt.Fprint(w, "posted")
+	}))
+	defer srv.Close()
+
+	c := New(Config{
+		Service:     "post",
+		MaxAttempts: 3,
+		Sleep:       func(time.Duration) {},
+		Telemetry:   telemetry.New(),
+	})
+	resp, err := c.Post(context.Background(), srv.URL, "application/x-www-form-urlencoded", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || string(resp.Body) != "posted" {
+		t.Errorf("resp = %d %q", resp.StatusCode, resp.Body)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Errorf("hits = %d, want 2 (one retry)", got)
+	}
+}

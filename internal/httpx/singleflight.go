@@ -1,0 +1,73 @@
+package httpx
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent identical GETs: the first caller
+// (the leader) performs the request; callers that arrive while it is in
+// flight wait and share the leader's response. A minimal stdlib-only
+// take on x/sync/singleflight, with context-aware waiting.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+type flight struct {
+	done    chan struct{}
+	waiters int
+	resp    *Response
+	err     error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: make(map[string]*flight)}
+}
+
+// do runs fn once per key among concurrent callers. The boolean reports
+// whether the result was shared from another caller's flight. Followers
+// whose context dies stop waiting and return the context error.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*Response, error)) (*Response, error, bool) {
+	g.mu.Lock()
+	if f, ok := g.flights[key]; ok {
+		f.waiters++
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return nil, f.err, true
+			}
+			// Shallow copy so flag mutation never races across sharers;
+			// Body is shared read-only.
+			r := *f.resp
+			r.Shared = true
+			r.Attempts = 0
+			return &r, nil, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	f.resp, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.resp, f.err, false
+}
+
+// waiting reports how many followers are currently blocked on key's
+// flight; tests use it to sequence deterministic collapses.
+func (g *flightGroup) waiting(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.flights[key]; ok {
+		return f.waiters
+	}
+	return 0
+}

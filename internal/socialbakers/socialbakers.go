@@ -5,6 +5,7 @@
 package socialbakers
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +13,8 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+
+	"frappe/internal/httpx"
 )
 
 // ErrNotVetted is returned for apps the service does not track.
@@ -92,25 +95,26 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Client queries the vetting API over HTTP.
 type Client struct {
-	BaseURL    string
-	HTTPClient *http.Client
+	BaseURL string
+	// HTTP is the resilient transport (timeouts, retries, breaker); nil
+	// means the shared httpx.Default().
+	HTTP *httpx.Client
 }
 
-func (c *Client) httpClient() *http.Client {
-	if c.HTTPClient != nil {
-		return c.HTTPClient
+func (c *Client) transport() *httpx.Client {
+	if c.HTTP != nil {
+		return c.HTTP
 	}
-	return http.DefaultClient
+	return httpx.Default()
 }
 
 // Rating fetches the vetting record for appID; ErrNotVetted if untracked.
 func (c *Client) Rating(appID string) (Rating, error) {
 	u := strings.TrimRight(c.BaseURL, "/") + "/app?" + url.Values{"id": {appID}}.Encode()
-	resp, err := c.httpClient().Get(u)
+	resp, err := c.transport().Get(context.Background(), u)
 	if err != nil {
 		return Rating{}, fmt.Errorf("socialbakers: %w", err)
 	}
-	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusNotFound {
 		return Rating{AppID: appID}, ErrNotVetted
 	}
@@ -118,7 +122,7 @@ func (c *Client) Rating(appID string) (Rating, error) {
 		return Rating{}, fmt.Errorf("socialbakers: unexpected status %s", resp.Status)
 	}
 	var rating Rating
-	if err := json.NewDecoder(resp.Body).Decode(&rating); err != nil {
+	if err := json.Unmarshal(resp.Body, &rating); err != nil {
 		return Rating{}, fmt.Errorf("socialbakers: decoding response: %w", err)
 	}
 	return rating, nil

@@ -1,0 +1,113 @@
+package stack
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"frappe/internal/telemetry"
+)
+
+// Deterministic fault injection for the loopback stack. The paper's
+// crawl ran against services that failed constantly (install permissions
+// were reachable for only ~37% of benign apps); these knobs let tests
+// and operators recreate that hostility on demand, per service, from a
+// seeded RNG — so a run with the same seed injects the same fault
+// sequence per service and failures are reproducible.
+//
+// Injected faults are visible as:
+//
+//	frappe_faults_injected_total{service,kind}   kind = error | hang
+//	frappe_fault_latency_injected_total{service} latency sleeps applied
+
+// ServiceFaults are the per-service fault knobs.
+type ServiceFaults struct {
+	// ErrorRate is the probability ([0,1]) a request is answered with an
+	// injected 502 before reaching the service.
+	ErrorRate float64
+	// HangRate is the probability ([0,1]) a request is never answered:
+	// the handler parks until the client gives up (its timeout cancels
+	// the request context).
+	HangRate float64
+	// Latency is added to every request before any other fault fires.
+	Latency time.Duration
+}
+
+// enabled reports whether any knob is set.
+func (sf ServiceFaults) enabled() bool {
+	return sf.ErrorRate > 0 || sf.HangRate > 0 || sf.Latency > 0
+}
+
+// FaultSpec configures fault injection for a whole stack.
+type FaultSpec struct {
+	// Seed drives every service's fault RNG; each service derives its own
+	// stream from Seed and its name, so per-service sequences are stable
+	// regardless of traffic to other services.
+	Seed int64
+	// Default applies to every service without an explicit override.
+	Default ServiceFaults
+	// PerService overrides Default by stack service name ("graph",
+	// "bitly", "wot", "socialbakers", "redirector").
+	PerService map[string]ServiceFaults
+}
+
+// forService resolves the effective knobs for one service.
+func (f *FaultSpec) forService(name string) ServiceFaults {
+	if f == nil {
+		return ServiceFaults{}
+	}
+	if sf, ok := f.PerService[name]; ok {
+		return sf
+	}
+	return f.Default
+}
+
+// wrap returns next wrapped with this spec's fault middleware for the
+// named service; next unchanged when no knob is set.
+func (f *FaultSpec) wrap(reg *telemetry.Registry, name string, next http.Handler) http.Handler {
+	sf := f.forService(name)
+	if !sf.enabled() {
+		return next
+	}
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	injected := reg.Counter("frappe_faults_injected_total",
+		"Faults injected by the stack's fault middleware, by service and kind.", "service", "kind")
+	latencies := reg.Counter("frappe_fault_latency_injected_total",
+		"Latency injections applied, by service.", "service")
+
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	rng := rand.New(rand.NewSource(f.Seed ^ int64(h.Sum64())))
+	var mu sync.Mutex
+
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		pHang := rng.Float64()
+		pErr := rng.Float64()
+		mu.Unlock()
+		if sf.Latency > 0 {
+			latencies.With(name).Inc()
+			select {
+			case <-time.After(sf.Latency):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if pHang < sf.HangRate {
+			injected.With(name, "hang").Inc()
+			// Park until the client abandons the request; never answer.
+			<-r.Context().Done()
+			return
+		}
+		if pErr < sf.ErrorRate {
+			injected.With(name, "error").Inc()
+			http.Error(w, "injected fault", http.StatusBadGateway)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

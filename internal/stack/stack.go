@@ -38,15 +38,32 @@ type Stack struct {
 	wg      sync.WaitGroup
 }
 
+// Options configures a stack beyond its world: the telemetry registry
+// the services record into, and optional deterministic fault injection.
+type Options struct {
+	// Telemetry is the registry every service's middleware records into;
+	// nil means the process default.
+	Telemetry *telemetry.Registry
+	// Faults, when non-nil, wraps every service with the fault-injection
+	// middleware (see faults.go).
+	Faults *FaultSpec
+}
+
 // Start launches one HTTP server per service, instrumented against the
 // process default telemetry registry. Callers must Close the stack.
 func Start(w *synth.World) (*Stack, error) {
-	return StartWith(w, nil)
+	return StartOpts(w, Options{})
 }
 
 // StartWith is Start with an explicit telemetry registry (nil means the
 // process default); tests use it to read metrics in isolation.
 func StartWith(w *synth.World, reg *telemetry.Registry) (*Stack, error) {
+	return StartOpts(w, Options{Telemetry: reg})
+}
+
+// StartOpts is Start with full Options.
+func StartOpts(w *synth.World, opts Options) (*Stack, error) {
+	reg := opts.Telemetry
 	if reg == nil {
 		reg = telemetry.Default()
 	}
@@ -73,8 +90,14 @@ func StartWith(w *synth.World, reg *telemetry.Registry) (*Stack, error) {
 			return nil, fmt.Errorf("stack: listen: %w", err)
 		}
 		*service.url = "http://" + ln.Addr().String()
+		// Faults inject inside the telemetry middleware, so injected 502s
+		// and hangs are visible in the per-service request metrics.
+		handler := service.handler
+		if opts.Faults != nil {
+			handler = opts.Faults.wrap(reg, service.name, handler)
+		}
 		srv := &http.Server{
-			Handler:           telemetry.Middleware(reg, service.name, service.handler),
+			Handler:           telemetry.Middleware(reg, service.name, handler),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		s.servers = append(s.servers, srv)

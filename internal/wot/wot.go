@@ -6,6 +6,7 @@
 package wot
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +14,8 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+
+	"frappe/internal/httpx"
 )
 
 // UnknownScore is the sentinel the paper assigns to domains without a WOT
@@ -117,26 +120,27 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Client queries a WOT-compatible reputation API.
 type Client struct {
-	BaseURL    string
-	HTTPClient *http.Client
+	BaseURL string
+	// HTTP is the resilient transport (timeouts, retries, breaker); nil
+	// means the shared httpx.Default().
+	HTTP *httpx.Client
 }
 
-func (c *Client) httpClient() *http.Client {
-	if c.HTTPClient != nil {
-		return c.HTTPClient
+func (c *Client) transport() *httpx.Client {
+	if c.HTTP != nil {
+		return c.HTTP
 	}
-	return http.DefaultClient
+	return httpx.Default()
 }
 
 // Score returns the trust score for domain, or ErrUnknownDomain when WOT
 // has no data.
 func (c *Client) Score(domain string) (int, error) {
 	u := strings.TrimRight(c.BaseURL, "/") + "/lookup?" + url.Values{"domain": {domain}}.Encode()
-	resp, err := c.httpClient().Get(u)
+	resp, err := c.transport().Get(context.Background(), u)
 	if err != nil {
 		return 0, fmt.Errorf("wot: %w", err)
 	}
-	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusNotFound {
 		return 0, ErrUnknownDomain
 	}
@@ -146,7 +150,7 @@ func (c *Client) Score(domain string) (int, error) {
 	var body struct {
 		Score int `json:"score"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+	if err := json.Unmarshal(resp.Body, &body); err != nil {
 		return 0, fmt.Errorf("wot: decoding response: %w", err)
 	}
 	return body.Score, nil

@@ -1,0 +1,116 @@
+package frappe
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"frappe/internal/telemetry"
+)
+
+// The watchdog's serving path absorbs repeated traffic with two layers:
+// a TTL verdict cache (an app's verdict rarely changes within seconds),
+// and a per-app-ID singleflight so a burst of /check requests for the
+// same app costs one upstream crawl, not N. Only conclusive assessments
+// — a classification or a deleted-app verdict — are cached; upstream
+// failures and breaker rejections are never served stale.
+//
+// Metrics (process default registry):
+//
+//	frappe_verdict_cache_total{result}        hit / miss / expired
+//	frappe_verdict_cache_size                 live cached verdicts
+//	frappe_verdict_singleflight_shared_total  assessments answered by
+//	                                          joining an in-flight crawl
+var (
+	verdictCacheTotal = telemetry.Default().Counter("frappe_verdict_cache_total",
+		"Verdict cache lookups, by result.", "result")
+	verdictCacheSize = telemetry.Default().Gauge("frappe_verdict_cache_size",
+		"Verdicts currently held in the watchdog serving cache.").With()
+	verdictShared = telemetry.Default().Counter("frappe_verdict_singleflight_shared_total",
+		"Assessments answered by joining another request's in-flight crawl.").With()
+)
+
+type verdictEntry struct {
+	a   Assessment
+	exp time.Time
+}
+
+type verdictFlight struct {
+	done chan struct{}
+	a    Assessment
+}
+
+// verdictCache is the TTL + singleflight serving layer. Safe for
+// concurrent use.
+type verdictCache struct {
+	ttl time.Duration
+	now func() time.Time // test seam
+
+	mu      sync.Mutex
+	entries map[string]verdictEntry
+	flights map[string]*verdictFlight
+}
+
+func newVerdictCache(ttl time.Duration) *verdictCache {
+	return &verdictCache{
+		ttl:     ttl,
+		now:     time.Now,
+		entries: make(map[string]verdictEntry),
+		flights: make(map[string]*verdictFlight),
+	}
+}
+
+// cacheable reports whether an assessment is conclusive enough to serve
+// again: a verdict or a deleted-app finding, never a transport failure.
+func cacheable(a Assessment) bool {
+	return a.Error == "" || a.Deleted
+}
+
+// do returns appID's assessment: from cache when fresh, by joining an
+// in-flight computation when one exists, or by running fn. The returned
+// assessment has Cached set when it was not computed by this caller.
+func (c *verdictCache) do(ctx context.Context, appID string, fn func() Assessment) Assessment {
+	c.mu.Lock()
+	if e, ok := c.entries[appID]; ok {
+		if c.now().Before(e.exp) {
+			c.mu.Unlock()
+			verdictCacheTotal.With("hit").Inc()
+			a := e.a
+			a.Cached = true
+			return a
+		}
+		delete(c.entries, appID)
+		verdictCacheSize.Set(float64(len(c.entries)))
+		verdictCacheTotal.With("expired").Inc()
+	} else {
+		verdictCacheTotal.With("miss").Inc()
+	}
+	if fl, ok := c.flights[appID]; ok {
+		c.mu.Unlock()
+		select {
+		case <-fl.done:
+			verdictShared.Inc()
+			a := fl.a
+			a.Cached = true
+			return a
+		case <-ctx.Done():
+			return Assessment{AppID: appID, Error: ctx.Err().Error(), Cause: CauseUpstream}
+		}
+	}
+	fl := &verdictFlight{done: make(chan struct{})}
+	c.flights[appID] = fl
+	c.mu.Unlock()
+
+	a := fn()
+
+	c.mu.Lock()
+	fl.a = a
+	delete(c.flights, appID)
+	if cacheable(a) {
+		c.entries[appID] = verdictEntry{a: a, exp: c.now().Add(c.ttl)}
+		verdictCacheSize.Set(float64(len(c.entries)))
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return a
+}

@@ -1,0 +1,135 @@
+package frappe
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"frappe/internal/telemetry"
+)
+
+// Deterministic unit tests for the watchdog serving cache: singleflight
+// collapse with a gated compute function, and TTL expiry on a fake clock.
+
+func TestVerdictCacheSingleflightCollapse(t *testing.T) {
+	c := newVerdictCache(time.Minute)
+	var calls atomic.Int32
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	reg := telemetry.Default()
+	sharedBefore := reg.CounterValue("frappe_verdict_singleflight_shared_total")
+
+	compute := func() Assessment {
+		if calls.Add(1) == 1 {
+			close(entered)
+			<-release
+		}
+		return Assessment{AppID: "app", Score: 0.7}
+	}
+
+	leaderDone := make(chan Assessment, 1)
+	go func() { leaderDone <- c.do(context.Background(), "app", compute) }()
+	<-entered
+
+	const followers = 4
+	results := make([]Assessment, followers)
+	var wg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.do(context.Background(), "app", compute)
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	leader := <-leaderDone
+
+	// Followers either joined the leader's flight or, arriving after it
+	// finished, hit the cached entry — in no case do they recompute.
+	if got := calls.Load(); got != 1 {
+		t.Errorf("compute ran %d times, want 1", got)
+	}
+	if leader.Cached {
+		t.Error("leader assessment claims to be cached")
+	}
+	for i, a := range results {
+		if !a.Cached {
+			t.Errorf("follower %d not marked cached", i)
+		}
+		if a.Score != leader.Score || a.AppID != leader.AppID {
+			t.Errorf("follower %d diverged: %+v vs leader %+v", i, a, leader)
+		}
+	}
+	// Every follower was answered by the flight or the cache, so the two
+	// counters together account for all of them.
+	shared := reg.CounterValue("frappe_verdict_singleflight_shared_total") - sharedBefore
+	if shared > followers {
+		t.Errorf("singleflight shared count = %d, want <= %d", shared, followers)
+	}
+}
+
+func TestVerdictCacheTTLExpiry(t *testing.T) {
+	c := newVerdictCache(30 * time.Second)
+	now := time.Unix(1_700_000_000, 0)
+	c.now = func() time.Time { return now }
+
+	var calls int
+	compute := func() Assessment {
+		calls++
+		return Assessment{AppID: "app", Score: float64(calls)}
+	}
+	ctx := context.Background()
+
+	a := c.do(ctx, "app", compute)
+	if a.Cached || a.Score != 1 {
+		t.Fatalf("first do = %+v", a)
+	}
+	// Inside the TTL: served from cache.
+	now = now.Add(29 * time.Second)
+	a = c.do(ctx, "app", compute)
+	if !a.Cached || a.Score != 1 {
+		t.Fatalf("within-TTL do = %+v (calls=%d)", a, calls)
+	}
+	// Past the TTL: recomputed, fresh value cached again.
+	now = now.Add(2 * time.Second)
+	a = c.do(ctx, "app", compute)
+	if a.Cached || a.Score != 2 {
+		t.Fatalf("post-TTL do = %+v (calls=%d)", a, calls)
+	}
+	if calls != 2 {
+		t.Errorf("compute ran %d times, want 2", calls)
+	}
+}
+
+func TestVerdictCacheDoesNotCacheFailures(t *testing.T) {
+	c := newVerdictCache(time.Minute)
+	var calls int
+	ctx := context.Background()
+	fail := func() Assessment {
+		calls++
+		return Assessment{AppID: "app", Error: "upstream exploded", Cause: CauseUpstream}
+	}
+	for i := 0; i < 2; i++ {
+		if a := c.do(ctx, "app", fail); a.Cached {
+			t.Errorf("failure %d served from cache: %+v", i, a)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("compute ran %d times, want 2 (failures must not be cached)", calls)
+	}
+	// A deleted-app verdict IS conclusive and cacheable.
+	deleted := func() Assessment {
+		calls++
+		return Assessment{AppID: "gone", Deleted: true, Malicious: true,
+			Cause: CauseDeleted, Error: "app removed from the graph"}
+	}
+	first := c.do(ctx, "gone", deleted)
+	second := c.do(ctx, "gone", deleted)
+	if first.Cached || !second.Cached {
+		t.Errorf("deleted verdict caching: first=%+v second=%+v", first, second)
+	}
+}

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"frappe/internal/core"
 	"frappe/internal/crawler"
 	"frappe/internal/graphapi"
+	"frappe/internal/httpx"
 	"frappe/internal/wot"
 )
 
@@ -20,38 +22,95 @@ import (
 type Watchdog struct {
 	classifier *Classifier
 	crawler    *crawler.Crawler
+	cache      *verdictCache
+	cfg        WatchdogConfig
 
 	// RankWorkers bounds Rank's assessment fan-out (default 8).
 	RankWorkers int
 }
 
+// WatchdogConfig tunes the watchdog's resilience envelope: how hard its
+// transport tries against flaky upstreams, when it stops trying (circuit
+// breaker), and how long a verdict stays servable without re-crawling.
+type WatchdogConfig struct {
+	// GraphURL and WOTURL are the upstream service roots.
+	GraphURL string
+	WOTURL   string
+	// Timeout bounds each upstream HTTP attempt (0 = httpx default 10s,
+	// negative = no timeout).
+	Timeout time.Duration
+	// Retries is extra transport attempts per fetch (0 = default 2,
+	// negative = none).
+	Retries int
+	// BreakerThreshold is consecutive upstream failures before the circuit
+	// opens (0 = httpx default 5, negative = breaker disabled).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit waits before probing
+	// again (0 = httpx default 10s).
+	BreakerCooldown time.Duration
+	// VerdictTTL is how long a successful (or deleted) assessment is served
+	// from the verdict cache; 0 disables the cache, including its per-app
+	// singleflight collapse of concurrent assessments.
+	VerdictTTL time.Duration
+}
+
 // NewWatchdog wires a trained classifier to a Graph-API endpoint and a WOT
-// endpoint. A classifier trained with FullFeatures works too: the
-// aggregation features are imputed from training statistics when the
-// watchdog has no cross-user view.
+// endpoint with default resilience settings. A classifier trained with
+// FullFeatures works too: the aggregation features are imputed from
+// training statistics when the watchdog has no cross-user view.
 func NewWatchdog(clf *Classifier, graphURL, wotURL string) (*Watchdog, error) {
+	return NewWatchdogWith(clf, WatchdogConfig{GraphURL: graphURL, WOTURL: wotURL})
+}
+
+// NewWatchdogWith is NewWatchdog with explicit resilience configuration.
+func NewWatchdogWith(clf *Classifier, cfg WatchdogConfig) (*Watchdog, error) {
 	if clf == nil {
 		return nil, fmt.Errorf("frappe: nil classifier")
 	}
+	retries := cfg.Retries
+	if retries < 0 {
+		retries = 0
+	} else if retries == 0 {
+		retries = 2
+	}
+	transport := func(service string) *httpx.Client {
+		return httpx.New(httpx.Config{
+			Service:          service,
+			Timeout:          cfg.Timeout,
+			MaxAttempts:      retries + 1,
+			BreakerThreshold: cfg.BreakerThreshold,
+			BreakerCooldown:  cfg.BreakerCooldown,
+		})
+	}
 	c, err := crawler.New(crawler.Config{
-		Graph:   &graphapi.Client{BaseURL: graphURL},
-		WOT:     &wot.Client{BaseURL: wotURL},
+		Graph:   &graphapi.Client{BaseURL: cfg.GraphURL, HTTP: transport("graph")},
+		WOT:     &wot.Client{BaseURL: cfg.WOTURL, HTTP: transport("wot")},
 		Workers: 1,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("frappe: %w", err)
 	}
-	return &Watchdog{classifier: clf, crawler: c}, nil
+	w := &Watchdog{classifier: clf, crawler: c, cfg: cfg}
+	if cfg.VerdictTTL > 0 {
+		w.cache = newVerdictCache(cfg.VerdictTTL)
+	}
+	return w, nil
 }
 
 // NewWatchdogFrom loads a serialised classifier (written with
 // Classifier.Save) and wires it like NewWatchdog.
 func NewWatchdogFrom(r io.Reader, graphURL, wotURL string) (*Watchdog, error) {
+	return NewWatchdogFromWith(r, WatchdogConfig{GraphURL: graphURL, WOTURL: wotURL})
+}
+
+// NewWatchdogFromWith loads a serialised classifier and wires it like
+// NewWatchdogWith.
+func NewWatchdogFromWith(r io.Reader, cfg WatchdogConfig) (*Watchdog, error) {
 	clf, err := core.Load(r)
 	if err != nil {
 		return nil, err
 	}
-	return NewWatchdog(clf, graphURL, wotURL)
+	return NewWatchdogWith(clf, cfg)
 }
 
 // Evaluate crawls the app's on-demand features and classifies it.

@@ -7,8 +7,10 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
+	"frappe/internal/httpx"
 	"frappe/internal/telemetry"
 	"frappe/internal/workerpool"
 )
@@ -28,11 +30,28 @@ type Assessment struct {
 	// treats as confirmation of maliciousness.
 	Deleted bool   `json:"deleted,omitempty"`
 	Error   string `json:"error,omitempty"`
+	// Cause classifies why an assessment is not a plain verdict: deleted,
+	// breaker_open, or upstream. Empty for a clean classification.
+	Cause string `json:"cause,omitempty"`
+	// Cached marks verdicts served from the TTL cache or by joining
+	// another request's in-flight crawl.
+	Cached bool `json:"cached,omitempty"`
 }
+
+// Assessment causes — the /check endpoint maps each to a distinct status.
+const (
+	// CauseDeleted: the app is gone from the graph (a verdict; HTTP 404).
+	CauseDeleted = "deleted"
+	// CauseBreakerOpen: the upstream circuit breaker is open and no crawl
+	// was attempted (HTTP 503 with Retry-After).
+	CauseBreakerOpen = "breaker_open"
+	// CauseUpstream: the upstream crawl failed transiently (HTTP 502).
+	CauseUpstream = "upstream"
+)
 
 // Watchdog assessment metrics (process default registry):
 //
-//	frappe_assessments_total{outcome}   ok / deleted / error
+//	frappe_assessments_total{outcome}   ok / deleted / breaker_open / error
 //	frappe_rank_fanout_width            workers used by the last Rank call
 var (
 	assessTotal = telemetry.Default().Counter("frappe_assessments_total",
@@ -41,18 +60,31 @@ var (
 		"Worker-pool width used by the most recent Rank call.").With()
 )
 
-// Assess evaluates one app and folds the deleted-from-graph case into the
-// verdict instead of an error: a deleted app is reported as such.
+// Assess evaluates one app, serving from the verdict cache when one is
+// configured, and folds the deleted-from-graph case into the verdict
+// instead of an error: a deleted app is reported as such. Non-verdict
+// outcomes carry a Cause distinguishing an open circuit breaker from an
+// ordinary upstream failure.
 func (w *Watchdog) Assess(ctx context.Context, appID string) Assessment {
+	if w.cache != nil {
+		return w.cache.do(ctx, appID, func() Assessment { return w.assess(ctx, appID) })
+	}
+	return w.assess(ctx, appID)
+}
+
+func (w *Watchdog) assess(ctx context.Context, appID string) Assessment {
 	v, err := w.Evaluate(ctx, appID)
 	switch {
 	case errors.Is(err, ErrNotClassifiable):
 		assessTotal.With("deleted").Inc()
 		return Assessment{AppID: appID, Deleted: true, Malicious: true,
-			Error: "app removed from the graph"}
+			Cause: CauseDeleted, Error: "app removed from the graph"}
+	case errors.Is(err, httpx.ErrCircuitOpen):
+		assessTotal.With("breaker_open").Inc()
+		return Assessment{AppID: appID, Cause: CauseBreakerOpen, Error: err.Error()}
 	case err != nil:
 		assessTotal.With("error").Inc()
-		return Assessment{AppID: appID, Error: err.Error()}
+		return Assessment{AppID: appID, Cause: CauseUpstream, Error: err.Error()}
 	default:
 		assessTotal.With("ok").Inc()
 		return Assessment{AppID: appID, Malicious: v.Malicious, Score: v.Score}
@@ -102,14 +134,20 @@ func (w *Watchdog) Rank(ctx context.Context, appIDs []string) []Assessment {
 //	GET /rank?app=A&app=B&app=C     -> ranked []Assessment
 //	GET /healthz                    -> 200 ok
 //
-// Each request is bounded by timeout (default 10s). A /check whose
-// assessment failed (crawl error, not a deleted-app verdict) returns 502
-// with the error in the body; /rank always returns 200 and carries per-row
-// errors, matching its don't-abort contract. All endpoints are
+// Each request is bounded by timeout (default 10s). /check maps assessment
+// outcomes onto distinct statuses: a clean verdict is 200; a deleted app is
+// 404 (still a verdict — the body carries the malicious-by-deletion
+// assessment); an open upstream circuit breaker is 503 with a Retry-After;
+// any other upstream failure is 502. /rank always returns 200 and carries
+// per-row errors, matching its don't-abort contract. All endpoints are
 // instrumented as service "watchdog" on the default telemetry registry.
 func WatchdogHandler(w *Watchdog, timeout time.Duration) http.Handler {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
+	}
+	retryAfter := strconv.Itoa(int((httpx.DefaultBreakerCooldown + time.Second - 1) / time.Second))
+	if w.cfg.BreakerCooldown > 0 {
+		retryAfter = strconv.Itoa(int((w.cfg.BreakerCooldown + time.Second - 1) / time.Second))
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
@@ -126,10 +164,15 @@ func WatchdogHandler(w *Watchdog, timeout time.Duration) http.Handler {
 		defer cancel()
 		a := w.Assess(ctx, appID)
 		status := http.StatusOK
-		// A deleted app is a verdict (the paper treats deletion as
-		// confirmation); any other assessment error means the upstream
-		// crawl failed and the verdict is unusable.
-		if a.Error != "" && !a.Deleted {
+		switch a.Cause {
+		case CauseDeleted:
+			// A deleted app is a verdict (the paper treats deletion as
+			// confirmation), but the resource itself is gone.
+			status = http.StatusNotFound
+		case CauseBreakerOpen:
+			status = http.StatusServiceUnavailable
+			rw.Header().Set("Retry-After", retryAfter)
+		case CauseUpstream:
 			status = http.StatusBadGateway
 		}
 		writeAssessJSON(rw, status, a)

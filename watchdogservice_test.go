@@ -83,11 +83,16 @@ func TestCheckCrawlFailureIsNot200(t *testing.T) {
 	if a.Deleted {
 		t.Errorf("crawl failure reported as deleted: %+v", a)
 	}
+	if a.Cause != CauseUpstream {
+		t.Errorf("cause = %q, want %q", a.Cause, CauseUpstream)
+	}
 }
 
-// TestCheckDeletedAppIs200 pins the counterpart: a deleted app is a
-// verdict (the paper treats deletion as confirmation), not a failure.
-func TestCheckDeletedAppIs200(t *testing.T) {
+// TestCheckDeletedAppIs404 pins the counterpart: a deleted app is a
+// verdict (the paper treats deletion as confirmation), served as 404 —
+// the resource is gone — with the malicious-by-deletion assessment in
+// the body, distinct from the 502 a transient crawl failure gets.
+func TestCheckDeletedAppIs404(t *testing.T) {
 	wd, closeStack := trainedWatchdog(t)
 	defer closeStack()
 	w, _ := sharedWorld(t)
@@ -108,8 +113,8 @@ func TestCheckDeletedAppIs200(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Errorf("deleted app status = %d, want 200", resp.StatusCode)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("deleted app status = %d, want %d", resp.StatusCode, http.StatusNotFound)
 	}
 	var a Assessment
 	if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
@@ -117,6 +122,9 @@ func TestCheckDeletedAppIs200(t *testing.T) {
 	}
 	if !a.Deleted || !a.Malicious {
 		t.Errorf("deleted assessment = %+v", a)
+	}
+	if a.Cause != CauseDeleted {
+		t.Errorf("cause = %q, want %q", a.Cause, CauseDeleted)
 	}
 }
 
