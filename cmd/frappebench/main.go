@@ -62,6 +62,16 @@ func writeBenchJSON(path string, scale float64, seed int64, quick bool, total ti
 		StagesSeconds: map[string]float64{
 			"generate":       reg.GaugeValue("frappe_synth_stage_seconds", "total"),
 			"build_datasets": reg.GaugeValue("frappe_dataset_stage_seconds", "total"),
+			// The ingest stage is the monitor-bound slice of generate:
+			// posts and manual_posts stream through the sharded monitor's
+			// queues, ingest_drain is the queue tail after the producer
+			// finishes (see internal/mypagekeeper).
+			"ingest_posts":        reg.GaugeValue("frappe_synth_stage_seconds", "posts"),
+			"ingest_manual_posts": reg.GaugeValue("frappe_synth_stage_seconds", "manual_posts"),
+			"ingest_drain":        reg.GaugeValue("frappe_synth_stage_seconds", "ingest_drain"),
+			"ingest_total": reg.GaugeValue("frappe_synth_stage_seconds", "posts") +
+				reg.GaugeValue("frappe_synth_stage_seconds", "manual_posts") +
+				reg.GaugeValue("frappe_synth_stage_seconds", "ingest_drain"),
 			"train":          trainSum,
 			"cross_validate": cvSum,
 		},

@@ -26,6 +26,7 @@ import (
 	"frappe/internal/mypagekeeper"
 	"frappe/internal/synth"
 	"frappe/internal/telemetry"
+	"frappe/internal/workerpool"
 	"frappe/internal/wot"
 )
 
@@ -325,73 +326,83 @@ func (b *Builder) workers() int {
 // visibility rules (deleted apps fail, uncrawlable installs fail), no
 // sockets, and the same metric families as the HTTP crawler. Used for the
 // large §5.3 sweep over every untrained app.
+// crawlDirect is the in-process fast path. Apps are crawled in parallel
+// (every dependency — platform snapshots, WOT, telemetry — is concurrency
+// safe) into per-index slots, so the result map is identical to a serial
+// crawl at any worker count.
 func (b *Builder) crawlDirect(ids []string, flaky func(string, crawler.Kind) bool) map[string]*crawler.Result {
-	w := b.World
 	ins := crawler.NewInstruments(b.registry())
+	results := make([]*crawler.Result, len(ids))
+	workerpool.Run(len(ids), b.workers(), func(i int) {
+		results[i] = b.crawlDirectOne(ins, ids[i], flaky)
+	})
 	out := make(map[string]*crawler.Result, len(ids))
-	for _, id := range ids {
-		appStart := time.Now()
-		r := &crawler.Result{AppID: id, WOTScore: wot.UnknownScore}
-		for _, k := range []crawler.Kind{crawler.KindSummary, crawler.KindFeed, crawler.KindInstall} {
-			ins.Attempts.With(k.String()).Inc()
-		}
-		app, err := w.Platform.Lookup(id)
-		if err != nil {
-			r.SummaryErr = graphapi.ErrDeleted
-			r.FeedErr = graphapi.ErrDeleted
-			r.InstallErr = graphapi.ErrDeleted
-			ins.Outcome(crawler.KindSummary, r.SummaryErr)
-			ins.Outcome(crawler.KindFeed, r.FeedErr)
-			ins.Outcome(crawler.KindInstall, r.InstallErr)
-			ins.FinishApp(r, appStart)
-			out[id] = r
-			continue
-		}
-		mau := 0
-		if len(app.MAU) > 0 {
-			mau = app.MAU[len(app.MAU)-1]
-		}
-		r.Summary = &graphapi.Summary{
-			ID:                 app.ID,
-			Name:               app.Name,
-			Description:        app.Description,
-			Company:            app.Company,
-			Category:           app.Category,
-			Link:               "https://www.facebook.com/apps/application.php?id=" + app.ID,
-			MonthlyActiveUsers: mau,
-		}
-		if flaky(id, crawler.KindFeed) {
-			for _, p := range app.ProfileFeed {
-				r.Feed = append(r.Feed, graphapi.FeedPost{Message: p.Message, Link: p.Link, CreatedTime: p.Month})
-			}
-		} else {
-			r.FeedErr = crawler.ErrNotCrawlable
-		}
-		if flaky(id, crawler.KindInstall) {
-			info, err := w.Platform.InstallInfo(id)
-			if err != nil {
-				r.InstallErr = err
-			} else {
-				r.Install = graphapi.InstallInfo{
-					AppID:       info.AppID,
-					ClientID:    info.ClientID,
-					Permissions: info.Permissions,
-					RedirectURI: info.RedirectURI,
-				}
-				if score, err := w.WOT.Score(wot.DomainOf(info.RedirectURI)); err == nil {
-					r.WOTScore = score
-				}
-			}
-		} else {
-			r.InstallErr = crawler.ErrNotCrawlable
-		}
+	for i, id := range ids {
+		out[id] = results[i]
+	}
+	return out
+}
+
+// crawlDirectOne crawls one app's three surfaces against the live world.
+func (b *Builder) crawlDirectOne(ins *crawler.Instruments, id string, flaky func(string, crawler.Kind) bool) *crawler.Result {
+	w := b.World
+	appStart := time.Now()
+	r := &crawler.Result{AppID: id, WOTScore: wot.UnknownScore}
+	defer func() {
 		ins.Outcome(crawler.KindSummary, r.SummaryErr)
 		ins.Outcome(crawler.KindFeed, r.FeedErr)
 		ins.Outcome(crawler.KindInstall, r.InstallErr)
 		ins.FinishApp(r, appStart)
-		out[id] = r
+	}()
+	for _, k := range []crawler.Kind{crawler.KindSummary, crawler.KindFeed, crawler.KindInstall} {
+		ins.Attempts.With(k.String()).Inc()
 	}
-	return out
+	app, err := w.Platform.Lookup(id)
+	if err != nil {
+		r.SummaryErr = graphapi.ErrDeleted
+		r.FeedErr = graphapi.ErrDeleted
+		r.InstallErr = graphapi.ErrDeleted
+		return r
+	}
+	mau := 0
+	if len(app.MAU) > 0 {
+		mau = app.MAU[len(app.MAU)-1]
+	}
+	r.Summary = &graphapi.Summary{
+		ID:                 app.ID,
+		Name:               app.Name,
+		Description:        app.Description,
+		Company:            app.Company,
+		Category:           app.Category,
+		Link:               "https://www.facebook.com/apps/application.php?id=" + app.ID,
+		MonthlyActiveUsers: mau,
+	}
+	if flaky(id, crawler.KindFeed) {
+		for _, p := range app.ProfileFeed {
+			r.Feed = append(r.Feed, graphapi.FeedPost{Message: p.Message, Link: p.Link, CreatedTime: p.Month})
+		}
+	} else {
+		r.FeedErr = crawler.ErrNotCrawlable
+	}
+	if flaky(id, crawler.KindInstall) {
+		info, err := w.Platform.InstallInfo(id)
+		if err != nil {
+			r.InstallErr = err
+		} else {
+			r.Install = graphapi.InstallInfo{
+				AppID:       info.AppID,
+				ClientID:    info.ClientID,
+				Permissions: info.Permissions,
+				RedirectURI: info.RedirectURI,
+			}
+			if score, err := w.WOT.Score(wot.DomainOf(info.RedirectURI)); err == nil {
+				r.WOTScore = score
+			}
+		}
+	} else {
+		r.InstallErr = crawler.ErrNotCrawlable
+	}
+	return r
 }
 
 // Table1Row is one line of the paper's Table 1.

@@ -2,6 +2,7 @@ package datasets
 
 import (
 	"context"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -220,5 +221,36 @@ func TestLabels(t *testing.T) {
 	}
 	if LabelMalicious.String() != "malicious" || LabelBenign.String() != "benign" {
 		t.Error("label names wrong")
+	}
+}
+
+// TestCrawlWorkerEquivalence pins the parallel in-process crawl: any
+// worker count produces exactly the same result map as a serial crawl.
+func TestCrawlWorkerEquivalence(t *testing.T) {
+	w, _ := sharedData(t)
+	serial := &Builder{World: w, Workers: 1}
+	wide := &Builder{World: w, Workers: 8}
+	ds, err := serial.Build(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw, err := wide.Build(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Crawl) != len(dw.Crawl) {
+		t.Fatalf("crawl sizes differ: %d vs %d", len(ds.Crawl), len(dw.Crawl))
+	}
+	for id, rs := range ds.Crawl {
+		rw, ok := dw.Crawl[id]
+		if !ok {
+			t.Fatalf("parallel crawl missing %s", id)
+		}
+		if !reflect.DeepEqual(rs, rw) {
+			t.Fatalf("crawl result for %s differs:\n  serial: %+v\n  wide:   %+v", id, rs, rw)
+		}
+	}
+	if !reflect.DeepEqual(ds.Stats, dw.Stats) {
+		t.Fatal("dataset Stats differ across crawl worker counts")
 	}
 }

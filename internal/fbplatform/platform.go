@@ -103,6 +103,18 @@ type Post struct {
 	MaliciousLink bool
 }
 
+// clone returns a deep copy of the app: same scalar fields, freshly
+// allocated slices. The read API hands these out so that Delete (which
+// mutates the registry's copy under the write lock) can never race a
+// caller still holding a previously returned *App.
+func (a *App) clone() *App {
+	cp := *a
+	cp.Permissions = append([]string(nil), a.Permissions...)
+	cp.MAU = append([]int(nil), a.MAU...)
+	cp.ProfileFeed = append([]ProfilePost(nil), a.ProfileFeed...)
+	return &cp
+}
+
 // MedianMAU returns the median of the app's MAU series (0 if empty).
 func (a *App) MedianMAU() int {
 	if len(a.MAU) == 0 {
@@ -188,9 +200,11 @@ func (p *Platform) Register(app *App) error {
 	return nil
 }
 
-// App returns the app with the given ID, including deleted apps (the
-// platform still knows about them internally; only the public API hides
-// them). Callers that model the public API should use Lookup.
+// App returns a snapshot of the app with the given ID, including deleted
+// apps (the platform still knows about them internally; only the public
+// API hides them). Callers that model the public API should use Lookup.
+// The returned *App is the caller's own deep copy: mutating it does not
+// touch the registry, and a concurrent Delete cannot race its fields.
 func (p *Platform) App(id string) (*App, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -198,31 +212,39 @@ func (p *Platform) App(id string) (*App, error) {
 	if !ok {
 		return nil, ErrAppNotFound
 	}
-	return app, nil
+	return app.clone(), nil
 }
 
 // Lookup models the public Graph API visibility rules: deleted apps return
 // ErrAppDeleted (the real API returns `false`), unknown IDs return
-// ErrAppNotFound.
+// ErrAppNotFound. Like App, it returns a snapshot copy; the Deleted check
+// happens under the same lock that Delete writes under.
 func (p *Platform) Lookup(id string) (*App, error) {
-	app, err := p.App(id)
-	if err != nil {
-		return nil, err
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	app, ok := p.apps[id]
+	if !ok {
+		return nil, ErrAppNotFound
 	}
 	if app.Deleted {
 		return nil, ErrAppDeleted
 	}
-	return app, nil
+	return app.clone(), nil
 }
 
 // InstallInfo models following the installation URL: Facebook queries the
 // app server and redirects the user to a URL carrying the permission set,
 // the redirect URI, and — crucially — the client_id chosen by the app
-// server. Deleted apps fail.
+// server. Deleted apps fail. All fields are read under the registry lock.
 func (p *Platform) InstallInfo(id string) (InstallInfo, error) {
-	app, err := p.Lookup(id)
-	if err != nil {
-		return InstallInfo{}, err
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	app, ok := p.apps[id]
+	if !ok {
+		return InstallInfo{}, ErrAppNotFound
+	}
+	if app.Deleted {
+		return InstallInfo{}, ErrAppDeleted
 	}
 	return InstallInfo{
 		AppID:       app.ID,
@@ -259,16 +281,24 @@ func (p *Platform) AppIDs() []string {
 	return append([]string(nil), p.order...)
 }
 
-// Each calls fn for every app in registration order until fn returns false.
+// Each calls fn for every app in registration order until fn returns
+// false. fn receives a snapshot copy, like App.
 func (p *Platform) Each(fn func(*App) bool) {
 	p.mu.RLock()
 	ids := append([]string(nil), p.order...)
 	p.mu.RUnlock()
 	for _, id := range ids {
 		p.mu.RLock()
-		app := p.apps[id]
+		app, ok := p.apps[id]
+		var snap *App
+		if ok {
+			snap = app.clone()
+		}
 		p.mu.RUnlock()
-		if !fn(app) {
+		if !ok {
+			continue
+		}
+		if !fn(snap) {
 			return
 		}
 	}
@@ -282,8 +312,11 @@ func (p *Platform) Each(fn func(*App) bool) {
 // be deleted — the weakness is the missing authentication, not missing
 // existence checks.
 func (p *Platform) PromptFeedPost(apiKey, trueSourceID string, userID int, message, link string, month int, maliciousLink bool) (Post, error) {
-	if _, err := p.App(apiKey); err != nil {
-		return Post{}, err
+	p.mu.RLock()
+	_, known := p.apps[apiKey]
+	p.mu.RUnlock()
+	if !known {
+		return Post{}, ErrAppNotFound
 	}
 	if err := p.checkPromptFeed(apiKey, trueSourceID); err != nil {
 		return Post{}, err

@@ -221,3 +221,92 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("NumApps = %d, want 20", p.NumApps())
 	}
 }
+
+// TestConcurrentDeleteWhileReading is the regression test for the Deleted
+// race: the read API used to hand out the registry's own *App, so Lookup's
+// Deleted check and InstallInfo/MAU/ProfileFeed reads raced Delete's write.
+// With snapshot copies this passes under -race; on the old code it fails.
+func TestConcurrentDeleteWhileReading(t *testing.T) {
+	p := New(10)
+	const apps = 8
+	for i := 0; i < apps; i++ {
+		a := newApp(fmt.Sprintf("app%d", i), "x")
+		a.MAU = []int{10, 20, 30}
+		a.ProfileFeed = []ProfilePost{{Message: "hello", Month: 1}}
+		a.RedirectURI = "http://site.example/land"
+		if err := p.Register(a); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 500; i++ {
+				id := fmt.Sprintf("app%d", i%apps)
+				if app, err := p.Lookup(id); err == nil {
+					_ = app.Deleted
+					_ = app.MedianMAU()
+					for range app.ProfileFeed {
+					}
+				}
+				if info, err := p.InstallInfo(id); err == nil {
+					_ = info.Permissions
+				}
+				if app, err := p.App(id); err == nil {
+					_ = app.MaxMAU()
+				}
+				p.Each(func(a *App) bool { _ = a.Deleted; return true })
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		// Keep writing Deleted for the whole workout (re-deleting is a
+		// write of the same value — still a race against unlocked reads).
+		for i := 0; i < 500; i++ {
+			if err := p.Delete(fmt.Sprintf("app%d", i%apps)); err != nil {
+				t.Errorf("Delete: %v", err)
+			}
+		}
+	}()
+	close(start)
+	wg.Wait()
+	for i := 0; i < apps; i++ {
+		if _, err := p.Lookup(fmt.Sprintf("app%d", i)); err != ErrAppDeleted {
+			t.Errorf("app%d: Lookup err = %v, want ErrAppDeleted", i, err)
+		}
+	}
+}
+
+// TestReadAPISnapshots pins the snapshot contract: mutating a returned
+// *App (or its slices) must not leak into the registry.
+func TestReadAPISnapshots(t *testing.T) {
+	p := New(10)
+	a := newApp("snap", "Original")
+	a.MAU = []int{5}
+	if err := p.Register(a); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	got, err := p.App("snap")
+	if err != nil {
+		t.Fatalf("App: %v", err)
+	}
+	got.Name = "Mutated"
+	got.Permissions[0] = "bogus"
+	got.MAU[0] = 999
+	got.Deleted = true
+
+	again, err := p.Lookup("snap")
+	if err != nil {
+		t.Fatalf("Lookup after caller mutation: %v", err)
+	}
+	if again.Name != "Original" || again.Permissions[0] != PermPublishStream || again.MAU[0] != 5 {
+		t.Errorf("registry state leaked through snapshot: %+v", again)
+	}
+}

@@ -1,0 +1,190 @@
+package mypagekeeper
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"frappe/internal/fbplatform"
+	"frappe/internal/telemetry"
+)
+
+// ingestQueueDepth bounds each queue so a fast producer exerts backpressure
+// instead of ballooning memory.
+const ingestQueueDepth = 1024
+
+// ingestItem is one queued unit of work: a post with its producer-stamped
+// stream position, or (when flush is non-nil) a barrier token.
+type ingestItem struct {
+	post  fbplatform.Post
+	seq   uint64
+	flush *sync.WaitGroup
+}
+
+// Ingester fans a single-threaded post stream out across per-shard queues
+// so the monitor's shards fill concurrently. Determinism is preserved by
+// construction:
+//
+//   - every post carrying a URL is routed by hash(URL), so all posts for
+//     one URL land on one queue in stream order — the per-URL prefix each
+//     classification decision depends on is exactly the serial one;
+//   - link-less posts only touch commutative per-app state (counters and
+//     seq-keyed samples), so their routing (by app ID, else round-robin)
+//     is load balancing, not ordering;
+//   - blacklist updates flush every queue first (see AddBlacklistedURL),
+//     so they are totally ordered against queued posts.
+//
+// Observe and Flush must be called from one producer goroutine at a time —
+// the same discipline as the seeded generator that feeds it. The queue
+// workers are the concurrency.
+type Ingester struct {
+	m *Monitor
+	// queues is nil in the single-worker session: with no parallelism to
+	// win, posts are observed synchronously — the same width-1 fast path
+	// discipline as workerpool.Run.
+	queues []chan ingestItem
+	wg     sync.WaitGroup
+
+	started time.Time
+	closed  bool
+
+	posts    *telemetry.CounterVec
+	flushes  *telemetry.CounterVec
+	barriers *telemetry.CounterVec
+	seconds  *telemetry.GaugeVec
+}
+
+// StartIngest opens a queued-ingestion session with the given number of
+// queue workers (0 or less means GOMAXPROCS). Results are byte-identical
+// for every worker count. Close drains the queues and ends the session.
+//
+// Metrics (process default registry):
+//
+//	frappe_monitor_shards                            stripe count
+//	frappe_monitor_ingest_workers                    queue workers this session
+//	frappe_monitor_ingest_posts_total                posts enqueued
+//	frappe_monitor_ingest_flushes_total              full-queue barriers
+//	frappe_monitor_ingest_blacklist_barriers_total   barriers forced by blacklist adds
+//	frappe_monitor_ingest_session_seconds            wall clock of the last session
+func (m *Monitor) StartIngest(workers int) *Ingester {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	reg := telemetry.Default()
+	ing := &Ingester{
+		m:       m,
+		queues:  make([]chan ingestItem, workers),
+		started: time.Now(),
+		posts: reg.Counter("frappe_monitor_ingest_posts_total",
+			"Posts enqueued through the monitor's ingestion queues."),
+		flushes: reg.Counter("frappe_monitor_ingest_flushes_total",
+			"Full-queue flush barriers issued during ingestion."),
+		barriers: reg.Counter("frappe_monitor_ingest_blacklist_barriers_total",
+			"Flush barriers forced by blacklist updates mid-stream."),
+		seconds: reg.Gauge("frappe_monitor_ingest_session_seconds",
+			"Wall-clock seconds of the last queued-ingestion session."),
+	}
+	reg.Gauge("frappe_monitor_shards",
+		"Lock stripes in the MyPageKeeper monitor.").With().Set(float64(m.NumShards()))
+	reg.Gauge("frappe_monitor_ingest_workers",
+		"Queue workers in the current ingestion session.").With().Set(float64(workers))
+	if workers == 1 {
+		// One worker is the serial monitor with extra steps: skip the
+		// queue machinery and observe synchronously.
+		ing.queues = nil
+		return ing
+	}
+	for i := range ing.queues {
+		q := make(chan ingestItem, ingestQueueDepth)
+		ing.queues[i] = q
+		ing.wg.Add(1)
+		go ing.run(q)
+	}
+	return ing
+}
+
+func (ing *Ingester) run(q chan ingestItem) {
+	defer ing.wg.Done()
+	for it := range q {
+		if it.flush != nil {
+			it.flush.Done()
+			continue
+		}
+		ing.m.observeSeq(it.post, it.seq)
+	}
+}
+
+// Observe enqueues one post. Unlike Monitor.Observe it cannot report the
+// post's verdict — classification happens when a queue worker lands it.
+func (ing *Ingester) Observe(p fbplatform.Post) {
+	seq := ing.m.seq.Add(1)
+	if ing.queues == nil {
+		ing.m.observeSeq(p, seq)
+		ing.posts.With().Inc()
+		return
+	}
+	var qi uint64
+	switch {
+	case p.Link != "":
+		qi = uint64(fnv32a(p.Link)) % uint64(len(ing.queues))
+	case p.AppID != "":
+		qi = uint64(fnv32a(p.AppID)) % uint64(len(ing.queues))
+	default:
+		qi = seq % uint64(len(ing.queues))
+	}
+	ing.queues[qi] <- ingestItem{post: p, seq: seq}
+	ing.posts.With().Inc()
+}
+
+// Flush blocks until every post enqueued so far has been fully observed.
+func (ing *Ingester) Flush() {
+	if ing.queues == nil {
+		ing.flushes.With().Inc()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(ing.queues))
+	for _, q := range ing.queues {
+		q <- ingestItem{flush: &wg}
+	}
+	wg.Wait()
+	ing.flushes.With().Inc()
+}
+
+// AddBlacklistedURL adds a URL-granularity blacklist entry, sequenced
+// against the queued stream: if the URL is already an entry this is a
+// no-op (re-adds commute with everything); otherwise every queue is
+// flushed first, so exactly the posts the serial monitor would classify
+// pre-blacklist are classified pre-blacklist.
+func (ing *Ingester) AddBlacklistedURL(url string) {
+	if ing.m.urlBlacklistedExact(url) {
+		return
+	}
+	ing.barriers.With().Inc()
+	ing.Flush()
+	ing.m.AddBlacklistedURL(url)
+}
+
+// AddBlacklistedDomain is AddBlacklistedURL for domain-granularity entries.
+func (ing *Ingester) AddBlacklistedDomain(domain string) {
+	if ing.m.domainBlacklistedExact(domain) {
+		return
+	}
+	ing.barriers.With().Inc()
+	ing.Flush()
+	ing.m.AddBlacklistedDomain(domain)
+}
+
+// Close drains every queue, stops the workers, and records the session
+// duration. The Ingester must not be used after Close.
+func (ing *Ingester) Close() {
+	if ing.closed {
+		return
+	}
+	ing.closed = true
+	for _, q := range ing.queues {
+		close(q)
+	}
+	ing.wg.Wait()
+	ing.seconds.With().Set(time.Since(ing.started).Seconds())
+}

@@ -68,25 +68,31 @@ var ErrNotEnoughData = errors.New("mypagekeeper: not enough labelled URLs to tra
 // URLs already flagged (blacklist hits and heuristic detections) are the
 // positives; unflagged URLs with at least MinPosts observations are the
 // negatives, capped at maxNegatives (0 = 4x the positives). Training is
-// deterministic: URLs are processed in sorted order.
+// deterministic: URLs are processed in sorted order. Feature vectors are
+// materialised under each shard's lock, so a concurrent Observe cannot
+// mutate an aggregate mid-read.
 func (m *Monitor) TrainURLClassifier(maxNegatives int) (*URLModel, error) {
-	m.mu.Lock()
 	type labelled struct {
-		url string
-		us  *urlStats
+		url   string
+		feats []float64
 	}
 	var pos, neg []labelled
-	for u, us := range m.urls {
-		if us.posts < m.cfg.MinPosts {
-			continue
+	for i := range m.urlShards {
+		sh := &m.urlShards[i]
+		sh.mu.Lock()
+		for u, us := range sh.urls {
+			if us.posts < m.cfg.MinPosts {
+				continue
+			}
+			l := labelled{u, urlFeatures(us)}
+			if us.flagged {
+				pos = append(pos, l)
+			} else {
+				neg = append(neg, l)
+			}
 		}
-		if us.flagged {
-			pos = append(pos, labelled{u, us})
-		} else {
-			neg = append(neg, labelled{u, us})
-		}
+		sh.mu.Unlock()
 	}
-	m.mu.Unlock()
 	if len(pos) < 5 || len(neg) < 5 {
 		return nil, fmt.Errorf("%w: %d positive, %d negative", ErrNotEnoughData, len(pos), len(neg))
 	}
@@ -111,11 +117,11 @@ func (m *Monitor) TrainURLClassifier(maxNegatives int) (*URLModel, error) {
 	var xs [][]float64
 	var ys []float64
 	for _, l := range pos {
-		xs = append(xs, urlFeatures(l.us))
+		xs = append(xs, l.feats)
 		ys = append(ys, 1)
 	}
 	for _, l := range neg {
-		xs = append(xs, urlFeatures(l.us))
+		xs = append(xs, l.feats)
 		ys = append(ys, -1)
 	}
 	scaler, err := svm.FitScaler(xs)
@@ -132,24 +138,24 @@ func (m *Monitor) TrainURLClassifier(maxNegatives int) (*URLModel, error) {
 // SetURLModel installs a trained model: from now on, classify consults it
 // after the blacklists, replacing the hand-tuned threshold heuristics.
 func (m *Monitor) SetURLModel(model *URLModel) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.urlModel = model
+	m.urlModel.Store(model)
 }
 
 // EvaluateURL scores a URL the monitor has seen; ok is false for unknown
 // URLs or when no model is installed.
 func (m *Monitor) EvaluateURL(link string) (score float64, ok bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.urlModel == nil {
+	model := m.urlModel.Load()
+	if model == nil {
 		return 0, false
 	}
-	us, found := m.urls[link]
+	sh := m.urlShardFor(link)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	us, found := sh.urls[link]
 	if !found {
 		return 0, false
 	}
-	return m.urlModel.score(us), true
+	return model.score(us), true
 }
 
 // ReclassifyAll re-runs the (possibly learned) classifier over every
@@ -157,17 +163,20 @@ func (m *Monitor) EvaluateURL(link string) (score float64, ok bool) {
 // of newly flagged URLs. Flags are sticky: once malicious, always
 // malicious, as in the real pipeline.
 func (m *Monitor) ReclassifyAll() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	newly := 0
-	for link, us := range m.urls {
-		if us.flagged {
-			continue
+	for i := range m.urlShards {
+		sh := &m.urlShards[i]
+		sh.mu.Lock()
+		for link, us := range sh.urls {
+			if us.flagged {
+				continue
+			}
+			if m.classify(link, us) {
+				us.flagged = true
+				newly++
+			}
 		}
-		if m.classify(link, us) {
-			us.flagged = true
-			newly++
-		}
+		sh.mu.Unlock()
 	}
 	return newly
 }

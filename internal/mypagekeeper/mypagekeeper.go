@@ -15,11 +15,22 @@
 //  2. Its decisions are imperfect in a measured way: 97% of flagged posts
 //     are truly malicious and only 0.005% of benign posts are flagged,
 //     which is exactly the label noise FRAppE trains under.
+//
+// The monitor is lock-striped for stream-scale ingestion: per-URL state
+// lives in URL-hash shards, per-app aggregates in app-ID-hash shards, and
+// the stream counters are atomics, so concurrent Observe calls on
+// different URLs and apps never contend. Snapshot paths (Apps, Stats,
+// FlaggedPostCount) merge the shards in sorted order, and the bounded
+// per-app samples are keyed by a global stream sequence number, so every
+// read-side result is byte-identical to the single-lock monitor for any
+// shard count and any ingestion worker count (see DESIGN.md §9).
 package mypagekeeper
 
 import (
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"frappe/internal/fbplatform"
 	"frappe/internal/wot"
@@ -70,47 +81,94 @@ type urlStats struct {
 
 const maxTrackedMessages = 32
 
+// DefaultShards is the shard count New uses. Sixteen stripes keep
+// same-stripe collisions rare at the worker counts the pipeline runs with
+// while the per-shard maps stay large enough to amortise their overhead.
+const DefaultShards = 16
+
+// urlShard stripes the per-URL aggregates: a URL always lives in the shard
+// its hash selects, so all order-sensitive per-URL state (the flag point,
+// the capped message histogram) is serialised by that shard's mutex alone.
+type urlShard struct {
+	mu   sync.Mutex
+	urls map[string]*urlStats
+}
+
+// appShard stripes the per-app aggregates. All app-side state is
+// commutative (counters plus sequence-keyed bounded samples), so shard
+// placement only matters for contention, never for results.
+type appShard struct {
+	mu   sync.Mutex
+	apps map[string]*appAgg
+}
+
+// appAgg is the mutable per-app aggregate behind the AppStats snapshot.
+type appAgg struct {
+	posts         int
+	linkPosts     int
+	flaggedPosts  int
+	externalLinks int
+
+	links           seqSample
+	messages        seqSample
+	flaggedMessages seqSample
+}
+
 // Monitor is the MyPageKeeper instance: a subscriber set, an online URL
 // classifier, and per-application aggregation (the paper's §4.2
 // "aggregation-based features" are computed by exactly this kind of
-// entity). It is safe for concurrent use.
+// entity). It is safe for concurrent use, and Observe calls on different
+// URLs and applications proceed in parallel.
 type Monitor struct {
 	cfg ClassifierConfig
 
-	mu         sync.Mutex
+	subMu      sync.RWMutex
 	subscribed map[int]bool
-	blacklist  map[string]bool
-	urlBlack   map[string]bool
-	urls       map[string]*urlStats
-	apps       map[string]*AppStats
-	posts      int // posts observed (subscribed walls only)
-	appPosts   int // posts with a non-empty application field
+
+	// The blacklists are global (checked by every shard's classify path)
+	// and mutated rarely; blMu is only ever taken after a URL-shard lock,
+	// never the other way round, so the lock order is acyclic.
+	blMu      sync.RWMutex
+	blacklist map[string]bool
+	urlBlack  map[string]bool
+
+	urlShards []urlShard
+	appShards []appShard
+
+	posts    atomic.Int64  // posts observed (subscribed walls only)
+	appPosts atomic.Int64  // posts with a non-empty application field
+	seq      atomic.Uint64 // stream position, assigned on entry to Observe
 
 	// resolve expands shortened URLs before blacklist checks, as the real
 	// system resolved bit.ly links. It must be safe for concurrent use.
-	resolve func(string) (string, bool)
+	resolve atomic.Pointer[func(string) (string, bool)]
 
 	// urlModel, when set, replaces the threshold heuristics with the
 	// learned SVM of §2.2 (see learned.go).
-	urlModel *URLModel
+	urlModel atomic.Pointer[URLModel]
 }
 
 // SetResolver installs a shortened-URL expander: given a URL, it returns
 // the long form and true, or ("", false) when the URL is not a known short
 // link. The resolver must be safe for concurrent use.
 func (m *Monitor) SetResolver(resolve func(string) (string, bool)) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.resolve = resolve
+	if resolve == nil {
+		m.resolve.Store(nil)
+		return
+	}
+	m.resolve.Store(&resolve)
 }
 
 // AppStats is the per-application aggregate view MyPageKeeper accumulates.
 // It drives both the malicious-app ground-truth heuristic (§2.3) and the
 // aggregation-based features of full FRAppE (§4.2).
 type AppStats struct {
-	AppID         string
-	Posts         int
-	FlaggedPosts  int
+	AppID        string
+	Posts        int
+	FlaggedPosts int
+	// LinkPosts counts the posts that carried a URL — the stream Links
+	// samples from, so LinkPosts > len(Links) means the sample is capped.
+	LinkPosts     int
 	ExternalLinks int
 	// Links is the set of distinct URLs the app posted (bounded).
 	Links []string
@@ -119,8 +177,6 @@ type AppStats struct {
 	// FlaggedMessages is a bounded sample of texts from posts whose URL
 	// was (already) flagged when observed — the Table 9 evidence column.
 	FlaggedMessages []string
-	// BitlyLinks is the subset of Links that are shortened links (bounded).
-	BitlyLinks []string
 }
 
 const (
@@ -129,29 +185,69 @@ const (
 	maxFlaggedMessagesPerApp = 8
 )
 
-// New returns a Monitor with the given classifier thresholds.
+// New returns a Monitor with the given classifier thresholds and the
+// default shard count.
 func New(cfg ClassifierConfig) *Monitor {
-	return &Monitor{
+	return NewSharded(cfg, DefaultShards)
+}
+
+// NewSharded returns a Monitor striped over the given number of shards
+// (minimum 1). Results are byte-identical for every shard count; the knob
+// only trades contention against per-shard map overhead.
+func NewSharded(cfg ClassifierConfig, shards int) *Monitor {
+	if shards < 1 {
+		shards = 1
+	}
+	m := &Monitor{
 		cfg:        cfg,
 		subscribed: make(map[int]bool),
 		blacklist:  make(map[string]bool),
 		urlBlack:   make(map[string]bool),
-		urls:       make(map[string]*urlStats),
-		apps:       make(map[string]*AppStats),
+		urlShards:  make([]urlShard, shards),
+		appShards:  make([]appShard, shards),
 	}
+	for i := range m.urlShards {
+		m.urlShards[i].urls = make(map[string]*urlStats)
+	}
+	for i := range m.appShards {
+		m.appShards[i].apps = make(map[string]*appAgg)
+	}
+	return m
+}
+
+// NumShards reports the stripe count.
+func (m *Monitor) NumShards() int { return len(m.urlShards) }
+
+// fnv32a is the 32-bit FNV-1a string hash, inlined so shard routing is
+// deterministic across processes (hash/maphash is seeded per process).
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (m *Monitor) urlShardFor(link string) *urlShard {
+	return &m.urlShards[fnv32a(link)%uint32(len(m.urlShards))]
+}
+
+func (m *Monitor) appShardFor(appID string) *appShard {
+	return &m.appShards[fnv32a(appID)%uint32(len(m.appShards))]
 }
 
 // Subscribe registers a user wall for monitoring.
 func (m *Monitor) Subscribe(userID int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.subMu.Lock()
+	defer m.subMu.Unlock()
 	m.subscribed[userID] = true
 }
 
 // SubscribeRange subscribes users [lo, hi).
 func (m *Monitor) SubscribeRange(lo, hi int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.subMu.Lock()
+	defer m.subMu.Unlock()
 	for u := lo; u < hi; u++ {
 		m.subscribed[u] = true
 	}
@@ -159,25 +255,43 @@ func (m *Monitor) SubscribeRange(lo, hi int) {
 
 // NumSubscribers reports the monitored population size.
 func (m *Monitor) NumSubscribers() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.subMu.RLock()
+	defer m.subMu.RUnlock()
 	return len(m.subscribed)
 }
 
 // AddBlacklistedDomain feeds the external URL-blacklist signal (the real
-// system consumed public blacklists such as Google Safe Browsing).
+// system consumed public blacklists such as Google Safe Browsing). When
+// ingestion is fanned out through an Ingester, route blacklist updates
+// through the Ingester instead so they stay ordered against queued posts.
 func (m *Monitor) AddBlacklistedDomain(domain string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.blMu.Lock()
+	defer m.blMu.Unlock()
 	m.blacklist[strings.ToLower(domain)] = true
 }
 
 // AddBlacklistedURL blacklists one exact URL; public blacklists carry both
 // domain- and URL-granularity entries.
 func (m *Monitor) AddBlacklistedURL(url string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.blMu.Lock()
+	defer m.blMu.Unlock()
 	m.urlBlack[url] = true
+}
+
+// urlBlacklistedExact reports whether the exact URL is already an entry
+// (no resolver expansion): the Ingester's idempotence check.
+func (m *Monitor) urlBlacklistedExact(url string) bool {
+	m.blMu.RLock()
+	defer m.blMu.RUnlock()
+	return m.urlBlack[url]
+}
+
+// domainBlacklistedExact reports whether the domain itself is an entry
+// (no suffix walk): the Ingester's idempotence check.
+func (m *Monitor) domainBlacklistedExact(domain string) bool {
+	m.blMu.RLock()
+	defer m.blMu.RUnlock()
+	return m.blacklist[strings.ToLower(domain)]
 }
 
 // hasSpamKeyword reports whether msg contains any spam lure keyword.
@@ -196,88 +310,117 @@ func hasSpamKeyword(msg string) bool {
 // "limited view of Facebook"). Returns whether the post's URL is (now)
 // classified as malicious.
 func (m *Monitor) Observe(p fbplatform.Post) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if !m.subscribed[p.UserID] {
+	return m.observeSeq(p, m.seq.Add(1))
+}
+
+// observeSeq is Observe with an externally assigned stream position: the
+// Ingester stamps sequence numbers producer-side so the bounded per-app
+// samples come out identical regardless of which queue worker lands the
+// post. The URL phase runs first and its shard lock is released before the
+// app shard is taken — at most one shard lock is ever held at a time.
+func (m *Monitor) observeSeq(p fbplatform.Post, seq uint64) bool {
+	m.subMu.RLock()
+	sub := m.subscribed[p.UserID]
+	m.subMu.RUnlock()
+	if !sub {
 		return false
 	}
-	m.posts++
+	m.posts.Add(1)
 	if p.AppID != "" {
-		m.appPosts++
+		m.appPosts.Add(1)
+	}
+
+	// Per-URL aggregation and classification. Everything order-sensitive
+	// (the flag point, the capped message histogram) depends only on the
+	// sequence of posts carrying this one URL, which a shard's mutex —
+	// and, under an Ingester, per-URL queue routing — preserves.
+	flagged := false
+	if p.Link != "" {
+		sh := m.urlShardFor(p.Link)
+		sh.mu.Lock()
+		us := sh.urls[p.Link]
+		if us == nil {
+			us = &urlStats{messages: make(map[string]int, 4)}
+			sh.urls[p.Link] = us
+		}
+		us.posts++
+		if hasSpamKeyword(p.Message) {
+			us.keywordPosts++
+		}
+		us.likesTotal += p.Likes
+		if len(us.messages) < maxTrackedMessages {
+			us.messages[normalizeMsg(p.Message)]++
+		} else {
+			// Track only already-seen messages once the histogram is full.
+			if _, ok := us.messages[normalizeMsg(p.Message)]; ok {
+				us.messages[normalizeMsg(p.Message)]++
+			}
+		}
+		if !us.flagged {
+			us.flagged = m.classify(p.Link, us)
+		}
+		flagged = us.flagged
+		sh.mu.Unlock()
 	}
 
 	// Per-app aggregation (keyed by the *attributed* app, which is all the
-	// monitor can see — this is what makes piggybacking effective).
+	// monitor can see — this is what makes piggybacking effective). All
+	// updates here are commutative: counters, plus samples keyed by seq.
 	if p.AppID != "" {
-		as := m.apps[p.AppID]
+		sh := m.appShardFor(p.AppID)
+		sh.mu.Lock()
+		as := sh.apps[p.AppID]
 		if as == nil {
-			as = &AppStats{AppID: p.AppID}
-			m.apps[p.AppID] = as
+			as = &appAgg{
+				links:           newSeqSample(maxLinksPerApp),
+				messages:        newSeqSample(maxMessagesPerApp),
+				flaggedMessages: newSeqSample(maxFlaggedMessagesPerApp),
+			}
+			sh.apps[p.AppID] = as
 		}
-		as.Posts++
-		if p.Link != "" && isExternal(p.Link) {
-			as.ExternalLinks++
+		as.posts++
+		if p.Link != "" {
+			as.linkPosts++
+			if isExternal(p.Link) {
+				as.externalLinks++
+			}
+			as.links.add(seq, p.Link)
 		}
-		if p.Link != "" && len(as.Links) < maxLinksPerApp {
-			as.Links = append(as.Links, p.Link)
+		if p.Message != "" {
+			as.messages.add(seq, p.Message)
 		}
-		if p.Message != "" && len(as.Messages) < maxMessagesPerApp {
-			as.Messages = append(as.Messages, p.Message)
+		if flagged {
+			as.flaggedPosts++
+			if p.Message != "" {
+				as.flaggedMessages.add(seq, p.Message)
+			}
 		}
+		sh.mu.Unlock()
 	}
-
-	if p.Link == "" {
-		return false
-	}
-	us := m.urls[p.Link]
-	if us == nil {
-		us = &urlStats{messages: make(map[string]int, 4)}
-		m.urls[p.Link] = us
-	}
-	us.posts++
-	if hasSpamKeyword(p.Message) {
-		us.keywordPosts++
-	}
-	us.likesTotal += p.Likes
-	if len(us.messages) < maxTrackedMessages {
-		us.messages[normalizeMsg(p.Message)]++
-	} else {
-		// Track only already-seen messages once the histogram is full.
-		if _, ok := us.messages[normalizeMsg(p.Message)]; ok {
-			us.messages[normalizeMsg(p.Message)]++
-		}
-	}
-
-	if !us.flagged {
-		us.flagged = m.classify(p.Link, us)
-	}
-	if us.flagged && p.AppID != "" {
-		as := m.apps[p.AppID]
-		as.FlaggedPosts++
-		if p.Message != "" && len(as.FlaggedMessages) < maxFlaggedMessagesPerApp {
-			as.FlaggedMessages = append(as.FlaggedMessages, p.Message)
-		}
-	}
-	return us.flagged
+	return flagged
 }
 
 // classify applies the URL classifier: blacklist short-circuit, then the
-// campaign heuristics.
+// campaign heuristics. Called with the URL's shard lock held; it takes
+// blMu.RLock underneath, which is the one permitted nesting.
 func (m *Monitor) classify(link string, us *urlStats) bool {
 	target := link
-	if m.resolve != nil {
-		if long, ok := m.resolve(link); ok {
+	if rp := m.resolve.Load(); rp != nil {
+		if long, ok := (*rp)(link); ok {
 			target = long
 		}
 	}
-	if m.urlBlack[target] || m.domainBlacklisted(wot.DomainOf(target)) {
+	m.blMu.RLock()
+	bad := m.urlBlack[target] || m.domainBlacklistedLocked(wot.DomainOf(target))
+	m.blMu.RUnlock()
+	if bad {
 		return true
 	}
 	if us.posts < m.cfg.MinPosts {
 		return false
 	}
-	if m.urlModel != nil {
-		return m.urlModel.score(us) >= 0
+	if model := m.urlModel.Load(); model != nil {
+		return model.score(us) >= 0
 	}
 	keywordRate := float64(us.keywordPosts) / float64(us.posts)
 	if keywordRate < m.cfg.KeywordRate {
@@ -297,10 +440,10 @@ func (m *Monitor) classify(link string, us *urlStats) bool {
 	return avgLikes <= m.cfg.MaxAvgLikes
 }
 
-// domainBlacklisted matches at the registrable-domain level: a blacklist
-// entry for "scam.example" also covers "cdn7.scam.example", as real URL
-// blacklists do.
-func (m *Monitor) domainBlacklisted(domain string) bool {
+// domainBlacklistedLocked matches at the registrable-domain level: a
+// blacklist entry for "scam.example" also covers "cdn7.scam.example", as
+// real URL blacklists do. Callers hold blMu (either mode).
+func (m *Monitor) domainBlacklistedLocked(domain string) bool {
 	for domain != "" {
 		if m.blacklist[domain] {
 			return true
@@ -327,10 +470,35 @@ func isExternal(link string) bool {
 
 // URLFlagged reports whether the URL has been classified malicious.
 func (m *Monitor) URLFlagged(link string) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	us, ok := m.urls[link]
+	sh := m.urlShardFor(link)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	us, ok := sh.urls[link]
 	return ok && us.flagged
+}
+
+// flaggedLinkCount counts the links whose URL is currently flagged,
+// visiting each URL shard at most once (and never holding two at a time).
+func (m *Monitor) flaggedLinkCount(links []string) int {
+	if len(links) == 0 {
+		return 0
+	}
+	byShard := make(map[*urlShard][]string, 4)
+	for _, l := range links {
+		sh := m.urlShardFor(l)
+		byShard[sh] = append(byShard[sh], l)
+	}
+	n := 0
+	for sh, ls := range byShard {
+		sh.mu.Lock()
+		for _, l := range ls {
+			if us, ok := sh.urls[l]; ok && us.flagged {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // FlaggedPostCount returns, per app, the number of posts whose URL is
@@ -339,21 +507,23 @@ func (m *Monitor) URLFlagged(link string) bool {
 // flag. This mirrors "MyPageKeeper marks all posts containing the URL as
 // malicious".
 func (m *Monitor) FlaggedPostCount(appID string) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	as, ok := m.apps[appID]
+	sh := m.appShardFor(appID)
+	sh.mu.Lock()
+	as, ok := sh.apps[appID]
 	if !ok {
+		sh.mu.Unlock()
 		return 0
 	}
-	n := 0
-	for _, l := range as.Links {
-		if us, ok := m.urls[l]; ok && us.flagged {
-			n++
-		}
-	}
-	// Links beyond the per-app cap are approximated by the online counter.
-	if as.Posts > maxLinksPerApp && as.FlaggedPosts > n {
-		n = as.FlaggedPosts
+	links := as.links.values()
+	linkPosts, online := as.linkPosts, as.flaggedPosts
+	sh.mu.Unlock()
+
+	n := m.flaggedLinkCount(links)
+	// Only link-carrying posts feed Links, so the sample is complete —
+	// and the retroactive count exact — unless linkPosts exceeded the
+	// cap. Past it, fall back to the (lower-bound) online counter.
+	if linkPosts > maxLinksPerApp && online > n {
+		n = online
 	}
 	return n
 }
@@ -364,32 +534,91 @@ func (m *Monitor) AppFlagged(appID string) bool {
 	return m.FlaggedPostCount(appID) > 0
 }
 
-// Apps returns a snapshot of every per-app aggregate, with FlaggedPosts
-// recomputed retroactively.
-func (m *Monitor) Apps() map[string]AppStats {
-	m.mu.Lock()
-	ids := make([]string, 0, len(m.apps))
-	for id := range m.apps {
-		ids = append(ids, id)
+// appSnapshot builds one app's AppStats, with FlaggedPosts recomputed
+// retroactively.
+func (m *Monitor) appSnapshot(appID string) (AppStats, bool) {
+	sh := m.appShardFor(appID)
+	sh.mu.Lock()
+	as, ok := sh.apps[appID]
+	if !ok {
+		sh.mu.Unlock()
+		return AppStats{}, false
 	}
-	m.mu.Unlock()
+	snap := AppStats{
+		AppID:           appID,
+		Posts:           as.posts,
+		LinkPosts:       as.linkPosts,
+		ExternalLinks:   as.externalLinks,
+		Links:           as.links.values(),
+		Messages:        as.messages.values(),
+		FlaggedMessages: as.flaggedMessages.values(),
+	}
+	linkPosts, online := as.linkPosts, as.flaggedPosts
+	sh.mu.Unlock()
 
-	out := make(map[string]AppStats, len(ids))
-	for _, id := range ids {
-		flagged := m.FlaggedPostCount(id)
-		m.mu.Lock()
-		as := m.apps[id]
-		snap := AppStats{
-			AppID:           as.AppID,
-			Posts:           as.Posts,
-			FlaggedPosts:    flagged,
-			ExternalLinks:   as.ExternalLinks,
-			Links:           append([]string(nil), as.Links...),
-			Messages:        append([]string(nil), as.Messages...),
-			FlaggedMessages: append([]string(nil), as.FlaggedMessages...),
+	n := m.flaggedLinkCount(snap.Links)
+	if linkPosts > maxLinksPerApp && online > n {
+		n = online
+	}
+	snap.FlaggedPosts = n
+	return snap, true
+}
+
+// flaggedURLSet snapshots the currently flagged URLs, one shard at a time.
+func (m *Monitor) flaggedURLSet() map[string]bool {
+	out := make(map[string]bool)
+	for i := range m.urlShards {
+		sh := &m.urlShards[i]
+		sh.mu.Lock()
+		for u, us := range sh.urls {
+			if us.flagged {
+				out[u] = true
+			}
 		}
-		m.mu.Unlock()
-		out[id] = snap
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Apps returns a snapshot of every per-app aggregate, with FlaggedPosts
+// recomputed retroactively. The flagged-URL set is captured once up
+// front and each app shard is walked in sorted app-ID order, so the
+// result is independent of the shard layout.
+func (m *Monitor) Apps() map[string]AppStats {
+	flagged := m.flaggedURLSet()
+	out := make(map[string]AppStats)
+	for i := range m.appShards {
+		sh := &m.appShards[i]
+		sh.mu.Lock()
+		ids := make([]string, 0, len(sh.apps))
+		for id := range sh.apps {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			as := sh.apps[id]
+			snap := AppStats{
+				AppID:           id,
+				Posts:           as.posts,
+				LinkPosts:       as.linkPosts,
+				ExternalLinks:   as.externalLinks,
+				Links:           as.links.values(),
+				Messages:        as.messages.values(),
+				FlaggedMessages: as.flaggedMessages.values(),
+			}
+			n := 0
+			for _, l := range snap.Links {
+				if flagged[l] {
+					n++
+				}
+			}
+			if as.linkPosts > maxLinksPerApp && as.flaggedPosts > n {
+				n = as.flaggedPosts
+			}
+			snap.FlaggedPosts = n
+			out[id] = snap
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -402,15 +631,22 @@ type Stats struct {
 	URLsFlagged   int
 }
 
-// Stats returns stream-level counters.
+// Stats returns stream-level counters, merged across shards.
 func (m *Monitor) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s := Stats{PostsObserved: m.posts, AppPosts: m.appPosts, URLsTracked: len(m.urls)}
-	for _, us := range m.urls {
-		if us.flagged {
-			s.URLsFlagged++
+	s := Stats{
+		PostsObserved: int(m.posts.Load()),
+		AppPosts:      int(m.appPosts.Load()),
+	}
+	for i := range m.urlShards {
+		sh := &m.urlShards[i]
+		sh.mu.Lock()
+		s.URLsTracked += len(sh.urls)
+		for _, us := range sh.urls {
+			if us.flagged {
+				s.URLsFlagged++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return s
 }

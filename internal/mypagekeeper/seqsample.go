@@ -1,0 +1,93 @@
+package mypagekeeper
+
+import "sort"
+
+// seqSample is a bounded sample that keeps the entries with the smallest
+// stream sequence numbers — i.e. exactly the first `limit` entries in
+// stream order, no matter what order add is called in. That commutativity
+// is what lets the per-app aggregates live behind hash-striped locks and
+// still snapshot byte-identically to a serial, single-lock monitor: the
+// single-threaded producer stamps each post's seq, queue workers add in
+// whatever order they run, and values() returns entries in seq order.
+//
+// The layout is tuned for the dominant access pattern. Adds usually
+// arrive in (nearly) increasing seq order — exactly so from a serial
+// caller, approximately so from queue workers — so entries are kept in
+// arrival order with the current maximum tracked on the side: a full
+// sample rejects larger seqs with one comparison, and a snapshot of a
+// monotone sample is a straight copy with no sort.
+type seqSample struct {
+	limit   int
+	entries []seqEntry
+	// maxIdx is the index of the largest seq (-1 when empty); the entry
+	// evicted when a smaller seq arrives after the sample fills.
+	maxIdx int
+	// monotone records whether entries are still in increasing seq order,
+	// letting values() skip the sort on the serial fast path.
+	monotone bool
+}
+
+type seqEntry struct {
+	seq uint64
+	val string
+}
+
+func newSeqSample(limit int) seqSample {
+	return seqSample{limit: limit, maxIdx: -1, monotone: true}
+}
+
+// add offers one entry to the sample.
+func (s *seqSample) add(seq uint64, val string) {
+	if s.limit <= 0 {
+		return
+	}
+	if len(s.entries) < s.limit {
+		if s.maxIdx < 0 || seq > s.entries[s.maxIdx].seq {
+			s.maxIdx = len(s.entries)
+		} else {
+			s.monotone = false
+		}
+		s.entries = append(s.entries, seqEntry{seq, val})
+		return
+	}
+	if seq >= s.entries[s.maxIdx].seq {
+		return
+	}
+	s.entries[s.maxIdx] = seqEntry{seq, val}
+	s.monotone = false
+	s.rescanMax()
+}
+
+func (s *seqSample) rescanMax() {
+	s.maxIdx = 0
+	for i := 1; i < len(s.entries); i++ {
+		if s.entries[i].seq > s.entries[s.maxIdx].seq {
+			s.maxIdx = i
+		}
+	}
+}
+
+// len reports how many entries the sample holds.
+func (s *seqSample) len() int { return len(s.entries) }
+
+// values returns the kept entries in stream (seq) order; nil when empty,
+// matching the pre-shard snapshot's nil slices.
+func (s *seqSample) values() []string {
+	if len(s.entries) == 0 {
+		return nil
+	}
+	if s.monotone {
+		out := make([]string, len(s.entries))
+		for i, e := range s.entries {
+			out[i] = e.val
+		}
+		return out
+	}
+	sorted := append([]seqEntry(nil), s.entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].seq < sorted[j].seq })
+	out := make([]string, len(sorted))
+	for i, e := range sorted {
+		out[i] = e.val
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+package mypagekeeper
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"frappe/internal/fbplatform"
+)
+
+// streamEvent is one element of the deterministic test workload: either a
+// post or a mid-stream blacklist add (URL- or domain-granularity).
+type streamEvent struct {
+	post      fbplatform.Post
+	blackURL  string
+	blackDom  string
+	hasDomain bool
+}
+
+// testLCG is a tiny deterministic generator so the workload is identical
+// in every test run and on every monitor under comparison.
+type testLCG struct{ s uint64 }
+
+func (r *testLCG) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 17
+}
+func (r *testLCG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// genStream builds a workload that exercises every order-sensitive path:
+// URL reuse across apps (campaigns), spam keywords, likes, link-less and
+// message-less posts, unsubscribed users, manual (app-less) posts, a
+// heavy app that blows past the Links cap, and blacklist entries added
+// mid-stream so flag points depend on stream position.
+func genStream(n int) []streamEvent {
+	rng := &testLCG{s: 20121210}
+	events := make([]streamEvent, 0, n+40)
+	messages := []string{
+		"FREE ipad for the first 100 users, hurry!",
+		"check out my farm",
+		"WOW free 5000 credits click here",
+		"had a great day",
+		"",
+	}
+	for i := 0; i < n; i++ {
+		if i%97 == 13 {
+			// Mid-stream blacklist adds; repeats are deliberate (idempotent).
+			if i%2 == 0 {
+				events = append(events, streamEvent{blackURL: fmt.Sprintf("http://scam%d.example/lure", rng.intn(6))})
+			} else {
+				events = append(events, streamEvent{blackDom: fmt.Sprintf("evil%d.example", rng.intn(3)), hasDomain: true})
+			}
+			continue
+		}
+		p := fbplatform.Post{
+			UserID: rng.intn(100), // subscribers are [0,80)
+			Likes:  rng.intn(4),
+		}
+		switch rng.intn(10) {
+		case 0: // manual post
+		case 1: // heavy app: overflows the Links sample cap
+			p.AppID = "heavy"
+			p.Link = fmt.Sprintf("http://bulk.example/p%d", i)
+		default:
+			p.AppID = fmt.Sprintf("app%02d", rng.intn(23))
+			if rng.intn(10) > 2 {
+				// Shared campaign URL pool so per-URL stats accumulate.
+				p.Link = fmt.Sprintf("http://scam%d.example/lure", rng.intn(6))
+			}
+		}
+		p.Message = messages[rng.intn(len(messages))]
+		p.SourceAppID = p.AppID
+		events = append(events, streamEvent{post: p})
+	}
+	return events
+}
+
+func applySerial(m *Monitor, events []streamEvent) {
+	for _, e := range events {
+		switch {
+		case e.blackURL != "":
+			m.AddBlacklistedURL(e.blackURL)
+		case e.hasDomain:
+			m.AddBlacklistedDomain(e.blackDom)
+		default:
+			m.Observe(e.post)
+		}
+	}
+}
+
+func applyIngested(m *Monitor, events []streamEvent, workers int) {
+	ing := m.StartIngest(workers)
+	for _, e := range events {
+		switch {
+		case e.blackURL != "":
+			ing.AddBlacklistedURL(e.blackURL)
+		case e.hasDomain:
+			ing.AddBlacklistedDomain(e.blackDom)
+		default:
+			ing.Observe(e.post)
+		}
+	}
+	ing.Close()
+}
+
+// snapshotAll captures every read-side view the equivalence claim covers.
+type monitorView struct {
+	apps    map[string]AppStats
+	stats   Stats
+	flagged map[string]bool
+}
+
+func viewOf(m *Monitor) monitorView {
+	v := monitorView{apps: m.Apps(), stats: m.Stats(), flagged: map[string]bool{}}
+	for id := range v.apps {
+		v.flagged[id] = m.AppFlagged(id)
+	}
+	return v
+}
+
+func requireEqualViews(t *testing.T, want, got monitorView, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(want.stats, got.stats) {
+		t.Fatalf("%s: Stats = %+v, want %+v", label, got.stats, want.stats)
+	}
+	if !reflect.DeepEqual(want.flagged, got.flagged) {
+		t.Fatalf("%s: AppFlagged map diverges", label)
+	}
+	if !reflect.DeepEqual(want.apps, got.apps) {
+		for id, w := range want.apps {
+			if g, ok := got.apps[id]; !ok || !reflect.DeepEqual(w, g) {
+				t.Fatalf("%s: Apps()[%q] = %+v, want %+v", label, id, got.apps[id], w)
+			}
+		}
+		t.Fatalf("%s: Apps() diverges (extra apps)", label)
+	}
+}
+
+// TestShardEquivalence asserts the determinism-by-construction claim for
+// the shard dimension: the same serial stream produces byte-identical
+// Apps(), Stats(), and AppFlagged output for shard counts 1, 4, and 16.
+func TestShardEquivalence(t *testing.T) {
+	events := genStream(4000)
+	build := func(shards int) monitorView {
+		m := NewSharded(DefaultClassifierConfig(), shards)
+		m.SubscribeRange(0, 80)
+		applySerial(m, events)
+		return viewOf(m)
+	}
+	want := build(1)
+	if len(want.apps) == 0 || want.stats.URLsFlagged == 0 {
+		t.Fatalf("degenerate workload: %+v", want.stats)
+	}
+	for _, shards := range []int{4, 16} {
+		requireEqualViews(t, want, build(shards), fmt.Sprintf("shards=%d", shards))
+	}
+}
+
+// TestIngestWorkerEquivalence asserts the same claim for the worker
+// dimension: fanning the stream out through per-shard queues (any worker
+// count, blacklist adds included) matches serial Observe byte for byte.
+func TestIngestWorkerEquivalence(t *testing.T) {
+	events := genStream(4000)
+	serial := NewSharded(DefaultClassifierConfig(), 16)
+	serial.SubscribeRange(0, 80)
+	applySerial(serial, events)
+	want := viewOf(serial)
+
+	for _, workers := range []int{1, 3, 8} {
+		m := NewSharded(DefaultClassifierConfig(), 16)
+		m.SubscribeRange(0, 80)
+		applyIngested(m, events, workers)
+		requireEqualViews(t, want, viewOf(m), fmt.Sprintf("workers=%d", workers))
+	}
+}
+
+// TestMonitorConcurrentWorkout hammers the full read and write API from
+// many goroutines at once; run under -race it checks the striped locking,
+// not results (those are the equivalence tests' job).
+func TestMonitorConcurrentWorkout(t *testing.T) {
+	m := New(DefaultClassifierConfig())
+	m.SubscribeRange(0, 100)
+	const writers, perWriter = 4, 500
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				p := post(fmt.Sprintf("app%d", i%17), i%100,
+					"WOW free credits hurry", fmt.Sprintf("http://w%d.example/p%d", w, i%31), i%3)
+				m.Observe(p)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.Apps()
+				m.Stats()
+				m.URLFlagged("http://w0.example/p1")
+				m.FlaggedPostCount("app1")
+				m.EvaluateURL("http://w1.example/p2")
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			m.AddBlacklistedURL(fmt.Sprintf("http://w%d.example/p%d", i%writers, i%31))
+			m.AddBlacklistedDomain(fmt.Sprintf("evil%d.example", i))
+			m.ReclassifyAll()
+		}
+		if model, err := m.TrainURLClassifier(0); err == nil {
+			m.SetURLModel(model)
+		}
+		close(stop)
+	}()
+	wg.Wait()
+
+	if got := m.Stats().PostsObserved; got != writers*perWriter {
+		t.Fatalf("PostsObserved = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestFlaggedPostCountOverflowGuard pins both sides of the corrected
+// overflow approximation: it must key on link-carrying posts (the stream
+// Links samples from), not total posts.
+func TestFlaggedPostCountOverflowGuard(t *testing.T) {
+	m := New(DefaultClassifierConfig())
+	m.SubscribeRange(0, 10)
+	m.AddBlacklistedDomain("scam.example")
+
+	// Side 1: linkPosts far past the cap — the Links sample drops
+	// entries, so the retroactive count (256) undercounts and the online
+	// counter (300) must win.
+	for i := 0; i < 300; i++ {
+		m.Observe(post("heavy", i%10, "lure", fmt.Sprintf("http://scam.example/p%d", i), 0))
+	}
+	heavy := m.Apps()["heavy"]
+	if heavy.LinkPosts != 300 || len(heavy.Links) != maxLinksPerApp {
+		t.Fatalf("heavy: LinkPosts=%d len(Links)=%d, want 300/%d", heavy.LinkPosts, len(heavy.Links), maxLinksPerApp)
+	}
+	if got := m.FlaggedPostCount("heavy"); got != 300 {
+		t.Errorf("heavy FlaggedPostCount = %d, want 300 (online counter past the cap)", got)
+	}
+
+	// Side 2: a chatty app whose Posts exceed the cap but whose three
+	// link posts all fit in the sample. Its URL is flagged only
+	// retroactively, so the online counter is 0 — the old Posts-keyed
+	// guard had no business even considering the approximation here.
+	for i := 0; i < 300; i++ {
+		m.Observe(post("chatty", i%10, "status update", "", 0))
+	}
+	for i := 0; i < 3; i++ {
+		m.Observe(post("chatty", i, "look here", "http://late.example/x", 0))
+	}
+	m.AddBlacklistedURL("http://late.example/x")
+	m.Observe(post("other", 1, "same link", "http://late.example/x", 0)) // flags the URL
+	chatty := m.Apps()["chatty"]
+	if chatty.Posts != 303 || chatty.LinkPosts != 3 {
+		t.Fatalf("chatty: Posts=%d LinkPosts=%d, want 303/3", chatty.Posts, chatty.LinkPosts)
+	}
+	if got := m.FlaggedPostCount("chatty"); got != 3 {
+		t.Errorf("chatty FlaggedPostCount = %d, want exact retroactive 3", got)
+	}
+}
+
+// TestSeqSample pins the bounded sample: it keeps exactly the lowest-seq
+// entries and returns them in stream order, however adds are interleaved.
+func TestSeqSample(t *testing.T) {
+	s := newSeqSample(3)
+	for _, e := range []seqEntry{{7, "g"}, {2, "b"}, {9, "i"}, {1, "a"}, {5, "e"}, {3, "c"}} {
+		s.add(e.seq, e.val)
+	}
+	got := s.values()
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("values() = %v, want %v", got, want)
+	}
+	if s.len() != 3 {
+		t.Fatalf("len = %d, want 3", s.len())
+	}
+	empty := newSeqSample(2)
+	if empty.values() != nil {
+		t.Fatal("empty sample must return nil (snapshot parity)")
+	}
+}
+
+// BenchmarkMonitorIngest measures the queued ingestion path end to end
+// (enqueue, shard updates, drain) over a mixed workload.
+func BenchmarkMonitorIngest(b *testing.B) {
+	events := genStream(20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewSharded(DefaultClassifierConfig(), DefaultShards)
+		m.SubscribeRange(0, 80)
+		applyIngested(m, events, 0)
+	}
+}
+
+// BenchmarkMonitorObserveSerial is the single-caller baseline the queued
+// path is compared against.
+func BenchmarkMonitorObserveSerial(b *testing.B) {
+	events := genStream(20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewSharded(DefaultClassifierConfig(), DefaultShards)
+		m.SubscribeRange(0, 80)
+		applySerial(m, events)
+	}
+}

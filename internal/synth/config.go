@@ -129,6 +129,12 @@ type Config struct {
 	// monitor; true per-app volumes (Table 2, Table 9) are tracked as
 	// counters. Keeps memory flat at any scale.
 	MaxMaterializedPostsPerApp int
+	// IngestWorkers is the fan-out of the monitor's queued ingestion path
+	// during the post-streaming stages: generation stays single-threaded
+	// and seeded, but shard updates land concurrently. 0 means GOMAXPROCS.
+	// The generated world is byte-identical for every value (see
+	// internal/mypagekeeper's determinism argument).
+	IngestWorkers int
 	// ManualPostFrac: fraction of the monitored stream with no application
 	// field (§2.2: 37%).
 	ManualPostFrac float64

@@ -54,8 +54,14 @@ func Generate(cfg Config) *World {
 	timed("sites", g.genSites)
 	timed("blacklists", g.assignBlacklists)
 	timed("reputations", g.seedReputations)
+	// The post-streaming stages fan out through the monitor's queued
+	// ingestion path: generation stays single-threaded and seeded, but
+	// shard updates land concurrently. ingest_drain is the tail latency
+	// of the queues; clicks reads Monitor.Apps() and so needs the drain.
+	w.beginIngest(cfg.IngestWorkers)
 	timed("posts", g.genPosts)
 	timed("manual_posts", g.genManualPosts)
+	timed("ingest_drain", w.endIngest)
 	timed("clicks", g.genClicks)
 	timed("deletions", g.scheduleDeletions)
 
@@ -937,8 +943,10 @@ func (g *generator) streamPiggybackPosts() {
 			source := h.AppIDs[rng.Intn(len(h.AppIDs))]
 			long := fmt.Sprintf("http://%s/credits%d", h.Domains[0], h.ID)
 			// Piggyback lures reuse the hackers' blacklisted campaign
-			// infrastructure, so the monitor flags them.
-			g.w.Monitor.AddBlacklistedURL(long)
+			// infrastructure, so the monitor flags them. Routed through
+			// the ingester: the first add per hacker must be ordered
+			// against the queued stream (later adds are no-ops).
+			g.w.addBlacklistedURL(long)
 			link := g.w.Bitly.Shorten(long)
 			post, err := g.w.Platform.PromptFeedPost(
 				victim, source,

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -426,5 +427,34 @@ func TestTypoOf(t *testing.T) {
 	}
 	if len(typoOf("FarmVille")) != len("FarmVille")-1 {
 		t.Error("typoOf should drop one character")
+	}
+}
+
+// TestIngestWorkerDeterminism asserts the end-to-end claim of the queued
+// ingestion path: generation produces a byte-identical monitor view for
+// any worker fan-out.
+func TestIngestWorkerDeterminism(t *testing.T) {
+	build := func(workers int) *World {
+		cfg := TestConfig()
+		cfg.Scale = 0.003
+		cfg.IngestWorkers = workers
+		return Generate(cfg)
+	}
+	a := build(1)
+	b := build(4)
+	if a.TotalStreamPosts != b.TotalStreamPosts {
+		t.Fatalf("stream sizes differ: %d vs %d", a.TotalStreamPosts, b.TotalStreamPosts)
+	}
+	if sa, sb := a.Monitor.Stats(), b.Monitor.Stats(); sa != sb {
+		t.Fatalf("monitor stats differ: %+v vs %+v", sa, sb)
+	}
+	appsA, appsB := a.Monitor.Apps(), b.Monitor.Apps()
+	if len(appsA) != len(appsB) {
+		t.Fatalf("app counts differ: %d vs %d", len(appsA), len(appsB))
+	}
+	for id, sa := range appsA {
+		if sb, ok := appsB[id]; !ok || !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("AppStats[%q] differ:\n  w1: %+v\n  w4: %+v", id, sa, appsB[id])
+		}
 	}
 }

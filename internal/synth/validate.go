@@ -37,6 +37,9 @@ func (c Config) Validate() error {
 	if c.MaxMaterializedPostsPerApp < 1 {
 		return fail("MaxMaterializedPostsPerApp = %d, must be >= 1", c.MaxMaterializedPostsPerApp)
 	}
+	if c.IngestWorkers < 0 {
+		return fail("IngestWorkers = %d, must be >= 0", c.IngestWorkers)
+	}
 	if c.UsersPerApp < 1 {
 		return fail("UsersPerApp = %d, must be >= 1", c.UsersPerApp)
 	}

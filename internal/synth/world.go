@@ -82,6 +82,10 @@ type World struct {
 	Redirector   *redirector.Service
 	Monitor      *mypagekeeper.Monitor
 
+	// ingest is the open queued-ingestion session during the post
+	// streaming stages of Generate; nil otherwise.
+	ingest *mypagekeeper.Ingester
+
 	Hackers []*Hacker
 
 	// MaliciousIDs / BenignIDs partition all apps by ground truth.
@@ -256,12 +260,45 @@ func (w *World) mustRegister(app *fbplatform.App) {
 }
 
 // observe streams a post into the monitor, maintaining stream counters.
+// While a queued-ingestion session is open (the post-streaming stages of
+// Generate), posts fan out through the ingester's per-shard queues; the
+// results are byte-identical either way.
 func (w *World) observe(p fbplatform.Post) {
 	w.TotalStreamPosts++
 	if p.AppID == "" {
 		w.ManualPosts++
 	}
+	if w.ingest != nil {
+		w.ingest.Observe(p)
+		return
+	}
 	w.Monitor.Observe(p)
+}
+
+// addBlacklistedURL feeds a URL blacklist entry to the monitor, routed
+// through the active ingestion session (if any) so the add stays ordered
+// against queued posts.
+func (w *World) addBlacklistedURL(url string) {
+	if w.ingest != nil {
+		w.ingest.AddBlacklistedURL(url)
+		return
+	}
+	w.Monitor.AddBlacklistedURL(url)
+}
+
+// beginIngest opens the queued-ingestion session observe routes through.
+func (w *World) beginIngest(workers int) {
+	w.ingest = w.Monitor.StartIngest(workers)
+}
+
+// endIngest drains and closes the session; monitor reads are exact again
+// once it returns.
+func (w *World) endIngest() {
+	if w.ingest == nil {
+		return
+	}
+	w.ingest.Close()
+	w.ingest = nil
 }
 
 // pickMonth returns a uniform month in the observation window.
