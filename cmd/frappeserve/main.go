@@ -9,6 +9,7 @@
 // Usage:
 //
 //	frappeserve [-scale 0.02] [-seed ...] [-model frappe-model.gob]
+//	            [-registry DIR]
 //	            [-debug-addr 127.0.0.1:0] [-log-level info] [-log-json]
 //	            [-fault-error-rate 0] [-fault-hang-rate 0]
 //	            [-fault-latency 0] [-fault-seed 1]
@@ -38,6 +39,8 @@ func main() {
 	scale := flag.Float64("scale", 0.02, "world scale")
 	seed := flag.Int64("seed", 0, "world seed (0 = default)")
 	modelPath := flag.String("model", "frappe-model.gob", "where to write the trained classifier")
+	registryDir := flag.String("registry", "",
+		"also publish the trained classifier to this model registry (empty = flat file only)")
 	debugAddr := flag.String("debug-addr", "127.0.0.1:0",
 		"debug listen address for /metrics, /debug/vars and /debug/pprof (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -85,6 +88,24 @@ func main() {
 	if err := f.Close(); err != nil {
 		logger.Error("closing model file", "path", *modelPath, "err", err)
 		os.Exit(1)
+	}
+	if *registryDir != "" {
+		reg, err := frappe.OpenModelRegistry(*registryDir)
+		if err != nil {
+			logger.Error("opening model registry", "dir", *registryDir, "err", err)
+			os.Exit(1)
+		}
+		m, err := frappe.PublishClassifier(reg, clf, frappe.ModelManifest{
+			TrainingFingerprint: frappe.TrainingFingerprint(records, labels),
+			TrainedRecords:      len(records),
+			Notes:               "initial frappeserve model",
+		})
+		if err != nil {
+			logger.Error("publishing model", "dir", *registryDir, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("model published", "registry", *registryDir, "model", m.ModelID(),
+			"feature_mode", m.FeatureMode)
 	}
 
 	var faults *frappe.FaultSpec

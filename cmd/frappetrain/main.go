@@ -1,0 +1,194 @@
+// Command frappetrain is the continuous-retraining driver of the model
+// lifecycle: it snapshots the MyPageKeeper monitor's labeled view,
+// retrains the classifier through the parallel cross-validation path, and
+// publishes the candidate to a versioned model registry — but only when
+// its shadow-evaluated holdout metrics do not regress versus the
+// incumbent. Serving processes (watchdogd -registry) hot-swap published
+// versions in without restarting.
+//
+// Usage:
+//
+//	frappetrain -registry DIR [-scale 0.02] [-seed ...]
+//	            [-features lite|full|robust] [-rounds 3] [-interval 0]
+//	            [-holdout 0.2] [-tolerance 0] [-keep 0]
+//	            [-grow-start 0.5] [-grow-step 0.25]
+//	            [-debug-addr ""] [-log-level info] [-log-json]
+//
+// Each round trains on a growing prefix of the labeled view (-grow-start
+// fraction on round one, +-grow-step per round, capped at the full view),
+// simulating MyPageKeeper's blacklist growing between rounds; once the
+// view stops changing, rounds report "unchanged" and publish nothing.
+// With -interval > 0 the driver runs until interrupted; otherwise it runs
+// -rounds rounds and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+
+	"frappe"
+	"frappe/internal/synth"
+	"frappe/internal/telemetry"
+)
+
+func main() {
+	registryDir := flag.String("registry", "", "model registry directory (required)")
+	scale := flag.Float64("scale", 0.02, "world scale")
+	seed := flag.Int64("seed", 0, "world seed (0 = default)")
+	features := flag.String("features", "lite", "feature set: lite, full or robust")
+	rounds := flag.Int("rounds", 3, "retraining rounds to run when -interval is 0")
+	interval := flag.Duration("interval", 0, "retraining cadence (0 = run -rounds rounds and exit)")
+	holdout := flag.Float64("holdout", 0.2, "holdout fraction per class for the promotion gate")
+	tolerance := flag.Float64("tolerance", 0, "allowed holdout-accuracy drop before a candidate is refused")
+	keep := flag.Int("keep", 0, "registry retention: GC all but the newest N versions after publish (0 = keep all)")
+	growStart := flag.Float64("grow-start", 0.5, "fraction of the labeled view used in round one")
+	growStep := flag.Float64("grow-step", 0.25, "labeled-view growth per round")
+	debugAddr := flag.String("debug-addr", "",
+		"debug listen address for /metrics, /debug/vars and /debug/pprof (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "log as JSON instead of text")
+	flag.Parse()
+
+	logger := telemetry.SetupProcessLogger(telemetry.LogConfig{
+		Component: "frappetrain", Level: *logLevel, JSON: *logJSON,
+	})
+	if *registryDir == "" {
+		fmt.Fprintln(os.Stderr, "usage: frappetrain -registry DIR [flags]")
+		os.Exit(1)
+	}
+	var feats []frappe.Feature
+	switch *features {
+	case "lite":
+		feats = frappe.LiteFeatures()
+	case "full":
+		feats = frappe.FullFeatures()
+	case "robust":
+		feats = frappe.RobustFeatures()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -features %q (want lite, full or robust)\n", *features)
+		os.Exit(1)
+	}
+
+	if *debugAddr != "" {
+		ds, err := telemetry.StartDebugServer(*debugAddr, nil)
+		if err != nil {
+			logger.Error("starting debug server", "addr", *debugAddr, "err", err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		logger.Info("debug server listening", "addr", ds.Addr)
+	}
+
+	reg, err := frappe.OpenModelRegistry(*registryDir)
+	if err != nil {
+		logger.Error("opening registry", "dir", *registryDir, "err", err)
+		os.Exit(1)
+	}
+
+	cfg := synth.Default(*scale)
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	logger.Info("generating world", "scale", *scale, "seed", cfg.Seed)
+	w := frappe.GenerateWorld(cfg)
+	d, err := frappe.BuildDatasets(context.Background(), w)
+	if err != nil {
+		logger.Error("building datasets", "err", err)
+		os.Exit(1)
+	}
+	records, labels := frappe.LabeledSample(d)
+	logger.Info("labeled view snapshotted", "records", len(records))
+
+	// The growing-blacklist simulation: a deterministic per-class order,
+	// of which each round sees a larger prefix.
+	benign, malicious := splitByLabel(records, labels)
+	order := rand.New(rand.NewSource(cfg.Seed))
+	order.Shuffle(len(benign), func(i, j int) { benign[i], benign[j] = benign[j], benign[i] })
+	order.Shuffle(len(malicious), func(i, j int) { malicious[i], malicious[j] = malicious[j], malicious[i] })
+	round := 0
+	snapshot := func(context.Context) ([]frappe.AppRecord, []bool, error) {
+		round++
+		frac := *growStart + *growStep*float64(round-1)
+		if frac > 1 {
+			frac = 1
+		}
+		var outR []frappe.AppRecord
+		var outL []bool
+		take := func(idx []int, label bool) {
+			n := int(float64(len(idx)) * frac)
+			if n < 2 && len(idx) >= 2 {
+				n = 2
+			}
+			for _, i := range idx[:n] {
+				outR = append(outR, records[i])
+				outL = append(outL, label)
+			}
+		}
+		take(benign, false)
+		take(malicious, true)
+		logger.Info("labeled view for round", "round", round, "fraction", frac, "records", len(outR))
+		return outR, outL, nil
+	}
+
+	rt, err := frappe.NewRetrainer(reg, frappe.RetrainConfig{
+		Snapshot:        snapshot,
+		Options:         frappe.Options{Features: feats, Seed: cfg.Seed},
+		HoldoutFraction: *holdout,
+		Tolerance:       *tolerance,
+		Keep:            *keep,
+		Notes:           fmt.Sprintf("frappetrain scale=%g seed=%d", *scale, cfg.Seed),
+		Logger:          logger,
+	})
+	if err != nil {
+		logger.Error("configuring retrainer", "err", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *interval > 0 {
+		logger.Info("retraining continuously", "interval", *interval, "registry", *registryDir)
+		rt.Run(ctx, *interval)
+		logger.Info("shutting down")
+		return
+	}
+	for i := 0; i < *rounds; i++ {
+		res, err := rt.RunOnce(ctx)
+		if err != nil {
+			logger.Error("retraining round failed", "round", i+1, "err", err)
+			os.Exit(1)
+		}
+		fmt.Printf("round %d: %s", i+1, res.Outcome)
+		if res.Outcome == frappe.RetrainPublished {
+			fmt.Printf(" %s (holdout accuracy %.4f)", res.Manifest.ModelID(), res.Candidate.Accuracy)
+		}
+		if res.Reason != "" {
+			fmt.Printf(" (%s)", res.Reason)
+		}
+		fmt.Println()
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if m, err := reg.Latest(); err == nil {
+		fmt.Printf("registry %s now serving %s (feature mode %s, %d trained records)\n",
+			*registryDir, m.ModelID(), m.FeatureMode, m.TrainedRecords)
+	}
+}
+
+// splitByLabel returns the indices of each class.
+func splitByLabel(records []frappe.AppRecord, labels []bool) (benign, malicious []int) {
+	for i := range records {
+		if labels[i] {
+			malicious = append(malicious, i)
+		} else {
+			benign = append(benign, i)
+		}
+	}
+	return benign, malicious
+}

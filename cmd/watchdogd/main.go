@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	watchdogd -graph URL -wot URL -model frappe-model.gob [-listen :8080]
+//	watchdogd -graph URL -wot URL (-model frappe-model.gob | -registry DIR)
+//	          [-listen :8080] [-reload-interval 15s]
 //	          [-timeout 5s] [-retries 2]
 //	          [-breaker-threshold 5] [-breaker-cooldown 10s]
 //	          [-verdict-ttl 30s]
@@ -13,27 +14,42 @@
 //
 // Endpoints:
 //
-//	GET /check?app=APPID         one assessment: 200 verdict, 404 deleted
+//	GET  /check?app=APPID        one assessment: 200 verdict, 404 deleted
 //	                             (still a verdict), 502 upstream failure,
 //	                             503 + Retry-After when the upstream
 //	                             circuit breaker is open
-//	GET /rank?app=A&app=B        ranked assessments, most suspicious first
-//	GET /healthz                 liveness
+//	GET  /rank?app=A&app=B       ranked assessments, most suspicious first
+//	GET  /model                  manifest of the serving model
+//	POST /model/reload           poll the registry now and hot-swap if a
+//	                             new version is active
+//	GET  /healthz                liveness
+//
+// With -registry, the classifier is loaded from the registry's active
+// version (checksum-verified — a corrupt artifact is rejected with a clear
+// error) and the daemon becomes a live consumer: it polls the registry
+// every -reload-interval and on SIGHUP, validating each new version before
+// swapping it in with zero dropped in-flight requests. Assessments carry
+// the model_version that produced them.
 //
 // Verdicts are cached for -verdict-ttl (singleflighted per app ID while
 // being computed), so repeated /check traffic for hot apps costs one
-// upstream crawl per TTL window.
+// upstream crawl per TTL window. The cache is flushed on every model swap.
 //
-// The debug listener serves /metrics (Prometheus text format),
-// /debug/vars (expvar) and /debug/pprof; its resolved address is printed
-// at startup. -debug-addr "" disables it.
+// SIGINT/SIGTERM drain in-flight requests through http.Server.Shutdown
+// before exiting. The debug listener serves /metrics (Prometheus text
+// format), /debug/vars (expvar) and /debug/pprof; its resolved address is
+// printed at startup. -debug-addr "" disables it.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"frappe"
@@ -43,7 +59,11 @@ import (
 func main() {
 	graphURL := flag.String("graph", "", "Graph API base URL (required)")
 	wotURL := flag.String("wot", "", "WOT base URL (required)")
-	modelPath := flag.String("model", "frappe-model.gob", "trained classifier file")
+	modelPath := flag.String("model", "frappe-model.gob", "trained classifier file (ignored with -registry)")
+	registryDir := flag.String("registry", "",
+		"model registry directory; serve its active version and hot-swap new ones (empty = flat -model file)")
+	reloadInterval := flag.Duration("reload-interval", 15*time.Second,
+		"registry poll cadence for new model versions (0 = poll only on SIGHUP or POST /model/reload)")
 	listen := flag.String("listen", "127.0.0.1:8466", "listen address")
 	rankWorkers := flag.Int("rank-workers", 0, "bounded fan-out width for /rank (0 = default 8)")
 	timeout := flag.Duration("timeout", 5*time.Second,
@@ -66,15 +86,11 @@ func main() {
 	})
 
 	if *graphURL == "" || *wotURL == "" {
-		fmt.Fprintln(os.Stderr, "usage: watchdogd -graph URL -wot URL [-model FILE] [-listen ADDR]")
+		fmt.Fprintln(os.Stderr,
+			"usage: watchdogd -graph URL -wot URL (-model FILE | -registry DIR) [-listen ADDR]")
 		os.Exit(1)
 	}
-	f, err := os.Open(*modelPath)
-	if err != nil {
-		logger.Error("opening model", "path", *modelPath, "err", err)
-		os.Exit(1)
-	}
-	wd, err := frappe.NewWatchdogFromWith(f, frappe.WatchdogConfig{
+	wdCfg := frappe.WatchdogConfig{
 		GraphURL:         *graphURL,
 		WOTURL:           *wotURL,
 		Timeout:          *timeout,
@@ -82,13 +98,53 @@ func main() {
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
 		VerdictTTL:       *verdictTTL,
-	})
-	f.Close()
-	if err != nil {
-		logger.Error("loading watchdog", "err", err)
-		os.Exit(1)
+	}
+
+	var (
+		wd  *frappe.Watchdog
+		rel *frappe.Reloader
+		err error
+	)
+	if *registryDir != "" {
+		reg, rerr := frappe.OpenModelRegistry(*registryDir)
+		if rerr != nil {
+			logger.Error("opening model registry", "dir", *registryDir, "err", rerr)
+			os.Exit(1)
+		}
+		// A checksum-mismatched or otherwise corrupt active artifact is a
+		// hard startup error: better no watchdog than one serving garbage.
+		wd, err = frappe.NewWatchdogFromRegistry(reg, wdCfg)
+		if err != nil {
+			logger.Error("loading model from registry", "dir", *registryDir, "err", err)
+			os.Exit(1)
+		}
+		rel = frappe.NewReloader(wd, reg, frappe.ReloadConfig{
+			Interval: *reloadInterval,
+			Logger:   logger,
+		})
+	} else {
+		f, ferr := os.Open(*modelPath)
+		if ferr != nil {
+			logger.Error("opening model", "path", *modelPath, "err", ferr)
+			os.Exit(1)
+		}
+		wd, err = frappe.NewWatchdogFromWith(f, wdCfg)
+		f.Close()
+		if err != nil {
+			logger.Error("loading watchdog", "err", err)
+			os.Exit(1)
+		}
 	}
 	wd.RankWorkers = *rankWorkers
+
+	// Announce what is actually serving — version, feature mode and the
+	// metrics it shipped with — not just a file path.
+	m := wd.ServingManifest()
+	logger.Info("model loaded",
+		"model", m.ModelID(), "feature_mode", m.FeatureMode,
+		"trained_records", m.TrainedRecords,
+		"cv_accuracy", m.CV.Accuracy, "cv_fp_rate", m.CV.FPRate, "cv_fn_rate", m.CV.FNRate,
+		"created_at", m.CreatedAt)
 
 	if *debugAddr != "" {
 		ds, err := telemetry.StartDebugServer(*debugAddr, nil)
@@ -101,14 +157,53 @@ func main() {
 		logger.Info("debug server listening", "addr", ds.Addr)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if rel != nil {
+		if *reloadInterval > 0 {
+			go rel.Watch(ctx)
+		}
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-hup:
+					logger.Info("SIGHUP: checking registry for a new model version")
+					st := rel.Check(ctx)
+					logger.Info("reload check done", "outcome", st.Outcome,
+						"serving", st.Serving.ModelID())
+				}
+			}
+		}()
+	}
+
 	srv := &http.Server{
 		Addr:              *listen,
-		Handler:           frappe.WatchdogHandler(wd, 15*time.Second),
+		Handler:           frappe.WatchdogHandlerWith(wd, 15*time.Second, rel),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	logger.Info("assessing apps", "addr", *listen, "graph", *graphURL, "wot", *wotURL)
-	if err := srv.ListenAndServe(); err != http.ErrServerClosed {
-		logger.Error("server exited", "err", err)
-		os.Exit(1)
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("server exited", "err", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		logger.Info("shutting down; draining in-flight requests")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			logger.Error("graceful shutdown", "err", err)
+			os.Exit(1)
+		}
 	}
+	logger.Info("stopped")
 }

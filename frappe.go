@@ -176,6 +176,13 @@ func CrossValidate(records []AppRecord, labels []bool, k int, opts Options) (Met
 	return core.CrossValidate(records, labels, k, opts)
 }
 
+// Evaluate classifies labelled records through the vectorised batch path
+// and tallies the confusion matrix — the shadow-evaluation primitive the
+// retraining promotion gate is built on.
+func Evaluate(c *Classifier, records []AppRecord, labels []bool) (Metrics, error) {
+	return core.Evaluate(c, records, labels)
+}
+
 // SampleRatio draws a benign:malicious = ratio:1 subsample (Table 5).
 func SampleRatio(records []AppRecord, labels []bool, ratio int, seed int64) ([]AppRecord, []bool, error) {
 	return core.SampleRatio(records, labels, ratio, seed)

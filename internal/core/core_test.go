@@ -423,32 +423,68 @@ func TestValidationPipeline(t *testing.T) {
 	}
 }
 
+// TestClassifierSaveLoad extends the svm gob round-trip guarantee up to
+// the Classifier layer: for both feature modes, a loaded-from-bytes
+// classifier must yield byte-identical verdicts — decision and exact
+// decision value — to the in-memory one, on every record. This is what
+// makes registry rollback exact: the model bytes ARE the behaviour.
 func TestClassifierSaveLoad(t *testing.T) {
 	records, labels := completeSet(t)
-	clf, err := Train(records, labels, Options{Features: FullFeatures(), Seed: 5})
-	if err != nil {
-		t.Fatal(err)
-	}
-	var buf bytes.Buffer
-	if err := clf.Save(&buf); err != nil {
-		t.Fatal(err)
-	}
-	clf2, err := Load(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, r := range records[:50] {
-		v1, err1 := clf.Classify(r)
-		v2, err2 := clf2.Classify(r)
-		if err1 != nil || err2 != nil {
-			t.Fatal(err1, err2)
-		}
-		if v1.Malicious != v2.Malicious {
-			t.Fatalf("round-tripped classifier disagrees on %s", r.ID)
-		}
+	for _, tc := range []struct {
+		mode     string
+		features []Feature
+	}{
+		{"lite", LiteFeatures()},
+		{"full", FullFeatures()},
+	} {
+		t.Run(tc.mode, func(t *testing.T) {
+			clf, err := Train(records, labels, Options{Features: tc.features, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := clf.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			// (Save bytes are NOT asserted stable across calls: gob walks the
+			// extractor's maps in randomised order. Behaviour, not encoding,
+			// is the contract.)
+			clf2, err := Load(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range records {
+				v1, err1 := clf.Classify(r)
+				v2, err2 := clf2.Classify(r)
+				if err1 != nil || err2 != nil {
+					t.Fatal(err1, err2)
+				}
+				if v1.Malicious != v2.Malicious || v1.Score != v2.Score {
+					t.Fatalf("%s: round-tripped classifier diverged on %s: in-memory %+v, loaded %+v",
+						tc.mode, r.ID, v1, v2)
+				}
+			}
+		})
 	}
 	if _, err := Load(bytes.NewReader([]byte("junk"))); err == nil {
 		t.Error("Load(junk): want error")
+	}
+}
+
+func TestFeatureSetName(t *testing.T) {
+	for _, tc := range []struct {
+		want string
+		fs   []Feature
+	}{
+		{"lite", LiteFeatures()},
+		{"full", FullFeatures()},
+		{"robust", RobustFeatures()},
+		{"custom", []Feature{FeatWOTScore}},
+		{"custom", nil},
+	} {
+		if got := FeatureSetName(tc.fs); got != tc.want {
+			t.Errorf("FeatureSetName(%v) = %q, want %q", tc.fs, got, tc.want)
+		}
 	}
 }
 

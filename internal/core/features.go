@@ -91,6 +91,33 @@ func RobustFeatures() []Feature {
 	return []Feature{FeatPermissionCount, FeatClientIDDiffers, FeatWOTScore}
 }
 
+// FeatureSetName names a feature set for manifests and logs: "lite",
+// "full" or "robust" for the three canonical sets (order-sensitive — the
+// SVM's input layout is), "custom" otherwise.
+func FeatureSetName(fs []Feature) string {
+	same := func(want []Feature) bool {
+		if len(fs) != len(want) {
+			return false
+		}
+		for i := range fs {
+			if fs[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	switch {
+	case same(LiteFeatures()):
+		return "lite"
+	case same(FullFeatures()):
+		return "full"
+	case same(RobustFeatures()):
+		return "robust"
+	default:
+		return "custom"
+	}
+}
+
 // AppRecord bundles everything FRAppE may know about one app: the
 // on-demand crawl result and, when a monitoring entity provides it, the
 // cross-user aggregation view.

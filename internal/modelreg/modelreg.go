@@ -1,0 +1,424 @@
+// Package modelreg is a versioned, content-addressed model registry on a
+// plain directory — the storage substrate of the train→publish→validate→
+// swap→rollback loop (§5's "keep the classifier current as the blacklist
+// grows" deployment story).
+//
+// Layout under the registry root:
+//
+//	objects/sha256-<hex>.gob    immutable payloads, content-addressed
+//	manifests/v<%08d>.json      one JSON manifest per published version
+//	CURRENT                     the active version number
+//
+// Every write is atomic (temp file in the same directory + rename), so a
+// reader — another process included — never observes a half-written
+// artifact. Payloads are verified against their manifest's sha256 on every
+// load, so silent corruption surfaces as ErrCorrupt instead of a garbage
+// model reaching a serving process. Publishing never mutates an existing
+// object: rolling back to a prior version therefore restores bit-identical
+// model bytes.
+package modelreg
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Metrics is the classifier-quality summary a manifest carries; it mirrors
+// the three measures the paper reports (accuracy, false-positive rate,
+// false-negative rate) plus the sample count they were measured over.
+type Metrics struct {
+	Accuracy float64 `json:"accuracy"`
+	FPRate   float64 `json:"fp_rate"`
+	FNRate   float64 `json:"fn_rate"`
+	Samples  int     `json:"samples"`
+}
+
+// Manifest describes one published model version.
+type Manifest struct {
+	// Version is the registry-assigned monotone version number (>= 1).
+	Version int `json:"version"`
+	// SHA256 is the hex checksum of the payload; also its object key.
+	SHA256 string `json:"sha256"`
+	// FeatureMode names the feature set ("lite", "full", "robust", ...).
+	FeatureMode string `json:"feature_mode"`
+	// TrainingFingerprint identifies the labeled snapshot the model was
+	// trained on (a hash over IDs + labels), so an unchanged corpus is
+	// recognisable without retraining.
+	TrainingFingerprint string `json:"training_fingerprint,omitempty"`
+	// TrainedRecords is the size of the training split.
+	TrainedRecords int `json:"trained_records"`
+	// CV carries the cross-validation metrics measured on the training
+	// snapshot; Holdout the shadow-evaluation metrics on the held-out
+	// split that gated promotion.
+	CV      Metrics  `json:"cv_metrics"`
+	Holdout *Metrics `json:"holdout_metrics,omitempty"`
+	// CreatedAt is the publish time (UTC).
+	CreatedAt time.Time `json:"created_at"`
+	// Notes is free-form provenance ("initial frappeserve model", ...).
+	Notes string `json:"notes,omitempty"`
+}
+
+// ModelID is the compact serving identity of this manifest: the version
+// number plus a checksum prefix, e.g. "v3-9f86d081". Content addressing
+// makes it stable across rollback: re-activating version 3 yields the same
+// ID, and therefore the same verdict-cache key space.
+func (m Manifest) ModelID() string {
+	sum := m.SHA256
+	if len(sum) > 8 {
+		sum = sum[:8]
+	}
+	return fmt.Sprintf("v%d-%s", m.Version, sum)
+}
+
+// Registry errors. ErrCorrupt wraps checksum mismatches and undecodable
+// manifests; callers must treat it as "do not serve this artifact".
+var (
+	ErrEmpty    = errors.New("modelreg: registry has no published versions")
+	ErrNotFound = errors.New("modelreg: version not found")
+	ErrCorrupt  = errors.New("modelreg: artifact corrupt")
+)
+
+// Registry is a model store rooted at a directory. The zero value is not
+// usable; construct with Open. Safe for concurrent use within a process;
+// cross-process publishers are serialised by the atomicity of rename but
+// should nominate a single writer.
+type Registry struct {
+	root string
+	now  func() time.Time // test seam
+
+	mu sync.Mutex // serialises version allocation and CURRENT updates
+}
+
+const (
+	objectsDir   = "objects"
+	manifestsDir = "manifests"
+	currentFile  = "CURRENT"
+)
+
+// Open creates (if needed) and opens a registry rooted at dir.
+func Open(dir string) (*Registry, error) {
+	for _, d := range []string{dir, filepath.Join(dir, objectsDir), filepath.Join(dir, manifestsDir)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("modelreg: creating %s: %w", d, err)
+		}
+	}
+	return &Registry{root: dir, now: time.Now}, nil
+}
+
+// Dir returns the registry root directory.
+func (r *Registry) Dir() string { return r.root }
+
+func (r *Registry) objectPath(sum string) string {
+	return filepath.Join(r.root, objectsDir, "sha256-"+sum+".gob")
+}
+
+func (r *Registry) manifestPath(version int) string {
+	return filepath.Join(r.root, manifestsDir, fmt.Sprintf("v%08d.json", version))
+}
+
+// writeAtomic writes data to path via a temp file in the same directory
+// plus rename, so concurrent readers never see a partial file.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if err := errors.Join(werr, serr, cerr); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// Publish stores a payload and registers it as the next version, which
+// becomes the active (CURRENT) one. The meta manifest provides provenance
+// (feature mode, fingerprint, metrics, notes); Version, SHA256 and
+// CreatedAt are assigned by the registry. The returned manifest is the
+// stored one.
+func (r *Registry) Publish(payload io.Reader, meta Manifest) (Manifest, error) {
+	data, err := io.ReadAll(payload)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("modelreg: reading payload: %w", err)
+	}
+	if len(data) == 0 {
+		return Manifest{}, errors.New("modelreg: refusing to publish empty payload")
+	}
+	sum := sha256.Sum256(data)
+	meta.SHA256 = hex.EncodeToString(sum[:])
+	meta.CreatedAt = r.now().UTC()
+
+	// Content-addressed object: if an identical payload is already stored
+	// (a rollback-by-republish, say), the existing object is reused.
+	objPath := r.objectPath(meta.SHA256)
+	if _, err := os.Stat(objPath); errors.Is(err, os.ErrNotExist) {
+		if err := writeAtomic(objPath, data); err != nil {
+			return Manifest{}, fmt.Errorf("modelreg: writing object: %w", err)
+		}
+	} else if err != nil {
+		return Manifest{}, fmt.Errorf("modelreg: probing object: %w", err)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	versions, err := r.versions()
+	if err != nil {
+		return Manifest{}, err
+	}
+	meta.Version = 1
+	if n := len(versions); n > 0 {
+		meta.Version = versions[n-1] + 1
+	}
+	mdata, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return Manifest{}, fmt.Errorf("modelreg: encoding manifest: %w", err)
+	}
+	if err := writeAtomic(r.manifestPath(meta.Version), append(mdata, '\n')); err != nil {
+		return Manifest{}, fmt.Errorf("modelreg: writing manifest: %w", err)
+	}
+	if err := r.setCurrentLocked(meta.Version); err != nil {
+		return Manifest{}, err
+	}
+	publishTotal.With().Inc()
+	versionsGauge.Set(float64(len(versions) + 1))
+	currentGauge.Set(float64(meta.Version))
+	return meta, nil
+}
+
+// versions lists the published version numbers in ascending order.
+func (r *Registry) versions() ([]int, error) {
+	entries, err := os.ReadDir(filepath.Join(r.root, manifestsDir))
+	if err != nil {
+		return nil, fmt.Errorf("modelreg: listing manifests: %w", err)
+	}
+	var out []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "v") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		v, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "v"), ".json"))
+		if err != nil || v < 1 {
+			continue
+		}
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Get reads one version's manifest.
+func (r *Registry) Get(version int) (Manifest, error) {
+	data, err := os.ReadFile(r.manifestPath(version))
+	if errors.Is(err, os.ErrNotExist) {
+		return Manifest{}, fmt.Errorf("%w: v%d", ErrNotFound, version)
+	}
+	if err != nil {
+		return Manifest{}, fmt.Errorf("modelreg: reading manifest v%d: %w", version, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		loadTotal.With("corrupt").Inc()
+		return Manifest{}, fmt.Errorf("%w: manifest v%d undecodable: %v", ErrCorrupt, version, err)
+	}
+	if m.Version != version || m.SHA256 == "" {
+		loadTotal.With("corrupt").Inc()
+		return Manifest{}, fmt.Errorf("%w: manifest v%d inconsistent (version=%d sha256=%q)",
+			ErrCorrupt, version, m.Version, m.SHA256)
+	}
+	return m, nil
+}
+
+// Payload reads one version's model bytes, verifying them against the
+// manifest checksum. A mismatch — truncated rename target, bit rot, a
+// hand-edited object — is reported as ErrCorrupt and nothing is returned.
+func (r *Registry) Payload(version int) ([]byte, Manifest, error) {
+	m, err := r.Get(version)
+	if err != nil {
+		return nil, Manifest{}, err
+	}
+	data, err := os.ReadFile(r.objectPath(m.SHA256))
+	if errors.Is(err, os.ErrNotExist) {
+		loadTotal.With("missing_object").Inc()
+		return nil, Manifest{}, fmt.Errorf("%w: v%d object %s missing", ErrCorrupt, version, m.SHA256)
+	}
+	if err != nil {
+		loadTotal.With("error").Inc()
+		return nil, Manifest{}, fmt.Errorf("modelreg: reading object for v%d: %w", version, err)
+	}
+	sum := sha256.Sum256(data)
+	if got := hex.EncodeToString(sum[:]); got != m.SHA256 {
+		loadTotal.With("checksum_mismatch").Inc()
+		return nil, Manifest{}, fmt.Errorf("%w: v%d checksum mismatch: manifest %s, object %s",
+			ErrCorrupt, version, m.SHA256, got)
+	}
+	loadTotal.With("ok").Inc()
+	return data, m, nil
+}
+
+// Latest returns the active version's manifest: the one CURRENT points at,
+// or the highest published version when no CURRENT pointer exists (e.g. a
+// registry written by an older tool). ErrEmpty when nothing is published.
+func (r *Registry) Latest() (Manifest, error) {
+	if data, err := os.ReadFile(filepath.Join(r.root, currentFile)); err == nil {
+		v, perr := strconv.Atoi(strings.TrimSpace(string(data)))
+		if perr == nil && v >= 1 {
+			m, gerr := r.Get(v)
+			if gerr == nil {
+				return m, nil
+			}
+			// A CURRENT pointing at a missing/corrupt manifest falls
+			// through to the highest healthy version.
+		}
+	}
+	versions, err := r.versions()
+	if err != nil {
+		return Manifest{}, err
+	}
+	if len(versions) == 0 {
+		return Manifest{}, ErrEmpty
+	}
+	return r.Get(versions[len(versions)-1])
+}
+
+// List returns every published manifest in ascending version order,
+// skipping corrupt manifests (they are still visible to GC).
+func (r *Registry) List() ([]Manifest, error) {
+	versions, err := r.versions()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Manifest, 0, len(versions))
+	for _, v := range versions {
+		m, err := r.Get(v)
+		if err != nil {
+			if errors.Is(err, ErrCorrupt) {
+				continue
+			}
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// SetCurrent re-points the active version — the rollback primitive. The
+// target's payload is checksum-verified first, so rollback can never
+// activate a corrupt artifact.
+func (r *Registry) SetCurrent(version int) error {
+	if _, _, err := r.Payload(version); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.setCurrentLocked(version); err != nil {
+		return err
+	}
+	rollbackTotal.With().Inc()
+	currentGauge.Set(float64(version))
+	return nil
+}
+
+func (r *Registry) setCurrentLocked(version int) error {
+	if err := writeAtomic(filepath.Join(r.root, currentFile), []byte(strconv.Itoa(version)+"\n")); err != nil {
+		return fmt.Errorf("modelreg: updating CURRENT: %w", err)
+	}
+	return nil
+}
+
+// GC removes all but the newest keep versions; the active (CURRENT)
+// version is always retained regardless of age. Objects no longer
+// referenced by any surviving manifest are deleted too. Returns the number
+// of versions removed.
+func (r *Registry) GC(keep int) (int, error) {
+	if keep < 1 {
+		return 0, errors.New("modelreg: GC keep must be >= 1")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	versions, err := r.versions()
+	if err != nil {
+		return 0, err
+	}
+	if len(versions) <= keep {
+		return 0, nil
+	}
+	current := 0
+	if data, err := os.ReadFile(filepath.Join(r.root, currentFile)); err == nil {
+		if v, perr := strconv.Atoi(strings.TrimSpace(string(data))); perr == nil {
+			current = v
+		}
+	}
+	cut := versions[:len(versions)-keep]
+	removed := 0
+	for _, v := range cut {
+		if v == current {
+			continue
+		}
+		if err := os.Remove(r.manifestPath(v)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return removed, fmt.Errorf("modelreg: removing manifest v%d: %w", v, err)
+		}
+		removed++
+	}
+	if err := r.sweepObjectsLocked(); err != nil {
+		return removed, err
+	}
+	gcRemovedTotal.Add(uint64(removed))
+	if live, err := r.versions(); err == nil {
+		versionsGauge.Set(float64(len(live)))
+	}
+	return removed, nil
+}
+
+// sweepObjectsLocked removes objects unreferenced by any manifest.
+func (r *Registry) sweepObjectsLocked() error {
+	versions, err := r.versions()
+	if err != nil {
+		return err
+	}
+	live := make(map[string]bool, len(versions))
+	for _, v := range versions {
+		m, err := r.Get(v)
+		if err != nil {
+			continue // keep objects of unreadable manifests
+		}
+		live[m.SHA256] = true
+	}
+	entries, err := os.ReadDir(filepath.Join(r.root, objectsDir))
+	if err != nil {
+		return fmt.Errorf("modelreg: listing objects: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "sha256-") || !strings.HasSuffix(name, ".gob") {
+			continue
+		}
+		sum := strings.TrimSuffix(strings.TrimPrefix(name, "sha256-"), ".gob")
+		if live[sum] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(r.root, objectsDir, name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("modelreg: removing object %s: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package modelreg
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func open(t *testing.T) *Registry {
+	t.Helper()
+	r, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.now = func() time.Time { return time.Unix(1_700_000_000, 0) }
+	return r
+}
+
+func publish(t *testing.T, r *Registry, payload string, meta Manifest) Manifest {
+	t.Helper()
+	m, err := r.Publish(bytes.NewReader([]byte(payload)), meta)
+	if err != nil {
+		t.Fatalf("Publish(%q): %v", payload, err)
+	}
+	return m
+}
+
+func TestPublishLatestGetList(t *testing.T) {
+	r := open(t)
+	if _, err := r.Latest(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Latest on empty registry = %v, want ErrEmpty", err)
+	}
+
+	m1 := publish(t, r, "model-one", Manifest{FeatureMode: "lite", TrainedRecords: 10})
+	m2 := publish(t, r, "model-two", Manifest{FeatureMode: "full", TrainedRecords: 20})
+	if m1.Version != 1 || m2.Version != 2 {
+		t.Fatalf("versions = %d, %d; want 1, 2", m1.Version, m2.Version)
+	}
+	if m1.SHA256 == m2.SHA256 {
+		t.Error("distinct payloads share a checksum")
+	}
+	if m1.CreatedAt.IsZero() {
+		t.Error("CreatedAt not stamped")
+	}
+
+	latest, err := r.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.Version != 2 || latest.FeatureMode != "full" {
+		t.Errorf("Latest = %+v, want v2/full", latest)
+	}
+
+	got, err := r.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FeatureMode != "lite" || got.TrainedRecords != 10 {
+		t.Errorf("Get(1) = %+v", got)
+	}
+	if _, err := r.Get(42); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(42) = %v, want ErrNotFound", err)
+	}
+
+	list, err := r.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0].Version != 1 || list[1].Version != 2 {
+		t.Errorf("List = %+v", list)
+	}
+
+	data, m, err := r.Payload(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "model-one" || m.Version != 1 {
+		t.Errorf("Payload(1) = %q, %+v", data, m)
+	}
+}
+
+func TestModelIDStableAcrossRollback(t *testing.T) {
+	r := open(t)
+	m1 := publish(t, r, "alpha", Manifest{})
+	publish(t, r, "beta", Manifest{})
+	if err := r.SetCurrent(1); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := r.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.ModelID() != m1.ModelID() {
+		t.Errorf("rolled-back ModelID = %s, want %s", cur.ModelID(), m1.ModelID())
+	}
+}
+
+func TestSetCurrentRejectsMissingAndCorrupt(t *testing.T) {
+	r := open(t)
+	m := publish(t, r, "payload", Manifest{})
+	if err := r.SetCurrent(9); !errors.Is(err, ErrNotFound) {
+		t.Errorf("SetCurrent(9) = %v, want ErrNotFound", err)
+	}
+	// Corrupt the object behind v1: SetCurrent must refuse.
+	if err := os.WriteFile(r.objectPath(m.SHA256), []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetCurrent(1); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("SetCurrent(corrupt v1) = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestPayloadDetectsCorruption(t *testing.T) {
+	r := open(t)
+	m := publish(t, r, "healthy", Manifest{})
+
+	// Bit rot in the object.
+	if err := os.WriteFile(r.objectPath(m.SHA256), []byte("rotted!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Payload(1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Payload over rotted object = %v, want ErrCorrupt", err)
+	}
+
+	// Missing object.
+	if err := os.Remove(r.objectPath(m.SHA256)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Payload(1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Payload over missing object = %v, want ErrCorrupt", err)
+	}
+
+	// Undecodable manifest.
+	if err := os.WriteFile(r.manifestPath(1), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get(1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get over garbage manifest = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLatestFallsBackPastBrokenCurrent(t *testing.T) {
+	r := open(t)
+	publish(t, r, "one", Manifest{})
+	publish(t, r, "two", Manifest{})
+	if err := os.WriteFile(filepath.Join(r.root, currentFile), []byte("999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 2 {
+		t.Errorf("Latest with dangling CURRENT = v%d, want v2", m.Version)
+	}
+}
+
+func TestGCRetentionKeepsCurrentAndNewest(t *testing.T) {
+	r := open(t)
+	var sums []string
+	for i := 1; i <= 5; i++ {
+		m := publish(t, r, fmt.Sprintf("model-%d", i), Manifest{})
+		sums = append(sums, m.SHA256)
+	}
+	// Pin v1 as current, then keep only the newest 2: v1 must survive the
+	// cut anyway, v2/v3 go, v4/v5 stay.
+	if err := r.SetCurrent(1); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := r.GC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Errorf("GC removed %d versions, want 2", removed)
+	}
+	list, err := r.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var versions []int
+	for _, m := range list {
+		versions = append(versions, m.Version)
+	}
+	want := []int{1, 4, 5}
+	if len(versions) != len(want) || versions[0] != 1 || versions[1] != 4 || versions[2] != 5 {
+		t.Errorf("surviving versions = %v, want %v", versions, want)
+	}
+	// Objects of removed versions are swept; survivors' objects remain.
+	for i, sum := range sums {
+		_, err := os.Stat(r.objectPath(sum))
+		surviving := i == 0 || i >= 3
+		if surviving && err != nil {
+			t.Errorf("object for v%d missing after GC: %v", i+1, err)
+		}
+		if !surviving && !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("object for v%d not swept (err=%v)", i+1, err)
+		}
+	}
+	// The pinned current version still loads cleanly.
+	if _, _, err := r.Payload(1); err != nil {
+		t.Errorf("current version unloadable after GC: %v", err)
+	}
+}
+
+func TestPublishDedupsIdenticalPayloads(t *testing.T) {
+	r := open(t)
+	m1 := publish(t, r, "same-bytes", Manifest{})
+	m2 := publish(t, r, "same-bytes", Manifest{})
+	if m1.SHA256 != m2.SHA256 {
+		t.Fatalf("identical payloads hashed differently: %s vs %s", m1.SHA256, m2.SHA256)
+	}
+	entries, err := os.ReadDir(filepath.Join(r.root, objectsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("objects dir holds %d files, want 1 (content-addressed dedup)", len(entries))
+	}
+}
+
+func TestConcurrentPublishAssignsDistinctVersions(t *testing.T) {
+	r := open(t)
+	const n = 8
+	var wg sync.WaitGroup
+	versions := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := r.Publish(bytes.NewReader([]byte(fmt.Sprintf("m%d", i))), Manifest{})
+			if err != nil {
+				t.Errorf("publish %d: %v", i, err)
+				return
+			}
+			versions[i] = m.Version
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[int]bool, n)
+	for _, v := range versions {
+		if v < 1 || v > n || seen[v] {
+			t.Fatalf("bad version assignment: %v", versions)
+		}
+		seen[v] = true
+	}
+}

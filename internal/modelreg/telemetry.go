@@ -1,0 +1,27 @@
+package modelreg
+
+import "frappe/internal/telemetry"
+
+// Registry metric families (process default registry):
+//
+//	frappe_modelreg_publish_total         published model versions
+//	frappe_modelreg_load_total{result}    payload loads: ok / corrupt /
+//	                                      checksum_mismatch / missing_object / error
+//	frappe_modelreg_rollback_total        SetCurrent re-points (rollbacks/pins)
+//	frappe_modelreg_gc_removed_total      versions removed by retention GC
+//	frappe_modelreg_versions              published versions currently retained
+//	frappe_modelreg_current_version       the active (CURRENT) version number
+var (
+	publishTotal = telemetry.Default().Counter("frappe_modelreg_publish_total",
+		"Model versions published to the registry.")
+	loadTotal = telemetry.Default().Counter("frappe_modelreg_load_total",
+		"Model payload loads, by result.", "result")
+	rollbackTotal = telemetry.Default().Counter("frappe_modelreg_rollback_total",
+		"Explicit SetCurrent re-points (rollbacks and pins).")
+	gcRemovedTotal = telemetry.Default().Counter("frappe_modelreg_gc_removed_total",
+		"Model versions removed by retention GC.").With()
+	versionsGauge = telemetry.Default().Gauge("frappe_modelreg_versions",
+		"Published model versions currently retained.").With()
+	currentGauge = telemetry.Default().Gauge("frappe_modelreg_current_version",
+		"The registry's active (CURRENT) model version.").With()
+)

@@ -1,0 +1,147 @@
+package frappe
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"frappe/internal/core"
+	"frappe/internal/modelreg"
+)
+
+// This file is the classifier-level face of the model registry
+// (internal/modelreg): publishing a trained Classifier as a versioned,
+// content-addressed artifact, loading one back with checksum verification,
+// and fingerprinting the labeled snapshot it was trained on. The paper's
+// §5 deployment assumes exactly this loop — MyPageKeeper's blacklist keeps
+// growing, so the model that serves must be replaceable without stopping
+// the service.
+
+// ModelRegistry is a versioned on-disk model store; see
+// internal/modelreg for layout and guarantees.
+type ModelRegistry = modelreg.Registry
+
+// ModelManifest describes one published model version.
+type ModelManifest = modelreg.Manifest
+
+// ModelMetrics is the quality summary a manifest carries.
+type ModelMetrics = modelreg.Metrics
+
+// OpenModelRegistry creates (if needed) and opens a registry at dir.
+func OpenModelRegistry(dir string) (*ModelRegistry, error) {
+	return modelreg.Open(dir)
+}
+
+// ModelMetricsOf converts evaluation Metrics into the manifest form.
+func ModelMetricsOf(m Metrics) ModelMetrics {
+	return ModelMetrics{
+		Accuracy: m.Accuracy(),
+		FPRate:   m.FPRate(),
+		FNRate:   m.FNRate(),
+		Samples:  m.Total(),
+	}
+}
+
+// PublishClassifier serialises a trained classifier and publishes it as
+// the registry's next (and newly active) version. meta supplies
+// provenance: fingerprint, metrics, notes; FeatureMode is filled from the
+// classifier when empty, and Version/SHA256/CreatedAt are assigned by the
+// registry.
+func PublishClassifier(reg *ModelRegistry, clf *Classifier, meta ModelManifest) (ModelManifest, error) {
+	if clf == nil {
+		return ModelManifest{}, fmt.Errorf("frappe: nil classifier")
+	}
+	if meta.FeatureMode == "" {
+		meta.FeatureMode = core.FeatureSetName(clf.Features())
+	}
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		return ModelManifest{}, err
+	}
+	return reg.Publish(&buf, meta)
+}
+
+// LoadClassifier loads one registry version (0 = the active version),
+// verifying the payload against its manifest checksum before decoding.
+// Corrupt or checksum-mismatched artifacts are rejected with
+// modelreg.ErrCorrupt.
+func LoadClassifier(reg *ModelRegistry, version int) (*Classifier, ModelManifest, error) {
+	var (
+		m   ModelManifest
+		err error
+	)
+	if version == 0 {
+		m, err = reg.Latest()
+	} else {
+		m, err = reg.Get(version)
+	}
+	if err != nil {
+		return nil, ModelManifest{}, err
+	}
+	payload, m, err := reg.Payload(m.Version)
+	if err != nil {
+		return nil, ModelManifest{}, err
+	}
+	clf, err := core.Load(bytes.NewReader(payload))
+	if err != nil {
+		return nil, ModelManifest{}, fmt.Errorf("frappe: decoding model v%d: %w", m.Version, err)
+	}
+	return clf, m, nil
+}
+
+// NewWatchdogFromRegistry loads the registry's active model version and
+// wires a watchdog around it; the manifest travels with the classifier,
+// so assessments are stamped with its ModelID from the first request.
+func NewWatchdogFromRegistry(reg *ModelRegistry, cfg WatchdogConfig) (*Watchdog, error) {
+	clf, m, err := LoadClassifier(reg, 0)
+	if err != nil {
+		return nil, err
+	}
+	w, err := NewWatchdogWith(clf, cfg)
+	if err != nil {
+		return nil, err
+	}
+	w.serving.Store(&servingModel{clf: clf, manifest: m})
+	return w, nil
+}
+
+// TrainingFingerprint hashes a labeled snapshot — app IDs plus labels,
+// order-independent — so two retraining rounds over the same corpus are
+// recognisable without comparing records.
+func TrainingFingerprint(records []AppRecord, labels []bool) string {
+	lines := make([]string, len(records))
+	for i, r := range records {
+		tag := byte('b')
+		if i < len(labels) && labels[i] {
+			tag = 'm'
+		}
+		lines[i] = r.ID + string([]byte{0, tag})
+	}
+	sort.Strings(lines)
+	h := sha256.New()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// fileManifest synthesises a version-0 manifest for a classifier that did
+// not come from a registry (flat .gob file or in-memory training): the
+// checksum still content-addresses the model, so its ModelID ("v0-...")
+// distinguishes generations across flat-file swaps too.
+func fileManifest(clf *Classifier) ModelManifest {
+	m := ModelManifest{FeatureMode: core.FeatureSetName(clf.Features())}
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		// Unserialisable classifiers cannot occur for trained models; keep
+		// a recognisable ID rather than failing construction.
+		m.SHA256 = "unserialisable"
+		return m
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	m.SHA256 = hex.EncodeToString(sum[:])
+	return m
+}

@@ -1,0 +1,188 @@
+package frappe
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"log/slog"
+	"sync"
+	"time"
+
+	"frappe/internal/core"
+	"frappe/internal/modelreg"
+	"frappe/internal/telemetry"
+)
+
+// Reloader makes a Watchdog a live consumer of a model registry: it polls
+// (or is poked — SIGHUP in watchdogd, POST /model/reload over HTTP) for a
+// newer active version, loads it with checksum verification, validates it
+// against a probe set, and hot-swaps it into the serving path. In-flight
+// requests finish on the model they started with; nothing is dropped.
+//
+// Metrics (process default registry):
+//
+//	frappe_reload_total{outcome}      swapped / current / empty / corrupt /
+//	                                  undecodable / probe_failed / error
+//	frappe_reload_duration_seconds    per-Check wall clock (histogram)
+//	frappe_reload_serving_version     registry version currently serving
+var (
+	reloadTotal = telemetry.Default().Counter("frappe_reload_total",
+		"Registry reload checks, by outcome.", "outcome")
+	reloadDuration = telemetry.Default().Histogram("frappe_reload_duration_seconds",
+		"Wall-clock seconds per registry reload check.", nil).With()
+	reloadServingVersion = telemetry.Default().Gauge("frappe_reload_serving_version",
+		"Registry version of the model currently serving.").With()
+)
+
+// Reload outcomes, in ReloadStatus.Outcome.
+const (
+	// ReloadSwapped: a new version was validated and is now serving.
+	ReloadSwapped = "swapped"
+	// ReloadCurrent: the registry's active version is already serving.
+	ReloadCurrent = "current"
+	// ReloadEmpty: the registry has no published versions.
+	ReloadEmpty = "empty"
+	// ReloadCorrupt: the candidate failed checksum verification.
+	ReloadCorrupt = "corrupt"
+	// ReloadUndecodable: the payload verified but did not decode into a
+	// classifier.
+	ReloadUndecodable = "undecodable"
+	// ReloadProbeFailed: the candidate decoded but failed to classify the
+	// probe set.
+	ReloadProbeFailed = "probe_failed"
+	// ReloadError: any other registry I/O failure.
+	ReloadError = "error"
+)
+
+// ReloadStatus reports one reload check.
+type ReloadStatus struct {
+	Outcome string `json:"outcome"`
+	// Serving is the manifest of the model serving after the check.
+	Serving ModelManifest `json:"serving"`
+	// Previous is set when Outcome is "swapped".
+	Previous *ModelManifest `json:"previous,omitempty"`
+	Error    string         `json:"error,omitempty"`
+}
+
+// ReloadConfig tunes a Reloader.
+type ReloadConfig struct {
+	// Interval is Watch's poll cadence (default 15s).
+	Interval time.Duration
+	// Probe records must classify without error (deleted-app probes are
+	// tolerated) before a candidate may serve. An empty probe set skips
+	// this gate; checksum and decode validation always run.
+	Probe []AppRecord
+	// Logger receives swap/refusal events; nil means slog.Default.
+	Logger *slog.Logger
+}
+
+// Reloader watches a registry on behalf of one Watchdog.
+type Reloader struct {
+	wd  *Watchdog
+	reg *ModelRegistry
+	cfg ReloadConfig
+
+	mu sync.Mutex // serialises Check: one candidate evaluation at a time
+}
+
+// NewReloader wires a Watchdog to the registry it should follow.
+func NewReloader(wd *Watchdog, reg *ModelRegistry, cfg ReloadConfig) *Reloader {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 15 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	reloadServingVersion.Set(float64(wd.ServingManifest().Version))
+	return &Reloader{wd: wd, reg: reg, cfg: cfg}
+}
+
+// Check performs one reload poll: if the registry's active version differs
+// from the serving one, the candidate is loaded (checksum-verified),
+// decoded, probe-validated and swapped in. Concurrent Checks are
+// serialised; serving traffic is never blocked by a Check.
+func (r *Reloader) Check(ctx context.Context) ReloadStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	start := time.Now()
+	defer func() { reloadDuration.Observe(time.Since(start).Seconds()) }()
+
+	serving := r.wd.ServingManifest()
+	fail := func(outcome string, err error) ReloadStatus {
+		reloadTotal.With(outcome).Inc()
+		r.cfg.Logger.Warn("model reload refused", "outcome", outcome, "err", err,
+			"serving", serving.ModelID())
+		return ReloadStatus{Outcome: outcome, Serving: serving, Error: err.Error()}
+	}
+
+	m, err := r.reg.Latest()
+	switch {
+	case errors.Is(err, modelreg.ErrEmpty):
+		return fail(ReloadEmpty, err)
+	case errors.Is(err, modelreg.ErrCorrupt):
+		return fail(ReloadCorrupt, err)
+	case err != nil:
+		return fail(ReloadError, err)
+	}
+	if m.Version == serving.Version && m.SHA256 == serving.SHA256 {
+		reloadTotal.With(ReloadCurrent).Inc()
+		return ReloadStatus{Outcome: ReloadCurrent, Serving: serving}
+	}
+
+	payload, m, err := r.reg.Payload(m.Version)
+	if err != nil {
+		if errors.Is(err, modelreg.ErrCorrupt) {
+			return fail(ReloadCorrupt, err)
+		}
+		return fail(ReloadError, err)
+	}
+	clf, err := core.Load(bytes.NewReader(payload))
+	if err != nil {
+		return fail(ReloadUndecodable, err)
+	}
+	if err := probeClassifier(ctx, clf, r.cfg.Probe); err != nil {
+		return fail(ReloadProbeFailed, err)
+	}
+
+	prev := serving
+	if err := r.wd.SwapModel(clf, m); err != nil {
+		return fail(ReloadError, err)
+	}
+	reloadTotal.With(ReloadSwapped).Inc()
+	reloadServingVersion.Set(float64(m.Version))
+	r.cfg.Logger.Info("model hot-swapped",
+		"from", prev.ModelID(), "to", m.ModelID(),
+		"feature_mode", m.FeatureMode,
+		"cv_accuracy", m.CV.Accuracy, "cv_fp_rate", m.CV.FPRate, "cv_fn_rate", m.CV.FNRate)
+	return ReloadStatus{Outcome: ReloadSwapped, Serving: m, Previous: &prev}
+}
+
+// probeClassifier runs the candidate over the probe set; any extraction or
+// scoring failure (other than a record being unclassifiable by design)
+// disqualifies it.
+func probeClassifier(ctx context.Context, clf *Classifier, probe []AppRecord) error {
+	for _, rec := range probe {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := clf.Classify(rec); err != nil && !errors.Is(err, ErrNotClassifiable) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Watch polls the registry every Interval until ctx is cancelled. Swap and
+// refusal events are logged by Check; Watch itself is silent on "current".
+func (r *Reloader) Watch(ctx context.Context) {
+	t := time.NewTicker(r.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			r.Check(ctx)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package frappe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"time"
+
+	"frappe/internal/modelreg"
+	"frappe/internal/telemetry"
+)
+
+// Retrainer is the continuous-training driver the paper's §5 deployment
+// implies: MyPageKeeper's labeled view keeps growing, so the classifier is
+// periodically refit and — only when it does not regress — published to
+// the registry for serving processes to hot-swap in.
+//
+// Each round: snapshot the labeled view, carve off a deterministic
+// stratified holdout, cross-validate and train the candidate on the rest
+// (the existing parallel CV/train path), then shadow-evaluate candidate
+// and incumbent on the same holdout. The candidate is published only when
+// its holdout accuracy does not fall more than Tolerance below the
+// incumbent's — a regressing model never reaches the registry, let alone
+// a serving process.
+//
+// Metrics (process default registry):
+//
+//	frappe_retrain_total{outcome}     published / refused / unchanged / error
+//	frappe_retrain_duration_seconds   per-round wall clock (histogram)
+var (
+	retrainTotal = telemetry.Default().Counter("frappe_retrain_total",
+		"Retraining rounds, by outcome.", "outcome")
+	retrainDuration = telemetry.Default().Histogram("frappe_retrain_duration_seconds",
+		"Wall-clock seconds per retraining round.", nil).With()
+)
+
+// Retrain outcomes, in RetrainResult.Outcome.
+const (
+	// RetrainPublished: the candidate passed the gate and is now the
+	// registry's active version.
+	RetrainPublished = "published"
+	// RetrainRefused: the candidate's holdout metrics regressed versus the
+	// incumbent; nothing was published.
+	RetrainRefused = "refused"
+	// RetrainUnchanged: the labeled snapshot is identical to the one the
+	// incumbent was trained on; nothing to learn.
+	RetrainUnchanged = "unchanged"
+)
+
+// RetrainConfig configures a Retrainer.
+type RetrainConfig struct {
+	// Snapshot produces the current labeled view (true = malicious). The
+	// driver calls it once per round.
+	Snapshot func(ctx context.Context) ([]AppRecord, []bool, error)
+	// Options is the training configuration (features, SVM params, seed,
+	// workers) used for both CV and the final fit.
+	Options Options
+	// HoldoutFraction of each class is withheld from training and used to
+	// shadow-evaluate candidate vs incumbent (default 0.2, clamped to
+	// [0.05, 0.5]).
+	HoldoutFraction float64
+	// CVFolds for the manifest's cross-validation metrics (default 5;
+	// negative disables CV).
+	CVFolds int
+	// Tolerance is how much holdout accuracy the candidate may lose versus
+	// the incumbent and still be published (default 0: strictly no
+	// regression).
+	Tolerance float64
+	// Keep bounds registry retention: after a publish, all but the newest
+	// Keep versions are GC'd (0 = keep everything).
+	Keep int
+	// Notes is stamped into published manifests.
+	Notes string
+	// Logger receives round outcomes; nil means slog.Default.
+	Logger *slog.Logger
+}
+
+// RetrainResult reports one retraining round.
+type RetrainResult struct {
+	Outcome string `json:"outcome"`
+	// Manifest is the published manifest (Outcome == "published").
+	Manifest ModelManifest `json:"manifest,omitempty"`
+	// Candidate and Incumbent are the shadow-evaluation metrics on the
+	// shared holdout; Incumbent is nil for the first publish.
+	Candidate ModelMetrics  `json:"candidate"`
+	Incumbent *ModelMetrics `json:"incumbent,omitempty"`
+	// Reason explains refused/unchanged outcomes.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Retrainer drives periodic retraining rounds against one registry.
+type Retrainer struct {
+	reg *ModelRegistry
+	cfg RetrainConfig
+}
+
+// NewRetrainer validates the configuration and builds a Retrainer.
+func NewRetrainer(reg *ModelRegistry, cfg RetrainConfig) (*Retrainer, error) {
+	if reg == nil {
+		return nil, errors.New("frappe: nil registry")
+	}
+	if cfg.Snapshot == nil {
+		return nil, errors.New("frappe: RetrainConfig.Snapshot is required")
+	}
+	if cfg.HoldoutFraction == 0 {
+		cfg.HoldoutFraction = 0.2
+	}
+	if cfg.HoldoutFraction < 0.05 {
+		cfg.HoldoutFraction = 0.05
+	}
+	if cfg.HoldoutFraction > 0.5 {
+		cfg.HoldoutFraction = 0.5
+	}
+	if cfg.CVFolds == 0 {
+		cfg.CVFolds = 5
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	return &Retrainer{reg: reg, cfg: cfg}, nil
+}
+
+// RunOnce executes one retraining round. See Retrainer for the protocol.
+func (rt *Retrainer) RunOnce(ctx context.Context) (RetrainResult, error) {
+	start := time.Now()
+	defer func() { retrainDuration.Observe(time.Since(start).Seconds()) }()
+	res, err := rt.runOnce(ctx)
+	switch {
+	case err != nil:
+		retrainTotal.With("error").Inc()
+	default:
+		retrainTotal.With(res.Outcome).Inc()
+	}
+	return res, err
+}
+
+func (rt *Retrainer) runOnce(ctx context.Context) (RetrainResult, error) {
+	records, labels, err := rt.cfg.Snapshot(ctx)
+	if err != nil {
+		return RetrainResult{}, fmt.Errorf("frappe: retrain snapshot: %w", err)
+	}
+	if len(records) != len(labels) {
+		return RetrainResult{}, errors.New("frappe: retrain snapshot records/labels mismatch")
+	}
+	fingerprint := TrainingFingerprint(records, labels)
+
+	// Load the incumbent first: an unchanged corpus means nothing to learn.
+	var (
+		incumbent    *Classifier
+		incManifest  ModelManifest
+		hasIncumbent bool
+	)
+	if clf, m, err := LoadClassifier(rt.reg, 0); err == nil {
+		incumbent, incManifest, hasIncumbent = clf, m, true
+	} else if !errors.Is(err, modelreg.ErrEmpty) {
+		// A corrupt or unreadable incumbent must not block retraining —
+		// publishing a healthy candidate is the way out — but it is worth
+		// a warning, and the gate below degrades to "no incumbent".
+		rt.cfg.Logger.Warn("incumbent unloadable; gate degraded to first-publish", "err", err)
+	}
+	if hasIncumbent && incManifest.TrainingFingerprint == fingerprint {
+		rt.cfg.Logger.Info("labeled view unchanged; skipping retrain",
+			"fingerprint", fingerprint[:12], "incumbent", incManifest.ModelID())
+		return RetrainResult{Outcome: RetrainUnchanged,
+			Reason: "training snapshot identical to incumbent's"}, nil
+	}
+
+	trainR, trainL, holdR, holdL, err := splitHoldout(records, labels, rt.cfg.HoldoutFraction, rt.seed())
+	if err != nil {
+		return RetrainResult{}, fmt.Errorf("frappe: retrain split: %w", err)
+	}
+
+	var cv Metrics
+	if rt.cfg.CVFolds >= 2 {
+		cv, err = CrossValidate(trainR, trainL, rt.cfg.CVFolds, rt.cfg.Options)
+		if err != nil {
+			return RetrainResult{}, fmt.Errorf("frappe: retrain cross-validation: %w", err)
+		}
+	}
+	candidate, err := Train(trainR, trainL, rt.cfg.Options)
+	if err != nil {
+		return RetrainResult{}, fmt.Errorf("frappe: retrain fit: %w", err)
+	}
+	candHold, err := Evaluate(candidate, holdR, holdL)
+	if err != nil {
+		return RetrainResult{}, fmt.Errorf("frappe: shadow-evaluating candidate: %w", err)
+	}
+	res := RetrainResult{Candidate: ModelMetricsOf(candHold)}
+
+	// The promotion gate: shadow-evaluate the incumbent on the same
+	// holdout and refuse a regressing candidate.
+	if hasIncumbent {
+		incHold, err := Evaluate(incumbent, holdR, holdL)
+		if err != nil {
+			return RetrainResult{}, fmt.Errorf("frappe: shadow-evaluating incumbent: %w", err)
+		}
+		inc := ModelMetricsOf(incHold)
+		res.Incumbent = &inc
+		if candHold.Accuracy() < incHold.Accuracy()-rt.cfg.Tolerance {
+			res.Outcome = RetrainRefused
+			res.Reason = fmt.Sprintf(
+				"holdout accuracy regressed: candidate %.4f vs incumbent %s at %.4f (tolerance %.4f)",
+				candHold.Accuracy(), incManifest.ModelID(), incHold.Accuracy(), rt.cfg.Tolerance)
+			rt.cfg.Logger.Warn("candidate refused promotion", "reason", res.Reason)
+			return res, nil
+		}
+	}
+
+	holdout := res.Candidate
+	m, err := PublishClassifier(rt.reg, candidate, ModelManifest{
+		TrainingFingerprint: fingerprint,
+		TrainedRecords:      len(trainR),
+		CV:                  ModelMetricsOf(cv),
+		Holdout:             &holdout,
+		Notes:               rt.cfg.Notes,
+	})
+	if err != nil {
+		return RetrainResult{}, fmt.Errorf("frappe: publishing candidate: %w", err)
+	}
+	res.Outcome = RetrainPublished
+	res.Manifest = m
+	rt.cfg.Logger.Info("model published",
+		"model", m.ModelID(), "feature_mode", m.FeatureMode,
+		"trained_records", m.TrainedRecords,
+		"holdout_accuracy", holdout.Accuracy, "cv_accuracy", m.CV.Accuracy)
+	if rt.cfg.Keep > 0 {
+		if removed, err := rt.reg.GC(rt.cfg.Keep); err != nil {
+			rt.cfg.Logger.Warn("registry GC failed", "err", err)
+		} else if removed > 0 {
+			rt.cfg.Logger.Info("registry GC", "removed_versions", removed, "keep", rt.cfg.Keep)
+		}
+	}
+	return res, nil
+}
+
+func (rt *Retrainer) seed() int64 {
+	if rt.cfg.Options.Seed != 0 {
+		return rt.cfg.Options.Seed
+	}
+	return 1
+}
+
+// Run executes rounds every interval until ctx is cancelled, starting with
+// one immediately. Per-round errors are logged, not fatal: a transient
+// snapshot failure must not kill the training loop.
+func (rt *Retrainer) Run(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		if _, err := rt.RunOnce(ctx); err != nil && ctx.Err() == nil {
+			rt.cfg.Logger.Error("retraining round failed", "err", err)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// splitHoldout carves a stratified holdout off a labeled snapshot: frac of
+// each class, selection driven by the seed only — the same snapshot and
+// seed always produce the same split, so candidate and incumbent are
+// always judged on identical data.
+func splitHoldout(records []AppRecord, labels []bool, frac float64, seed int64) (
+	trainR []AppRecord, trainL []bool, holdR []AppRecord, holdL []bool, err error) {
+	var benign, malicious []int
+	for i, l := range labels {
+		if l {
+			malicious = append(malicious, i)
+		} else {
+			benign = append(benign, i)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	take := func(idx []int) map[int]bool {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		n := int(float64(len(idx)) * frac)
+		if n < 1 && len(idx) > 1 {
+			n = 1
+		}
+		out := make(map[int]bool, n)
+		for _, i := range idx[:n] {
+			out[i] = true
+		}
+		return out
+	}
+	hold := take(benign)
+	for i := range take(malicious) {
+		hold[i] = true
+	}
+	if len(hold) == 0 || len(hold) == len(records) {
+		return nil, nil, nil, nil, fmt.Errorf(
+			"cannot split %d records into train + holdout at fraction %.2f", len(records), frac)
+	}
+	for i := range records {
+		if hold[i] {
+			holdR = append(holdR, records[i])
+			holdL = append(holdL, labels[i])
+		} else {
+			trainR = append(trainR, records[i])
+			trainL = append(trainL, labels[i])
+		}
+	}
+	return trainR, trainL, holdR, holdL, nil
+}

@@ -15,10 +15,18 @@ import (
 // — a classification or a deleted-app verdict — are cached; upstream
 // failures and breaker rejections are never served stale.
 //
+// The cache is model-version-aware: every lookup carries the serving
+// model's ID, entries stamped by a different model read as stale, and a
+// hot swap flushes the table outright — a verdict computed by a
+// superseded classifier is never served. In-flight singleflight leaders
+// are version-pinned too: a request that arrives after a swap does not
+// join a flight still computing on the old model.
+//
 // Metrics (process default registry):
 //
-//	frappe_verdict_cache_total{result}        hit / miss / expired
+//	frappe_verdict_cache_total{result}        hit / miss / expired / stale_model
 //	frappe_verdict_cache_size                 live cached verdicts
+//	frappe_verdict_cache_flush_total          wholesale flushes (model swaps)
 //	frappe_verdict_singleflight_shared_total  assessments answered by
 //	                                          joining an in-flight crawl
 var (
@@ -26,6 +34,8 @@ var (
 		"Verdict cache lookups, by result.", "result")
 	verdictCacheSize = telemetry.Default().Gauge("frappe_verdict_cache_size",
 		"Verdicts currently held in the watchdog serving cache.").With()
+	verdictCacheFlush = telemetry.Default().Counter("frappe_verdict_cache_flush_total",
+		"Wholesale verdict-cache flushes (model swaps).").With()
 	verdictShared = telemetry.Default().Counter("frappe_verdict_singleflight_shared_total",
 		"Assessments answered by joining another request's in-flight crawl.").With()
 )
@@ -36,8 +46,9 @@ type verdictEntry struct {
 }
 
 type verdictFlight struct {
-	done chan struct{}
-	a    Assessment
+	done    chan struct{}
+	a       Assessment
+	modelID string // model generation this flight computes under
 }
 
 // verdictCache is the TTL + singleflight serving layer. Safe for
@@ -66,26 +77,35 @@ func cacheable(a Assessment) bool {
 	return a.Error == "" || a.Deleted
 }
 
-// do returns appID's assessment: from cache when fresh, by joining an
-// in-flight computation when one exists, or by running fn. The returned
+// do returns appID's assessment under the given model generation: from
+// cache when fresh and produced by the same model, by joining an in-flight
+// same-model computation when one exists, or by running fn. The returned
 // assessment has Cached set when it was not computed by this caller.
-func (c *verdictCache) do(ctx context.Context, appID string, fn func() Assessment) Assessment {
+func (c *verdictCache) do(ctx context.Context, appID, modelID string, fn func() Assessment) Assessment {
 	c.mu.Lock()
 	if e, ok := c.entries[appID]; ok {
-		if c.now().Before(e.exp) {
+		switch {
+		case e.a.ModelVersion != modelID:
+			// Swap-flush already clears these wholesale; this guards the
+			// race where an old-model flight completed after the flush.
+			delete(c.entries, appID)
+			verdictCacheSize.Set(float64(len(c.entries)))
+			verdictCacheTotal.With("stale_model").Inc()
+		case c.now().Before(e.exp):
 			c.mu.Unlock()
 			verdictCacheTotal.With("hit").Inc()
 			a := e.a
 			a.Cached = true
 			return a
+		default:
+			delete(c.entries, appID)
+			verdictCacheSize.Set(float64(len(c.entries)))
+			verdictCacheTotal.With("expired").Inc()
 		}
-		delete(c.entries, appID)
-		verdictCacheSize.Set(float64(len(c.entries)))
-		verdictCacheTotal.With("expired").Inc()
 	} else {
 		verdictCacheTotal.With("miss").Inc()
 	}
-	if fl, ok := c.flights[appID]; ok {
+	if fl, ok := c.flights[appID]; ok && fl.modelID == modelID {
 		c.mu.Unlock()
 		select {
 		case <-fl.done:
@@ -97,7 +117,7 @@ func (c *verdictCache) do(ctx context.Context, appID string, fn func() Assessmen
 			return Assessment{AppID: appID, Error: ctx.Err().Error(), Cause: CauseUpstream}
 		}
 	}
-	fl := &verdictFlight{done: make(chan struct{})}
+	fl := &verdictFlight{done: make(chan struct{}), modelID: modelID}
 	c.flights[appID] = fl
 	c.mu.Unlock()
 
@@ -105,12 +125,28 @@ func (c *verdictCache) do(ctx context.Context, appID string, fn func() Assessmen
 
 	c.mu.Lock()
 	fl.a = a
-	delete(c.flights, appID)
-	if cacheable(a) {
-		c.entries[appID] = verdictEntry{a: a, exp: c.now().Add(c.ttl)}
-		verdictCacheSize.Set(float64(len(c.entries)))
+	// A newer-model flight may have replaced this map slot mid-swap; a
+	// superseded flight neither clears the slot nor caches its result, so
+	// it cannot overwrite the newer model's entry.
+	if owner := c.flights[appID] == fl; owner {
+		delete(c.flights, appID)
+		if cacheable(a) && a.ModelVersion == modelID {
+			c.entries[appID] = verdictEntry{a: a, exp: c.now().Add(c.ttl)}
+			verdictCacheSize.Set(float64(len(c.entries)))
+		}
 	}
 	c.mu.Unlock()
 	close(fl.done)
 	return a
+}
+
+// flush empties the verdict table — called on model swap so no verdict of
+// a superseded model survives. In-flight computations are left to finish;
+// their results are version-checked before re-entering the table.
+func (c *verdictCache) flush() {
+	c.mu.Lock()
+	c.entries = make(map[string]verdictEntry)
+	verdictCacheSize.Set(0)
+	c.mu.Unlock()
+	verdictCacheFlush.Inc()
 }

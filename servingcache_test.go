@@ -31,7 +31,7 @@ func TestVerdictCacheSingleflightCollapse(t *testing.T) {
 	}
 
 	leaderDone := make(chan Assessment, 1)
-	go func() { leaderDone <- c.do(context.Background(), "app", compute) }()
+	go func() { leaderDone <- c.do(context.Background(), "app", "", compute) }()
 	<-entered
 
 	const followers = 4
@@ -41,7 +41,7 @@ func TestVerdictCacheSingleflightCollapse(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = c.do(context.Background(), "app", compute)
+			results[i] = c.do(context.Background(), "app", "", compute)
 		}(i)
 	}
 	close(release)
@@ -84,24 +84,115 @@ func TestVerdictCacheTTLExpiry(t *testing.T) {
 	}
 	ctx := context.Background()
 
-	a := c.do(ctx, "app", compute)
+	a := c.do(ctx, "app", "", compute)
 	if a.Cached || a.Score != 1 {
 		t.Fatalf("first do = %+v", a)
 	}
 	// Inside the TTL: served from cache.
 	now = now.Add(29 * time.Second)
-	a = c.do(ctx, "app", compute)
+	a = c.do(ctx, "app", "", compute)
 	if !a.Cached || a.Score != 1 {
 		t.Fatalf("within-TTL do = %+v (calls=%d)", a, calls)
 	}
 	// Past the TTL: recomputed, fresh value cached again.
 	now = now.Add(2 * time.Second)
-	a = c.do(ctx, "app", compute)
+	a = c.do(ctx, "app", "", compute)
 	if a.Cached || a.Score != 2 {
 		t.Fatalf("post-TTL do = %+v (calls=%d)", a, calls)
 	}
 	if calls != 2 {
 		t.Errorf("compute ran %d times, want 2", calls)
+	}
+}
+
+// TestVerdictCacheModelSwapInvalidation: a model swap flushes the table,
+// and even an entry that survives (the flush/flight race) is treated as
+// stale the moment a lookup arrives under a newer model ID — a superseded
+// model's verdict is never served.
+func TestVerdictCacheModelSwapInvalidation(t *testing.T) {
+	c := newVerdictCache(time.Minute)
+	ctx := context.Background()
+	calls := 0
+	compute := func(modelID string, score float64) func() Assessment {
+		return func() Assessment {
+			calls++
+			return Assessment{AppID: "app", Score: score, ModelVersion: modelID}
+		}
+	}
+
+	a := c.do(ctx, "app", "v1-aaaa", compute("v1-aaaa", 1))
+	if a.Cached || a.Score != 1 {
+		t.Fatalf("first v1 do = %+v", a)
+	}
+	if a = c.do(ctx, "app", "v1-aaaa", compute("v1-aaaa", 1)); !a.Cached {
+		t.Fatalf("second v1 do not cached: %+v", a)
+	}
+
+	// Swap: flush, then lookups run under the new model's ID.
+	c.flush()
+	a = c.do(ctx, "app", "v2-bbbb", compute("v2-bbbb", 2))
+	if a.Cached || a.Score != 2 || a.ModelVersion != "v2-bbbb" {
+		t.Fatalf("post-swap do = %+v", a)
+	}
+
+	// Defence in depth: plant a v1-stamped entry (as if an old-model
+	// flight completed after the flush) — a v2 lookup must not serve it.
+	c.mu.Lock()
+	c.entries["app"] = verdictEntry{
+		a:   Assessment{AppID: "app", Score: 1, ModelVersion: "v1-aaaa"},
+		exp: c.now().Add(time.Minute),
+	}
+	c.mu.Unlock()
+	a = c.do(ctx, "app", "v2-bbbb", compute("v2-bbbb", 2))
+	if a.Cached || a.ModelVersion != "v2-bbbb" {
+		t.Fatalf("stale-model entry served: %+v", a)
+	}
+	if calls != 3 {
+		t.Errorf("compute ran %d times, want 3", calls)
+	}
+}
+
+// TestVerdictCacheFlightNotJoinedAcrossSwap: a request arriving after a
+// swap must not join a flight still computing under the old model.
+func TestVerdictCacheFlightNotJoinedAcrossSwap(t *testing.T) {
+	c := newVerdictCache(time.Minute)
+	ctx := context.Background()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	oldDone := make(chan Assessment, 1)
+	go func() {
+		oldDone <- c.do(ctx, "app", "v1-aaaa", func() Assessment {
+			close(entered)
+			<-release
+			return Assessment{AppID: "app", Score: 1, ModelVersion: "v1-aaaa"}
+		})
+	}()
+	<-entered
+
+	// Swap lands while the v1 flight is in progress.
+	c.flush()
+	newDone := make(chan Assessment, 1)
+	go func() {
+		newDone <- c.do(ctx, "app", "v2-bbbb", func() Assessment {
+			return Assessment{AppID: "app", Score: 2, ModelVersion: "v2-bbbb"}
+		})
+	}()
+	got := <-newDone
+	if got.Cached || got.ModelVersion != "v2-bbbb" || got.Score != 2 {
+		t.Fatalf("post-swap request joined the old flight: %+v", got)
+	}
+	close(release)
+	old := <-oldDone
+	if old.ModelVersion != "v1-aaaa" {
+		t.Fatalf("old flight result corrupted: %+v", old)
+	}
+	// The old flight's late result must not have poisoned the table for v2.
+	a := c.do(ctx, "app", "v2-bbbb", func() Assessment {
+		t.Error("v2 verdict should have been cached")
+		return Assessment{AppID: "app", ModelVersion: "v2-bbbb"}
+	})
+	if !a.Cached || a.ModelVersion != "v2-bbbb" {
+		t.Fatalf("v2 verdict not served from cache: %+v", a)
 	}
 }
 
@@ -114,7 +205,7 @@ func TestVerdictCacheDoesNotCacheFailures(t *testing.T) {
 		return Assessment{AppID: "app", Error: "upstream exploded", Cause: CauseUpstream}
 	}
 	for i := 0; i < 2; i++ {
-		if a := c.do(ctx, "app", fail); a.Cached {
+		if a := c.do(ctx, "app", "", fail); a.Cached {
 			t.Errorf("failure %d served from cache: %+v", i, a)
 		}
 	}
@@ -127,8 +218,8 @@ func TestVerdictCacheDoesNotCacheFailures(t *testing.T) {
 		return Assessment{AppID: "gone", Deleted: true, Malicious: true,
 			Cause: CauseDeleted, Error: "app removed from the graph"}
 	}
-	first := c.do(ctx, "gone", deleted)
-	second := c.do(ctx, "gone", deleted)
+	first := c.do(ctx, "gone", "", deleted)
+	second := c.do(ctx, "gone", "", deleted)
 	if first.Cached || !second.Cached {
 		t.Errorf("deleted verdict caching: first=%+v second=%+v", first, second)
 	}

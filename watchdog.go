@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"frappe/internal/core"
@@ -14,16 +15,29 @@ import (
 	"frappe/internal/wot"
 )
 
+// servingModel pairs the classifier with the manifest describing it; the
+// two swap together behind one atomic pointer so an in-flight request
+// never sees a classifier from one version stamped with another's ID.
+type servingModel struct {
+	clf      *Classifier
+	manifest ModelManifest
+}
+
 // Watchdog evaluates a single app ID on demand against live services: it
 // crawls the app's on-demand features over HTTP and runs a trained
 // classifier. This is the deployment §5.1 envisions — "a browser extension
 // that can evaluate any Facebook application at the time when a user is
 // considering installing it".
+//
+// The classifier is held behind an atomic pointer: SwapModel replaces it
+// without interrupting in-flight assessments (each request pins the model
+// it started with), which is what lets a registry watcher hot-reload new
+// versions under live traffic.
 type Watchdog struct {
-	classifier *Classifier
-	crawler    *crawler.Crawler
-	cache      *verdictCache
-	cfg        WatchdogConfig
+	serving atomic.Pointer[servingModel]
+	crawler *crawler.Crawler
+	cache   *verdictCache
+	cfg     WatchdogConfig
 
 	// RankWorkers bounds Rank's assessment fan-out (default 8).
 	RankWorkers int
@@ -90,11 +104,40 @@ func NewWatchdogWith(clf *Classifier, cfg WatchdogConfig) (*Watchdog, error) {
 	if err != nil {
 		return nil, fmt.Errorf("frappe: %w", err)
 	}
-	w := &Watchdog{classifier: clf, crawler: c, cfg: cfg}
+	w := &Watchdog{crawler: c, cfg: cfg}
+	w.serving.Store(&servingModel{clf: clf, manifest: fileManifest(clf)})
 	if cfg.VerdictTTL > 0 {
 		w.cache = newVerdictCache(cfg.VerdictTTL)
 	}
 	return w, nil
+}
+
+// Classifier returns the currently serving classifier.
+func (w *Watchdog) Classifier() *Classifier { return w.serving.Load().clf }
+
+// ServingManifest returns the manifest of the currently serving model. For
+// classifiers loaded outside a registry (flat file, in-memory) it is a
+// synthesised version-0 manifest whose checksum still identifies the model
+// content.
+func (w *Watchdog) ServingManifest() ModelManifest { return w.serving.Load().manifest }
+
+// SwapModel atomically replaces the serving classifier. In-flight
+// assessments finish on the model they started with; new assessments see
+// the new one. The verdict cache is flushed so no verdict computed by the
+// superseded model is ever served again (entries are version-keyed too, as
+// a second line of defence).
+func (w *Watchdog) SwapModel(clf *Classifier, m ModelManifest) error {
+	if clf == nil {
+		return fmt.Errorf("frappe: nil classifier")
+	}
+	if m.SHA256 == "" {
+		m = fileManifest(clf)
+	}
+	w.serving.Store(&servingModel{clf: clf, manifest: m})
+	if w.cache != nil {
+		w.cache.flush()
+	}
+	return nil
 }
 
 // NewWatchdogFrom loads a serialised classifier (written with
@@ -117,6 +160,10 @@ func NewWatchdogFromWith(r io.Reader, cfg WatchdogConfig) (*Watchdog, error) {
 // core.ErrNotClassifiable is returned when the app is already deleted from
 // the graph.
 func (w *Watchdog) Evaluate(ctx context.Context, appID string) (Verdict, error) {
+	return w.evaluateWith(ctx, w.serving.Load().clf, appID)
+}
+
+func (w *Watchdog) evaluateWith(ctx context.Context, clf *Classifier, appID string) (Verdict, error) {
 	results, err := w.crawler.Crawl(ctx, []string{appID})
 	if err != nil {
 		return Verdict{AppID: appID}, err
@@ -132,7 +179,7 @@ func (w *Watchdog) Evaluate(ctx context.Context, appID string) (Verdict, error) 
 	if r.SummaryErr != nil && !errors.Is(r.SummaryErr, graphapi.ErrDeleted) {
 		return Verdict{AppID: appID}, fmt.Errorf("frappe: crawling %s: %w", appID, r.SummaryErr)
 	}
-	return w.classifier.Classify(AppRecord{ID: appID, Crawl: r})
+	return clf.Classify(AppRecord{ID: appID, Crawl: r})
 }
 
 // ErrNotClassifiable is returned by Evaluate for apps without a crawlable

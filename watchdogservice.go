@@ -36,6 +36,11 @@ type Assessment struct {
 	// Cached marks verdicts served from the TTL cache or by joining
 	// another request's in-flight crawl.
 	Cached bool `json:"cached,omitempty"`
+	// ModelVersion identifies the model that produced this assessment
+	// (ModelManifest.ModelID: version number + checksum prefix), so a
+	// consumer can tell which classifier generation it is looking at —
+	// and so the verdict cache never serves a superseded model's verdict.
+	ModelVersion string `json:"model_version,omitempty"`
 }
 
 // Assessment causes — the /check endpoint maps each to a distinct status.
@@ -66,28 +71,34 @@ var (
 // outcomes carry a Cause distinguishing an open circuit breaker from an
 // ordinary upstream failure.
 func (w *Watchdog) Assess(ctx context.Context, appID string) Assessment {
+	// Pin the serving model once: the whole assessment — cache lookup,
+	// crawl, classification, version stamp — runs against one generation
+	// even if a hot swap lands mid-flight.
+	sm := w.serving.Load()
 	if w.cache != nil {
-		return w.cache.do(ctx, appID, func() Assessment { return w.assess(ctx, appID) })
+		return w.cache.do(ctx, appID, sm.manifest.ModelID(),
+			func() Assessment { return w.assess(ctx, sm, appID) })
 	}
-	return w.assess(ctx, appID)
+	return w.assess(ctx, sm, appID)
 }
 
-func (w *Watchdog) assess(ctx context.Context, appID string) Assessment {
-	v, err := w.Evaluate(ctx, appID)
+func (w *Watchdog) assess(ctx context.Context, sm *servingModel, appID string) Assessment {
+	modelID := sm.manifest.ModelID()
+	v, err := w.evaluateWith(ctx, sm.clf, appID)
 	switch {
 	case errors.Is(err, ErrNotClassifiable):
 		assessTotal.With("deleted").Inc()
 		return Assessment{AppID: appID, Deleted: true, Malicious: true,
-			Cause: CauseDeleted, Error: "app removed from the graph"}
+			Cause: CauseDeleted, Error: "app removed from the graph", ModelVersion: modelID}
 	case errors.Is(err, httpx.ErrCircuitOpen):
 		assessTotal.With("breaker_open").Inc()
-		return Assessment{AppID: appID, Cause: CauseBreakerOpen, Error: err.Error()}
+		return Assessment{AppID: appID, Cause: CauseBreakerOpen, Error: err.Error(), ModelVersion: modelID}
 	case err != nil:
 		assessTotal.With("error").Inc()
-		return Assessment{AppID: appID, Cause: CauseUpstream, Error: err.Error()}
+		return Assessment{AppID: appID, Cause: CauseUpstream, Error: err.Error(), ModelVersion: modelID}
 	default:
 		assessTotal.With("ok").Inc()
-		return Assessment{AppID: appID, Malicious: v.Malicious, Score: v.Score}
+		return Assessment{AppID: appID, Malicious: v.Malicious, Score: v.Score, ModelVersion: modelID}
 	}
 }
 
@@ -132,6 +143,7 @@ func (w *Watchdog) Rank(ctx context.Context, appIDs []string) []Assessment {
 //
 //	GET /check?app=APPID            -> one Assessment
 //	GET /rank?app=A&app=B&app=C     -> ranked []Assessment
+//	GET /model                      -> manifest of the serving model
 //	GET /healthz                    -> 200 ok
 //
 // Each request is bounded by timeout (default 10s). /check maps assessment
@@ -142,6 +154,20 @@ func (w *Watchdog) Rank(ctx context.Context, appIDs []string) []Assessment {
 // per-row errors, matching its don't-abort contract. All endpoints are
 // instrumented as service "watchdog" on the default telemetry registry.
 func WatchdogHandler(w *Watchdog, timeout time.Duration) http.Handler {
+	return WatchdogHandlerWith(w, timeout, nil)
+}
+
+// WatchdogHandlerWith is WatchdogHandler plus model-lifecycle
+// administration when a Reloader is supplied:
+//
+//	POST /model/reload              -> poll the registry now; 200 with a
+//	                                   ReloadStatus on swapped/current,
+//	                                   502 when the registry or candidate
+//	                                   is unusable
+//
+// With a nil reloader, /model/reload answers 501 Not Implemented (the
+// server has no registry to reload from) and /model still works.
+func WatchdogHandlerWith(w *Watchdog, timeout time.Duration, rel *Reloader) http.Handler {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
@@ -186,6 +212,31 @@ func WatchdogHandler(w *Watchdog, timeout time.Duration) http.Handler {
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 		writeAssessJSON(rw, http.StatusOK, w.Rank(ctx, ids))
+	})
+	mux.HandleFunc("/model", func(rw http.ResponseWriter, r *http.Request) {
+		m := w.ServingManifest()
+		writeAssessJSON(rw, http.StatusOK, struct {
+			ModelID  string        `json:"model_id"`
+			Manifest ModelManifest `json:"manifest"`
+		}{ModelID: m.ModelID(), Manifest: m})
+	})
+	mux.HandleFunc("/model/reload", func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(rw, `{"error":"POST only"}`, http.StatusMethodNotAllowed)
+			return
+		}
+		if rel == nil {
+			http.Error(rw, `{"error":"no model registry configured"}`, http.StatusNotImplemented)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		st := rel.Check(ctx)
+		status := http.StatusOK
+		if st.Outcome != ReloadSwapped && st.Outcome != ReloadCurrent {
+			status = http.StatusBadGateway
+		}
+		writeAssessJSON(rw, status, st)
 	})
 	return telemetry.Middleware(nil, "watchdog", mux)
 }
