@@ -5,9 +5,16 @@
 // Usage:
 //
 //	frappebench [-scale 0.15] [-seed 20121210] [-quick] [-bench-json FILE]
+//	frappebench -serve [-serve-clients 8] [-serve-duration 10s]
+//	            [-serve-apps 32] [-serve-verdict-ttl 5s] [-bench-json FILE]
 //
 // -quick skips the classifier cross-validation experiments (the slowest
 // part) and prints only the measurement and forensics results.
+//
+// -serve switches to the closed-loop serving benchmark: a watchdog is
+// wired against an in-process loopback stack and hammered with
+// -serve-clients concurrent /check loops for -serve-duration, reporting
+// verdicts/sec, p50/p95/p99 latency and the verdict-cache hit rate.
 //
 // -bench-json writes per-stage wall-clock timings (world generation,
 // dataset build, classifier training, cross-validation) read back from the
@@ -48,13 +55,17 @@ type benchDoc struct {
 	// Metrics is the full registry snapshot keyed name{labels}; histograms
 	// appear as {count, sum}.
 	Metrics interface{} `json:"metrics"`
+	// Serve carries the -serve closed-loop benchmark results; nil for the
+	// experiment-suite mode.
+	Serve *serveResult `json:"serve,omitempty"`
 }
 
-func writeBenchJSON(path string, scale float64, seed int64, quick bool, total time.Duration) error {
+func writeBenchJSON(path string, scale float64, seed int64, quick bool, total time.Duration, serve *serveResult) error {
 	reg := telemetry.Default()
 	trainSum, trainRuns := reg.HistogramSum("frappe_train_duration_seconds")
 	cvSum, cvRuns := reg.HistogramSum("frappe_crossval_duration_seconds")
 	doc := benchDoc{
+		Serve:   serve,
 		Scale:   scale,
 		Seed:    seed,
 		Quick:   quick,
@@ -101,6 +112,11 @@ func main() {
 	workersFlag := flag.Int("workers", 0, "cap worker parallelism via GOMAXPROCS (0 = all cores); results are identical for any value")
 	dotPath := flag.String("dot", "", "write the Fig. 1 snapshot component as Graphviz DOT to this file")
 	benchJSON := flag.String("bench-json", "", "write per-stage timings and a metrics snapshot as JSON to this file")
+	serveMode := flag.Bool("serve", false, "run the closed-loop serving benchmark instead of the experiment suite")
+	serveClients := flag.Int("serve-clients", 8, "closed-loop client count for -serve")
+	serveDuration := flag.Duration("serve-duration", 10*time.Second, "measurement window for -serve")
+	serveApps := flag.Int("serve-apps", 32, "distinct live app IDs rotated through by -serve clients")
+	serveTTL := flag.Duration("serve-verdict-ttl", 5*time.Second, "watchdog verdict-cache TTL for -serve (0 = cache off)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSONFlag := flag.Bool("log-json", false, "log as JSON instead of text")
 	flag.Parse()
@@ -110,6 +126,28 @@ func main() {
 	})
 	if *workersFlag > 0 {
 		runtime.GOMAXPROCS(*workersFlag)
+	}
+
+	if *serveMode {
+		start := time.Now()
+		res, err := runServe(logger, serveConfig{
+			scale:    *scale,
+			seed:     *seed,
+			clients:  *serveClients,
+			duration: *serveDuration,
+			appPool:  *serveApps,
+			ttl:      *serveTTL,
+		})
+		if err != nil {
+			fatal(logger, err)
+		}
+		if *benchJSON != "" {
+			if err := writeBenchJSON(*benchJSON, *scale, *seed, false, time.Since(start), res); err != nil {
+				fatal(logger, err)
+			}
+			fmt.Fprintf(os.Stderr, "serving benchmark written to %s\n", *benchJSON)
+		}
+		return
 	}
 
 	start := time.Now()
@@ -216,7 +254,7 @@ func main() {
 
 	total := time.Since(start)
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, *scale, r.Seed, *quick, total); err != nil {
+		if err := writeBenchJSON(*benchJSON, *scale, r.Seed, *quick, total, nil); err != nil {
 			fatal(logger, err)
 		}
 		fmt.Fprintf(os.Stderr, "stage timings written to %s\n", *benchJSON)

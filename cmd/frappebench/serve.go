@@ -1,0 +1,248 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"frappe"
+	"frappe/internal/telemetry"
+)
+
+// The -serve mode benchmarks the watchdog's serving path end to end: it
+// generates a world, trains a Lite classifier, starts the loopback
+// service stack, mounts WatchdogHandler on a real listener, and drives it
+// with N closed-loop HTTP clients rotating over a pool of live app IDs.
+// Closed-loop means each client issues its next /check only after the
+// previous one answers, so concurrency is exactly -serve-clients and the
+// measured latency distribution is not coordinated-omission-biased by an
+// open-loop arrival schedule.
+
+// serveResult is the serving-benchmark section of the -bench-json doc.
+type serveResult struct {
+	Clients        int     `json:"clients"`
+	AppPool        int     `json:"app_pool"`
+	VerdictTTLSecs float64 `json:"verdict_ttl_seconds"`
+	DurationSecs   float64 `json:"duration_seconds"`
+	Requests       uint64  `json:"requests"`
+	// Verdicts counts conclusive answers: 200 classifications plus 404
+	// deleted-app findings (a verdict in the paper's terms).
+	Verdicts       uint64             `json:"verdicts"`
+	Errors         uint64             `json:"errors"`
+	VerdictsPerSec float64            `json:"verdicts_per_sec"`
+	LatencyMS      map[string]float64 `json:"latency_ms"`
+	// CacheHitRate is hits over all verdict-cache lookups (hit, miss,
+	// expired, stale_model), read from the process telemetry registry.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+type serveConfig struct {
+	scale    float64
+	seed     int64
+	clients  int
+	duration time.Duration
+	appPool  int
+	ttl      time.Duration
+}
+
+// runServe executes the closed-loop serving benchmark and returns its
+// result (for -bench-json) or an error. Zero verdicts is an error: a
+// serving path that answers nothing conclusively is broken, and CI runs
+// this mode as a smoke check.
+func runServe(logger *slog.Logger, cfg serveConfig) (*serveResult, error) {
+	fmt.Printf("Generating world at scale %.2f for serving benchmark ...\n", cfg.scale)
+	wcfg := frappe.DefaultConfig(cfg.scale)
+	if cfg.seed != 0 {
+		wcfg.Seed = cfg.seed
+	}
+	w := frappe.GenerateWorld(wcfg)
+	d, err := frappe.BuildDatasets(context.Background(), w)
+	if err != nil {
+		return nil, fmt.Errorf("building datasets: %w", err)
+	}
+	records, labels := frappe.LabeledSample(d)
+	clf, err := frappe.Train(records, labels, frappe.Options{Features: frappe.LiteFeatures(), Seed: 2})
+	if err != nil {
+		return nil, fmt.Errorf("training classifier: %w", err)
+	}
+
+	st, err := frappe.StartServices(w)
+	if err != nil {
+		return nil, fmt.Errorf("starting service stack: %w", err)
+	}
+	defer st.Close()
+	wd, err := frappe.NewWatchdogWith(clf, frappe.WatchdogConfig{
+		GraphURL:   st.GraphURL,
+		WOTURL:     st.WOTURL,
+		VerdictTTL: cfg.ttl,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("building watchdog: %w", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("listening: %w", err)
+	}
+	srv := &http.Server{Handler: frappe.WatchdogHandler(wd, 10*time.Second)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	pool := livePool(w, cfg.appPool)
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("no live apps in the generated world")
+	}
+	fmt.Printf("Serving benchmark: %d clients, %d-app pool, verdict TTL %v, %v ...\n",
+		cfg.clients, len(pool), cfg.ttl, cfg.duration)
+
+	reg := telemetry.Default()
+	cacheBefore := cacheLookups(reg)
+	hitsBefore := reg.CounterValue("frappe_verdict_cache_total", "hit")
+
+	var requests, verdicts, errCount atomic.Uint64
+	lats := make([][]time.Duration, cfg.clients)
+	deadline := time.Now().Add(cfg.duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			// Each client starts at a different pool offset so the cache
+			// sees interleaved, overlapping demand rather than lockstep.
+			for i := c; time.Now().Before(deadline); i++ {
+				id := pool[i%len(pool)]
+				t0 := time.Now()
+				resp, err := client.Get(base + "/check?app=" + url.QueryEscape(id))
+				requests.Add(1)
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				lats[c] = append(lats[c], time.Since(t0))
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusNotFound:
+					verdicts.Add(1)
+				default:
+					errCount.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if verdicts.Load() == 0 {
+		return nil, fmt.Errorf("serving benchmark produced zero verdicts in %v (%d requests, %d errors)",
+			elapsed.Round(time.Millisecond), requests.Load(), errCount.Load())
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res := &serveResult{
+		Clients:        cfg.clients,
+		AppPool:        len(pool),
+		VerdictTTLSecs: cfg.ttl.Seconds(),
+		DurationSecs:   elapsed.Seconds(),
+		Requests:       requests.Load(),
+		Verdicts:       verdicts.Load(),
+		Errors:         errCount.Load(),
+		VerdictsPerSec: float64(verdicts.Load()) / elapsed.Seconds(),
+		LatencyMS: map[string]float64{
+			"p50":  ms(percentile(all, 0.50)),
+			"p95":  ms(percentile(all, 0.95)),
+			"p99":  ms(percentile(all, 0.99)),
+			"max":  ms(percentile(all, 1.0)),
+			"mean": ms(mean(all)),
+		},
+	}
+	if lookups := cacheLookups(reg) - cacheBefore; lookups > 0 {
+		hits := reg.CounterValue("frappe_verdict_cache_total", "hit") - hitsBefore
+		res.CacheHitRate = float64(hits) / float64(lookups)
+	}
+
+	fmt.Printf(`
+Serving benchmark (closed loop, %d clients, %v)
+  verdicts/sec    %.1f  (%d verdicts / %d requests, %d errors)
+  latency ms      p50 %.2f  p95 %.2f  p99 %.2f  max %.2f
+  cache-hit rate  %.1f%%
+`,
+		res.Clients, elapsed.Round(time.Millisecond),
+		res.VerdictsPerSec, res.Verdicts, res.Requests, res.Errors,
+		res.LatencyMS["p50"], res.LatencyMS["p95"], res.LatencyMS["p99"], res.LatencyMS["max"],
+		100*res.CacheHitRate)
+	logger.Info("serving benchmark complete",
+		"verdicts_per_sec", res.VerdictsPerSec, "p99_ms", res.LatencyMS["p99"],
+		"cache_hit_rate", res.CacheHitRate)
+	return res, nil
+}
+
+// livePool picks up to n live (not deleted) app IDs, alternating benign
+// and malicious so both crawl shapes are represented.
+func livePool(w *frappe.World, n int) []string {
+	var pool []string
+	half := (n + 1) / 2
+	pick := func(ids []string, quota int) {
+		for _, id := range ids {
+			if quota == 0 {
+				return
+			}
+			if _, err := w.Platform.Lookup(id); err == nil {
+				pool = append(pool, id)
+				quota--
+			}
+		}
+	}
+	pick(w.BenignIDs, half)
+	pick(w.MaliciousIDs, n-len(pool))
+	return pool
+}
+
+func cacheLookups(reg *telemetry.Registry) uint64 {
+	var total uint64
+	for _, result := range []string{"hit", "miss", "expired", "stale_model"} {
+		total += reg.CounterValue("frappe_verdict_cache_total", result)
+	}
+	return total
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func mean(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -20,6 +20,7 @@ import (
 	"frappe/internal/graphapi"
 	"frappe/internal/httpx"
 	"frappe/internal/telemetry"
+	"frappe/internal/tracing"
 	"frappe/internal/wot"
 )
 
@@ -147,7 +148,7 @@ func (c *Crawler) Crawl(ctx context.Context, ids []string) (map[string]*Result, 
 		go func() {
 			defer wg.Done()
 			for id := range work {
-				r := c.crawlOne(id)
+				r := c.crawlOne(ctx, id)
 				mu.Lock()
 				results[id] = r
 				mu.Unlock()
@@ -169,13 +170,19 @@ feed:
 	return results, ctxErr
 }
 
-// fetch runs one surface fetch and records its terminal outcome.
-// Transport-level retry, backoff, and terminal-error classification
-// (deleted and not-crawlable are never retried) live in internal/httpx,
-// underneath the service clients — the crawler only observes the result.
-func (c *Crawler) fetch(kind Kind, fn func() error) error {
+// fetch runs one surface fetch under a span and records its terminal
+// outcome. Transport-level retry, backoff, and terminal-error
+// classification (deleted and not-crawlable are never retried) live in
+// internal/httpx, underneath the service clients — the crawler only
+// observes the result.
+func (c *Crawler) fetch(ctx context.Context, kind Kind, fn func(context.Context) error) error {
 	c.ins.Attempts.With(kind.String()).Inc()
-	err := fn()
+	sctx, span := tracing.Default().StartChild(ctx, "crawl."+kind.String())
+	err := fn(sctx)
+	if err != nil && !errors.Is(err, graphapi.ErrDeleted) {
+		span.SetError(err)
+	}
+	span.End()
 	c.ins.Outcome(kind, err)
 	return err
 }
@@ -184,13 +191,16 @@ func (c *Crawler) automatable(id string, kind Kind) bool {
 	return c.cfg.Flakiness == nil || c.cfg.Flakiness(id, kind)
 }
 
-func (c *Crawler) crawlOne(id string) *Result {
+func (c *Crawler) crawlOne(ctx context.Context, id string) *Result {
 	start := time.Now()
 	r := &Result{AppID: id, WOTScore: wot.UnknownScore}
 	defer func() { c.ins.FinishApp(r, start) }()
+	ctx, span := tracing.Default().StartChild(ctx, "crawl.app")
+	span.SetAttr(tracing.String("app_id", id))
+	defer span.End()
 
-	r.SummaryErr = c.fetch(KindSummary, func() error {
-		s, err := c.cfg.Graph.Summary(id)
+	r.SummaryErr = c.fetch(ctx, KindSummary, func(ctx context.Context) error {
+		s, err := c.cfg.Graph.Summary(ctx, id)
 		if err != nil {
 			return err
 		}
@@ -199,8 +209,8 @@ func (c *Crawler) crawlOne(id string) *Result {
 	})
 
 	if c.automatable(id, KindFeed) {
-		r.FeedErr = c.fetch(KindFeed, func() error {
-			feed, err := c.cfg.Graph.Feed(id)
+		r.FeedErr = c.fetch(ctx, KindFeed, func(ctx context.Context) error {
+			feed, err := c.cfg.Graph.Feed(ctx, id)
 			if err != nil {
 				return err
 			}
@@ -213,8 +223,8 @@ func (c *Crawler) crawlOne(id string) *Result {
 	}
 
 	if c.automatable(id, KindInstall) {
-		r.InstallErr = c.fetch(KindInstall, func() error {
-			info, err := c.cfg.Graph.Install(id)
+		r.InstallErr = c.fetch(ctx, KindInstall, func(ctx context.Context) error {
+			info, err := c.cfg.Graph.Install(ctx, id)
 			if err != nil {
 				return err
 			}
@@ -227,7 +237,20 @@ func (c *Crawler) crawlOne(id string) *Result {
 	}
 
 	if r.InstallErr == nil && c.cfg.WOT != nil {
-		r.WOTScore = c.cfg.WOT.ScoreOrUnknown(r.Install.RedirectURI)
+		r.WOTScore = c.fetchWOT(ctx, r.Install.RedirectURI)
+	}
+	if r.Deleted() {
+		span.SetAttr(tracing.Bool("deleted", true))
 	}
 	return r
+}
+
+// fetchWOT resolves the redirect-URI domain's reputation under its own
+// span (WOT has no data for most domains; that is a result, not an error).
+func (c *Crawler) fetchWOT(ctx context.Context, rawURL string) int {
+	sctx, span := tracing.Default().StartChild(ctx, "crawl.wot")
+	score := c.cfg.WOT.ScoreOrUnknown(sctx, rawURL)
+	span.SetAttr(tracing.Int("score", int64(score)))
+	span.End()
+	return score
 }

@@ -44,9 +44,10 @@ func (c *Client) transport() *httpx.Client {
 }
 
 // get fetches path and returns the body, translating the Graph API's
-// literal `false` into ErrDeleted.
-func (c *Client) get(path string) ([]byte, error) {
-	resp, err := c.transport().Get(context.Background(), strings.TrimRight(c.BaseURL, "/")+path)
+// literal `false` into ErrDeleted. The context carries cancellation and
+// the caller's trace (propagated as a traceparent header by httpx).
+func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
+	resp, err := c.transport().Get(ctx, strings.TrimRight(c.BaseURL, "/")+path)
 	if err != nil {
 		return nil, fmt.Errorf("graphapi: %w", err)
 	}
@@ -60,8 +61,8 @@ func (c *Client) get(path string) ([]byte, error) {
 }
 
 // Summary fetches the app summary for id.
-func (c *Client) Summary(id string) (*Summary, error) {
-	body, err := c.get("/" + url.PathEscape(id))
+func (c *Client) Summary(ctx context.Context, id string) (*Summary, error) {
+	body, err := c.get(ctx, "/"+url.PathEscape(id))
 	if err != nil {
 		return nil, err
 	}
@@ -73,8 +74,8 @@ func (c *Client) Summary(id string) (*Summary, error) {
 }
 
 // Feed fetches the posts on the app's profile page.
-func (c *Client) Feed(id string) ([]FeedPost, error) {
-	body, err := c.get("/" + url.PathEscape(id) + "/feed")
+func (c *Client) Feed(ctx context.Context, id string) ([]FeedPost, error) {
+	body, err := c.get(ctx, "/"+url.PathEscape(id)+"/feed")
 	if err != nil {
 		return nil, err
 	}
@@ -88,9 +89,9 @@ func (c *Client) Feed(id string) ([]FeedPost, error) {
 // Install follows the app installation URL and scrapes the client_id,
 // permission set, and redirect URI from the landing page, the §4.1.2/§4.1.4
 // crawl. Deleted apps yield ErrDeleted.
-func (c *Client) Install(id string) (InstallInfo, error) {
+func (c *Client) Install(ctx context.Context, id string) (InstallInfo, error) {
 	u := strings.TrimRight(c.BaseURL, "/") + "/apps/application.php?id=" + url.QueryEscape(id)
-	resp, err := c.transport().Get(context.Background(), u)
+	resp, err := c.transport().Get(ctx, u)
 	if err != nil {
 		return InstallInfo{}, fmt.Errorf("graphapi: %w", err)
 	}

@@ -1,6 +1,7 @@
 package graphapi
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net/http"
@@ -61,7 +62,7 @@ func TestSummary(t *testing.T) {
 	_, c, done := newTestWorld(t)
 	defer done()
 
-	s, err := c.Summary("102452128776")
+	s, err := c.Summary(context.Background(), "102452128776")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestSummary(t *testing.T) {
 		t.Errorf("Link = %q", s.Link)
 	}
 	// Malicious app with empty summary fields.
-	m, err := c.Summary("235597333185870")
+	m, err := c.Summary(context.Background(), "235597333185870")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,17 +100,17 @@ func TestDeletedReturnsFalseBody(t *testing.T) {
 		t.Errorf("deleted app: status=%d body=%q", resp.StatusCode, body)
 	}
 	// Client maps it to ErrDeleted.
-	if _, err := c.Summary("999"); !errors.Is(err, ErrDeleted) {
+	if _, err := c.Summary(context.Background(), "999"); !errors.Is(err, ErrDeleted) {
 		t.Errorf("Summary(deleted) err = %v", err)
 	}
-	if _, err := c.Feed("999"); !errors.Is(err, ErrDeleted) {
+	if _, err := c.Feed(context.Background(), "999"); !errors.Is(err, ErrDeleted) {
 		t.Errorf("Feed(deleted) err = %v", err)
 	}
-	if _, err := c.Install("999"); !errors.Is(err, ErrDeleted) {
+	if _, err := c.Install(context.Background(), "999"); !errors.Is(err, ErrDeleted) {
 		t.Errorf("Install(deleted) err = %v", err)
 	}
 	// Unknown apps behave like deleted ones on the public API.
-	if _, err := c.Summary("does-not-exist"); !errors.Is(err, ErrDeleted) {
+	if _, err := c.Summary(context.Background(), "does-not-exist"); !errors.Is(err, ErrDeleted) {
 		t.Errorf("Summary(unknown) err = %v", err)
 	}
 }
@@ -118,7 +119,7 @@ func TestFeed(t *testing.T) {
 	_, c, done := newTestWorld(t)
 	defer done()
 
-	posts, err := c.Feed("102452128776")
+	posts, err := c.Feed(context.Background(), "102452128776")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestFeed(t *testing.T) {
 		t.Errorf("feed = %+v", posts)
 	}
 	// Empty profile feed is an empty list, not an error.
-	empty, err := c.Feed("235597333185870")
+	empty, err := c.Feed(context.Background(), "235597333185870")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestInstall(t *testing.T) {
 	_, c, done := newTestWorld(t)
 	defer done()
 
-	info, err := c.Install("235597333185870")
+	info, err := c.Install(context.Background(), "235597333185870")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestInstall(t *testing.T) {
 		t.Errorf("redirect = %q", info.RedirectURI)
 	}
 
-	benign, err := c.Install("102452128776")
+	benign, err := c.Install(context.Background(), "102452128776")
 	if err != nil {
 		t.Fatal(err)
 	}

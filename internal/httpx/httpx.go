@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"frappe/internal/telemetry"
+	"frappe/internal/tracing"
 )
 
 // ErrCircuitOpen is returned (wrapped) when the per-host circuit breaker
@@ -106,6 +107,11 @@ type Config struct {
 	// Telemetry is the registry the client records into; nil means the
 	// process default.
 	Telemetry *telemetry.Registry
+	// Tracer records request/attempt/backoff spans when the caller's
+	// context already carries a trace; nil means the process default.
+	// httpx never starts a trace of its own — untraced bulk work (dataset
+	// builds, experiment crawls) stays span-free.
+	Tracer *tracing.Tracer
 
 	// Now and Sleep are test seams for the breaker clock, the cache
 	// clock, and the backoff sleeper. Nil means real time.
@@ -187,6 +193,9 @@ func New(cfg Config) *Client {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = tracing.Default()
+	}
 	if cfg.Sleep == nil {
 		cfg.Sleep = time.Sleep
 	}
@@ -235,10 +244,44 @@ func (c *Client) Post(ctx context.Context, rawURL, contentType string, body []by
 	return c.do(ctx, http.MethodPost, rawURL, contentType, body)
 }
 
+// do wraps the cache/singleflight/retry pipeline in one request span when
+// the caller's context carries a trace: the span records the terminal
+// outcome (status, cache hit, shared flight, error) and every retry
+// attempt, backoff wait, and breaker decision nests under it.
 func (c *Client) do(ctx context.Context, method, rawURL, contentType string, body []byte) (*Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, span := c.cfg.Tracer.StartChild(ctx, "httpx.request")
+	if span == nil {
+		return c.doPipeline(ctx, method, rawURL, contentType, body)
+	}
+	span.SetAttr(
+		tracing.String("service", c.cfg.Service),
+		tracing.String("method", method),
+		tracing.String("url", rawURL),
+	)
+	resp, err := c.doPipeline(ctx, method, rawURL, contentType, body)
+	switch {
+	case err != nil:
+		span.SetError(err)
+	default:
+		span.SetAttr(tracing.Int("status", int64(resp.StatusCode)))
+		if resp.FromCache {
+			span.SetAttr(tracing.Bool("cache_hit", true))
+		}
+		if resp.Shared {
+			span.SetAttr(tracing.Bool("shared", true))
+		}
+		if resp.Attempts > 1 {
+			span.SetAttr(tracing.Int("attempts", int64(resp.Attempts)))
+		}
+	}
+	span.End()
+	return resp, err
+}
+
+func (c *Client) doPipeline(ctx context.Context, method, rawURL, contentType string, body []byte) (*Response, error) {
 	if method == http.MethodGet {
 		if c.cache != nil {
 			if resp, ok := c.cache.get(rawURL, c.cfg.Now()); ok {
@@ -282,16 +325,39 @@ func (c *Client) attempts(ctx context.Context, method, rawURL, contentType strin
 	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			c.ins.Retries.With(svc).Inc()
-			c.cfg.Sleep(c.backoff(attempt - 1))
+			wait := c.backoff(attempt - 1)
+			_, bs := c.cfg.Tracer.StartChild(ctx, "httpx.backoff")
+			bs.SetAttr(tracing.Int("before_attempt", int64(attempt)), tracing.Duration("wait", wait))
+			c.cfg.Sleep(wait)
+			bs.End()
 		}
 		if br != nil && !br.allow(c.cfg.Now()) {
 			c.ins.Requests.With(svc, "breaker_open").Inc()
+			// The breaker decision is a span of its own: a short-circuited
+			// request shows up in the trace as "rejected locally", not as
+			// a mysteriously absent network attempt.
+			_, bos := c.cfg.Tracer.StartChild(ctx, "httpx.breaker_open")
+			bos.SetAttr(tracing.String("host", hostOf(rawURL)))
+			bos.SetError(ErrCircuitOpen)
+			bos.End()
 			return nil, fmt.Errorf("httpx: %s %s: %w", svc, rawURL, ErrCircuitOpen)
 		}
 		c.ins.Attempts.With(svc).Inc()
+		actx, aspan := c.cfg.Tracer.StartChild(ctx, "httpx.attempt")
+		aspan.SetAttr(tracing.Int("attempt", int64(attempt)))
 		start := time.Now()
-		r, err := c.once(ctx, method, rawURL, contentType, body)
+		r, err := c.once(actx, method, rawURL, contentType, body)
 		c.ins.AttemptDuration.With(svc).Observe(time.Since(start).Seconds())
+		switch {
+		case err != nil:
+			aspan.SetError(err)
+		default:
+			aspan.SetAttr(tracing.Int("status", int64(r.StatusCode)))
+			if retryableStatus(r.StatusCode) {
+				aspan.SetErrorString("retryable status " + r.Status)
+			}
+		}
+		aspan.End()
 		ok := err == nil && r.StatusCode < 500
 		// A caller-cancelled context is not an upstream failure; don't
 		// let it move the breaker.
@@ -338,6 +404,11 @@ func (c *Client) once(ctx context.Context, method, rawURL, contentType string, b
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	// Propagate the trace: the server's middleware picks this up and the
+	// service-side span nests under this attempt in the stitched tree.
+	if sp := tracing.FromContext(ctx); sp != nil {
+		req.Header.Set(tracing.TraceparentHeader, sp.Traceparent())
+	}
 	hr, err := c.base.Do(req)
 	if err != nil {
 		return nil, err
@@ -369,6 +440,14 @@ func (c *Client) backoff(n int) time.Duration {
 	f := c.jitter.Float64()
 	c.jmu.Unlock()
 	return d/2 + time.Duration(f*float64(d/2))
+}
+
+// hostOf returns rawURL's host for span attributes ("" when unparseable).
+func hostOf(rawURL string) string {
+	if u, err := url.Parse(rawURL); err == nil {
+		return u.Host
+	}
+	return ""
 }
 
 // breakerFor returns the circuit breaker for rawURL's host, creating it

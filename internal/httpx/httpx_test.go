@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"frappe/internal/telemetry"
+	"frappe/internal/tracing"
 )
 
 // fakeClock is a manually-advanced clock for breaker/cache tests.
@@ -464,5 +465,136 @@ func TestPostRetriesAndReturnsBody(t *testing.T) {
 	}
 	if got := hits.Load(); got != 2 {
 		t.Errorf("hits = %d, want 2 (one retry)", got)
+	}
+}
+
+// findSpans returns the nodes named name anywhere in the trace tree.
+func findSpans(nodes []*tracing.SpanNode, name string) []*tracing.SpanNode {
+	var out []*tracing.SpanNode
+	for _, n := range nodes {
+		if n.Name == name {
+			out = append(out, n)
+		}
+		out = append(out, findSpans(n.Children, name)...)
+	}
+	return out
+}
+
+// TestTracingRecordsRetriesAndBackoff: two 502s then a 200, requested
+// under a trace, must yield one httpx.request span holding three attempt
+// spans (the first two marked retryable-failure) and two backoff spans.
+func TestTracingRecordsRetriesAndBackoff(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "boom", http.StatusBadGateway)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	tr := tracing.New(tracing.Options{})
+	rec := &sleepRecorder{}
+	c := New(Config{
+		Service:   "traced",
+		Telemetry: telemetry.New(),
+		Tracer:    tr,
+		Sleep:     rec.Sleep,
+	})
+	ctx, root := tr.Start(context.Background(), "test.root")
+	resp, err := c.Get(ctx, srv.URL)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("Get = %v, %v", resp, err)
+	}
+	root.End()
+
+	tj, ok := tr.Store().Trace(root.TraceID().String())
+	if !ok {
+		t.Fatal("trace not in store")
+	}
+	reqs := findSpans(tj.Roots, "httpx.request")
+	if len(reqs) != 1 {
+		t.Fatalf("httpx.request spans = %d, want 1", len(reqs))
+	}
+	attempts := findSpans(reqs, "httpx.attempt")
+	if len(attempts) != 3 {
+		t.Fatalf("attempt spans = %d, want 3", len(attempts))
+	}
+	for i, a := range attempts[:2] {
+		if a.Error == "" {
+			t.Errorf("failed attempt %d has no error status", i+1)
+		}
+	}
+	if attempts[2].Error != "" {
+		t.Errorf("final attempt marked failed: %q", attempts[2].Error)
+	}
+	backoffs := findSpans(reqs, "httpx.backoff")
+	if len(backoffs) != 2 {
+		t.Fatalf("backoff spans = %d, want 2", len(backoffs))
+	}
+	if len(rec.Sleeps()) != 2 {
+		t.Fatalf("sleeps = %d, want 2", len(rec.Sleeps()))
+	}
+}
+
+// TestTracingRecordsBreakerShortCircuit: a request rejected by an open
+// breaker leaves an httpx.breaker_open span, not an attempt span.
+func TestTracingRecordsBreakerShortCircuit(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	tr := tracing.New(tracing.Options{})
+	clock := newFakeClock()
+	c := New(Config{
+		Service:          "breaking",
+		MaxAttempts:      1,
+		BreakerThreshold: 1,
+		Telemetry:        telemetry.New(),
+		Tracer:           tr,
+		Now:              clock.Now,
+		Sleep:            func(time.Duration) {},
+	})
+	// Trip the breaker (untraced; just burns the failure budget).
+	c.Get(context.Background(), srv.URL)
+
+	ctx, root := tr.Start(context.Background(), "test.root")
+	_, err := c.Get(ctx, srv.URL)
+	root.End()
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	tj, _ := tr.Store().Trace(root.TraceID().String())
+	open := findSpans(tj.Roots, "httpx.breaker_open")
+	if len(open) != 1 {
+		t.Fatalf("breaker_open spans = %d, want 1", len(open))
+	}
+	if open[0].Error == "" {
+		t.Error("breaker_open span has no error status")
+	}
+	if got := findSpans(tj.Roots, "httpx.attempt"); len(got) != 0 {
+		t.Errorf("attempt spans under open breaker = %d, want 0", len(got))
+	}
+}
+
+// TestNoTraceNoSpans: without a trace in the context, httpx must create
+// no spans at all (bulk dataset crawls stay span-free).
+func TestNoTraceNoSpans(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(tracing.TraceparentHeader) != "" {
+			t.Error("untraced request carried a traceparent header")
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	tr := tracing.New(tracing.Options{})
+	c := New(Config{Service: "plain", Telemetry: telemetry.New(), Tracer: tr})
+	if _, err := c.Get(context.Background(), srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Store().Len(); got != 0 {
+		t.Errorf("store traces = %d, want 0", got)
 	}
 }

@@ -1,6 +1,7 @@
 package stack
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -50,11 +51,11 @@ func TestStartServesAllServices(t *testing.T) {
 	if liveID == "" {
 		t.Fatal("no live benign app")
 	}
-	s, err := graph.Summary(liveID)
+	s, err := graph.Summary(context.Background(), liveID)
 	if err != nil || s.Name == "" {
 		t.Errorf("graph Summary = %+v, %v", s, err)
 	}
-	if score, err := wotc.Score("apps.facebook.com"); err != nil || score < 80 {
+	if score, err := wotc.Score(context.Background(), "apps.facebook.com"); err != nil || score < 80 {
 		t.Errorf("WOT Score = %d, %v", score, err)
 	}
 	if _, err := sb.Rating(liveID); err != nil {

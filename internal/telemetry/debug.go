@@ -7,11 +7,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"frappe/internal/tracing"
 )
 
 // DebugServer is the operational side-channel of a long-running binary:
 // /metrics (Prometheus text), /debug/vars (expvar, including the bridged
-// registry), and /debug/pprof (CPU/heap/goroutine profiling). frappeserve
+// registry), /debug/traces (recent + slowest request traces as JSON span
+// trees), and /debug/pprof (CPU/heap/goroutine profiling). frappeserve
 // and watchdogd mount it behind their -debug-addr flag.
 type DebugServer struct {
 	// Addr is the resolved listen address (useful with ":0").
@@ -33,6 +36,7 @@ func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/traces", tracing.Default().Store().Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

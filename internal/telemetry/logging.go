@@ -6,6 +6,8 @@ import (
 	"log/slog"
 	"os"
 	"strings"
+
+	"frappe/internal/tracing"
 )
 
 // Shared structured-logging setup for the cmd/ binaries: every process logs
@@ -57,6 +59,9 @@ func NewLogger(cfg LogConfig) *slog.Logger {
 	} else {
 		h = slog.NewTextHandler(out, opts)
 	}
+	// Every record logged with a span-carrying context gets trace_id and
+	// span_id attrs, linking log lines to /debug/traces span trees.
+	h = tracing.WrapSlogHandler(h)
 	logger := slog.New(h)
 	if cfg.Component != "" {
 		logger = logger.With("component", cfg.Component)

@@ -4,6 +4,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"frappe/internal/tracing"
 )
 
 // HTTP middleware shared by every loopback service in internal/stack and
@@ -13,17 +15,59 @@ import (
 //	frappe_http_requests_total{service,code}      counter
 //	frappe_http_request_duration_seconds{service} histogram
 //	frappe_http_inflight_requests{service}        gauge
+//
+// The middleware is also where server-side tracing starts: each request
+// gets a span (continuing the caller's trace when the request carries a
+// W3C traceparent header, starting a fresh one otherwise), the span's
+// trace id is returned in the X-Trace-Id response header, and the request
+// context carries the span so handler-side instrumentation nests under it.
 
-// statusRecorder captures the response status code for labelling.
+// TraceIDHeader is the response header every instrumented service sets to
+// the request's trace id.
+const TraceIDHeader = "X-Trace-Id"
+
+// statusRecorder captures the response status code for labelling, without
+// hiding the wrapped writer's optional interfaces: Flush passes through to
+// an underlying http.Flusher, and Unwrap exposes the wrapped writer to
+// http.ResponseController. A Write before any WriteHeader commits the
+// implicit 200 exactly once, so a late (superfluous) WriteHeader cannot
+// relabel the request.
 type statusRecorder struct {
 	http.ResponseWriter
-	status int
+	status      int
+	wroteHeader bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
-	r.status = code
+	if !r.wroteHeader {
+		r.status = code
+		r.wroteHeader = true
+	}
 	r.ResponseWriter.WriteHeader(code)
 }
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if !r.wroteHeader {
+		// net/http sends an implicit 200 on first Write; record it so the
+		// metric label and any later WriteHeader bookkeeping agree.
+		r.status = http.StatusOK
+		r.wroteHeader = true
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// Flush implements http.Flusher when the underlying writer does (and is a
+// no-op otherwise), so streaming handlers behind the middleware still
+// flush — the wrapper used to hide the interface entirely.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// optional interfaces (Flusher, Hijacker, deadlines).
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // codeClass folds a status code into its Prometheus-friendly class label.
 func codeClass(status int) string {
@@ -34,13 +78,23 @@ func codeClass(status int) string {
 }
 
 // Middleware instruments next with per-request count, status class, latency
-// and in-flight gauges, all labelled by service. A nil registry means
+// and in-flight gauges, all labelled by service, plus a server-side trace
+// span recorded on the process-default tracer. A nil registry means
 // Default(). The {service,code="2xx"} count series and the latency
 // histogram series are pre-created so /metrics exposes every instrumented
 // service from process start, before any traffic arrives.
 func Middleware(reg *Registry, service string, next http.Handler) http.Handler {
+	return MiddlewareTraced(reg, service, nil, next)
+}
+
+// MiddlewareTraced is Middleware with an explicit tracer (nil means the
+// process default tracer).
+func MiddlewareTraced(reg *Registry, service string, tracer *tracing.Tracer, next http.Handler) http.Handler {
 	if reg == nil {
 		reg = Default()
+	}
+	if tracer == nil {
+		tracer = tracing.Default()
 	}
 	requests := reg.Counter("frappe_http_requests_total",
 		"HTTP requests served, by service and status-code class.", "service", "code")
@@ -56,8 +110,25 @@ func Middleware(reg *Registry, service string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		inf.Inc()
 		start := time.Now()
+		ctx, span := tracer.StartRemote(r.Context(), "http.server", r.Header.Get(tracing.TraceparentHeader))
+		if span != nil {
+			span.SetAttr(
+				tracing.String("service", service),
+				tracing.String("method", r.Method),
+				tracing.String("path", r.URL.Path),
+			)
+			w.Header().Set(TraceIDHeader, span.TraceID().String())
+			r = r.WithContext(ctx)
+		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
+		if span != nil {
+			span.SetAttr(tracing.Int("status", int64(rec.status)))
+			if rec.status >= 500 {
+				span.SetErrorString(http.StatusText(rec.status))
+			}
+			span.End()
+		}
 		dur.Observe(time.Since(start).Seconds())
 		requests.With(service, codeClass(rec.status)).Inc()
 		inf.Dec()

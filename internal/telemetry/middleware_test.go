@@ -4,6 +4,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"frappe/internal/tracing"
 )
 
 func TestMiddlewareRecords(t *testing.T) {
@@ -66,7 +68,7 @@ func TestDebugServerServesMetricsAndPprof(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ds.Close()
-	for _, path := range []string{"/metrics", "/debug/vars", "/debug/pprof/"} {
+	for _, path := range []string{"/metrics", "/debug/vars", "/debug/pprof/", "/debug/traces"} {
 		resp, err := http.Get("http://" + ds.Addr + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
@@ -75,5 +77,91 @@ func TestDebugServerServesMetricsAndPprof(t *testing.T) {
 			t.Errorf("GET %s = %d", path, resp.StatusCode)
 		}
 		resp.Body.Close()
+	}
+}
+
+// flushRecorder is an httptest.ResponseRecorder that counts Flush calls.
+type flushRecorder struct {
+	*httptest.ResponseRecorder
+	flushes int
+}
+
+func (f *flushRecorder) Flush() { f.flushes++ }
+
+// TestMiddlewareFlusherPassthrough: the statusRecorder must not hide the
+// wrapped writer's http.Flusher — both via direct type assertion and via
+// http.ResponseController (which relies on Unwrap).
+func TestMiddlewareFlusherPassthrough(t *testing.T) {
+	r := New()
+	var sawFlusher bool
+	h := Middleware(r, "svc", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if f, ok := w.(http.Flusher); ok {
+			sawFlusher = true
+			f.Flush()
+		}
+		rc := http.NewResponseController(w)
+		if err := rc.Flush(); err != nil {
+			t.Errorf("ResponseController.Flush: %v", err)
+		}
+		w.Write([]byte("ok"))
+	}))
+	fr := &flushRecorder{ResponseRecorder: httptest.NewRecorder()}
+	h.ServeHTTP(fr, httptest.NewRequest("GET", "/", nil))
+	if !sawFlusher {
+		t.Error("middleware writer does not expose http.Flusher")
+	}
+	if fr.flushes < 2 {
+		t.Errorf("underlying flusher called %d times, want >= 2", fr.flushes)
+	}
+}
+
+// TestMiddlewareImplicit200Bookkeeping: a Write without WriteHeader commits
+// the implicit 200, and a late superfluous WriteHeader cannot relabel it.
+func TestMiddlewareImplicit200Bookkeeping(t *testing.T) {
+	r := New()
+	h := Middleware(r, "late", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Write([]byte("body first"))
+		w.WriteHeader(http.StatusInternalServerError) // superfluous; must not relabel
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if got := r.CounterValue("frappe_http_requests_total", "late", "2xx"); got != 1 {
+		t.Errorf("2xx = %d, want 1 (implicit 200 must win)", got)
+	}
+	if got := r.CounterValue("frappe_http_requests_total", "late", "5xx"); got != 0 {
+		t.Errorf("5xx = %d, want 0 (late WriteHeader must not relabel)", got)
+	}
+}
+
+// TestMiddlewareTracePropagation: the middleware answers with X-Trace-Id,
+// continues an incoming traceparent, and exposes the span via the request
+// context.
+func TestMiddlewareTracePropagation(t *testing.T) {
+	r := New()
+	var ctxTraceID string
+	h := Middleware(r, "svc", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		ctxTraceID = tracing.TraceIDFrom(req.Context())
+		w.Write([]byte("ok"))
+	}))
+
+	// Fresh trace: no incoming header.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	fresh := rec.Header().Get(TraceIDHeader)
+	if fresh == "" {
+		t.Fatal("no X-Trace-Id on response")
+	}
+	if ctxTraceID != fresh {
+		t.Errorf("handler ctx trace id %q != header %q", ctxTraceID, fresh)
+	}
+
+	// Continued trace: the span must join the caller's trace id.
+	tid := tracing.NewTraceID()
+	sid := tracing.NewSpanID()
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set(tracing.TraceparentHeader, "00-"+tid.String()+"-"+sid.String()+"-01")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(TraceIDHeader); got != tid.String() {
+		t.Errorf("continued trace id = %q, want %q", got, tid)
 	}
 }

@@ -1,0 +1,345 @@
+package tracing
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// The finished-trace store. Trace segments (one per instrumented process
+// hop: the watchdog handler's, plus one per loopback service touched)
+// publish here as their segment root ends; segments sharing a trace id
+// merge into one record, so /debug/traces shows the cross-service span
+// tree stitched together by parent ids.
+//
+// Memory is bounded two ways:
+//
+//   - a FIFO ring of the most recent traces (capacity fixed at New);
+//   - an always-keep-slowest reservoir: the N traces with the longest
+//     root duration survive ring eviction, so the slow outliers an
+//     operator actually wants to inspect are still there after a burst
+//     of fast traffic has rolled the ring over.
+
+// FinishedSpan is one span's immutable published form.
+type FinishedSpan struct {
+	SpanID   string        `json:"span_id"`
+	ParentID string        `json:"parent_id,omitempty"`
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"-"`
+	// DurationMS mirrors Duration for the JSON schema (fractional ms).
+	DurationMS float64    `json:"duration_ms"`
+	Attrs      []AttrJSON `json:"attrs,omitempty"`
+	Error      string     `json:"error,omitempty"`
+	// Remote marks a segment root whose parent span lives in another
+	// process (it arrived via a traceparent header).
+	Remote bool `json:"remote,omitempty"`
+	// Unfinished marks a span still open when its segment root ended;
+	// its duration is "so far", not final.
+	Unfinished bool `json:"unfinished,omitempty"`
+}
+
+// AttrJSON is the stable string-valued attribute form exposed over JSON.
+type AttrJSON struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanNode is a span plus its children, the /debug/traces tree form.
+type SpanNode struct {
+	FinishedSpan
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// TraceJSON is one trace's exposition form: the stitched span tree(s)
+// plus summary fields.
+type TraceJSON struct {
+	TraceID string `json:"trace_id"`
+	// DurationMS is the root span's duration (the longest segment root's
+	// when no true root was captured).
+	DurationMS float64   `json:"duration_ms"`
+	Spans      int       `json:"spans"`
+	Start      time.Time `json:"start"`
+	// Roots holds the top of each span tree: normally one true root;
+	// orphan segments (whose remote parent was never captured locally)
+	// appear as additional roots.
+	Roots []*SpanNode `json:"roots"`
+}
+
+// segmentRoot summarises the root span of one published segment.
+type segmentRoot struct {
+	spanID   SpanID
+	parent   SpanID
+	remote   bool
+	duration time.Duration
+}
+
+// traceRecord is one trace's accumulated segments.
+type traceRecord struct {
+	id        TraceID
+	spans     []FinishedSpan
+	firstSeen time.Time
+	// rootDur is the true root's duration when hasRoot, else the longest
+	// segment-root duration seen so far — the slow-reservoir sort key.
+	rootDur time.Duration
+	hasRoot bool
+	seq     uint64 // publish order, for stable recent ordering
+}
+
+// Store holds finished traces. Safe for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	capacity int
+	slowN    int
+	byID     map[TraceID]*traceRecord
+	recent   []*traceRecord // FIFO, oldest first
+	slowest  []*traceRecord // sorted by rootDur descending, ≤ slowN
+	seq      uint64
+
+	published uint64 // segments published
+	evicted   uint64 // records fully dropped
+}
+
+func newStore(capacity, slowN int) *Store {
+	return &Store{
+		capacity: capacity,
+		slowN:    slowN,
+		byID:     make(map[TraceID]*traceRecord),
+	}
+}
+
+// publish merges one finished segment into the store.
+func (st *Store) publish(id TraceID, root segmentRoot, spans []FinishedSpan) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.published++
+	rec, ok := st.byID[id]
+	if !ok {
+		st.seq++
+		rec = &traceRecord{id: id, firstSeen: time.Now(), seq: st.seq}
+		st.byID[id] = rec
+		st.recent = append(st.recent, rec)
+	}
+	rec.spans = append(rec.spans, spans...)
+	trueRoot := root.parent.IsZero() && !root.remote
+	switch {
+	case trueRoot:
+		rec.rootDur = root.duration
+		rec.hasRoot = true
+	case !rec.hasRoot && root.duration > rec.rootDur:
+		rec.rootDur = root.duration
+	}
+	st.updateSlowest(rec)
+	for len(st.recent) > st.capacity {
+		old := st.recent[0]
+		st.recent = st.recent[1:]
+		if !st.inSlowest(old) {
+			delete(st.byID, old.id)
+			st.evicted++
+		}
+	}
+}
+
+// updateSlowest inserts or re-ranks rec in the slow reservoir.
+func (st *Store) updateSlowest(rec *traceRecord) {
+	found := false
+	for _, r := range st.slowest {
+		if r == rec {
+			found = true
+			break
+		}
+	}
+	if !found {
+		st.slowest = append(st.slowest, rec)
+	}
+	sort.SliceStable(st.slowest, func(i, j int) bool {
+		return st.slowest[i].rootDur > st.slowest[j].rootDur
+	})
+	if len(st.slowest) > st.slowN {
+		for _, dropped := range st.slowest[st.slowN:] {
+			if !st.inRecent(dropped) {
+				delete(st.byID, dropped.id)
+				st.evicted++
+			}
+		}
+		st.slowest = st.slowest[:st.slowN]
+	}
+}
+
+func (st *Store) inSlowest(rec *traceRecord) bool {
+	for _, r := range st.slowest {
+		if r == rec {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *Store) inRecent(rec *traceRecord) bool {
+	for _, r := range st.recent {
+		if r == rec {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns how many traces are currently retained.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.byID)
+}
+
+// Stats reports published-segment and evicted-record counts.
+func (st *Store) Stats() (published, evicted uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.published, st.evicted
+}
+
+// Trace returns one trace's tree by hex id.
+func (st *Store) Trace(hexID string) (TraceJSON, bool) {
+	id, ok := ParseTraceID(hexID)
+	if !ok {
+		return TraceJSON{}, false
+	}
+	st.mu.Lock()
+	rec, ok := st.byID[id]
+	var spans []FinishedSpan
+	if ok {
+		spans = append([]FinishedSpan(nil), rec.spans...)
+	}
+	st.mu.Unlock()
+	if !ok {
+		return TraceJSON{}, false
+	}
+	return buildTree(id, spans), true
+}
+
+// Snapshot returns up to nRecent most-recent traces (newest first) and
+// the slow reservoir (slowest first). nRecent <= 0 means 20.
+func (st *Store) Snapshot(nRecent int) (recent, slowest []TraceJSON) {
+	if nRecent <= 0 {
+		nRecent = 20
+	}
+	st.mu.Lock()
+	recs := make([]*traceRecord, 0, nRecent)
+	for i := len(st.recent) - 1; i >= 0 && len(recs) < nRecent; i-- {
+		recs = append(recs, st.recent[i])
+	}
+	slows := append([]*traceRecord(nil), st.slowest...)
+	type snap struct {
+		id    TraceID
+		spans []FinishedSpan
+	}
+	snapOf := func(rs []*traceRecord) []snap {
+		out := make([]snap, len(rs))
+		for i, r := range rs {
+			out[i] = snap{id: r.id, spans: append([]FinishedSpan(nil), r.spans...)}
+		}
+		return out
+	}
+	recSnap, slowSnap := snapOf(recs), snapOf(slows)
+	st.mu.Unlock()
+
+	for _, s := range recSnap {
+		recent = append(recent, buildTree(s.id, s.spans))
+	}
+	for _, s := range slowSnap {
+		slowest = append(slowest, buildTree(s.id, s.spans))
+	}
+	return recent, slowest
+}
+
+// buildTree stitches a flat span list into parent/child trees. Spans whose
+// parent was not captured locally become additional roots, so a trace is
+// never invisible just because one segment was evicted or remote.
+func buildTree(id TraceID, spans []FinishedSpan) TraceJSON {
+	nodes := make(map[string]*SpanNode, len(spans))
+	order := make([]*SpanNode, 0, len(spans))
+	for _, fs := range spans {
+		n := &SpanNode{FinishedSpan: fs}
+		nodes[fs.SpanID] = n
+		order = append(order, n)
+	}
+	tj := TraceJSON{TraceID: id.String(), Spans: len(spans)}
+	for _, n := range order {
+		if n.ParentID != "" {
+			if p, ok := nodes[n.ParentID]; ok && p != n {
+				p.Children = append(p.Children, n)
+				continue
+			}
+		}
+		tj.Roots = append(tj.Roots, n)
+	}
+	for _, n := range order {
+		sort.SliceStable(n.Children, func(i, j int) bool {
+			return n.Children[i].Start.Before(n.Children[j].Start)
+		})
+	}
+	sort.SliceStable(tj.Roots, func(i, j int) bool { return tj.Roots[i].Start.Before(tj.Roots[j].Start) })
+	if len(tj.Roots) > 0 {
+		tj.Start = tj.Roots[0].Start
+		// Prefer the true root's duration; orphan-only traces fall back
+		// to their longest top-level span.
+		best := tj.Roots[0]
+		for _, r := range tj.Roots {
+			if r.ParentID == "" && !r.Remote {
+				best = r
+				break
+			}
+			if r.DurationMS > best.DurationMS {
+				best = r
+			}
+		}
+		tj.DurationMS = best.DurationMS
+	}
+	return tj
+}
+
+// durationMS renders d as fractional milliseconds.
+func durationMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Handler serves the store as JSON:
+//
+//	GET /debug/traces            {"recent":[...],"slowest":[...]}
+//	GET /debug/traces?n=50       up to 50 recent traces
+//	GET /debug/traces?trace=ID   one trace by hex id (404 when absent)
+//
+// Each trace is a TraceJSON span tree; see DESIGN.md §11 for the schema.
+func (st *Store) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if id := r.URL.Query().Get("trace"); id != "" {
+			tj, ok := st.Trace(id)
+			if !ok {
+				w.WriteHeader(http.StatusNotFound)
+				enc.Encode(map[string]string{"error": "trace not found: " + id})
+				return
+			}
+			enc.Encode(tj)
+			return
+		}
+		n := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			n, _ = strconv.Atoi(s)
+		}
+		recent, slowest := st.Snapshot(n)
+		if recent == nil {
+			recent = []TraceJSON{}
+		}
+		if slowest == nil {
+			slowest = []TraceJSON{}
+		}
+		enc.Encode(struct {
+			Recent  []TraceJSON `json:"recent"`
+			Slowest []TraceJSON `json:"slowest"`
+		}{recent, slowest})
+	})
+}

@@ -1,0 +1,560 @@
+// Package tracing is the repo's stdlib-only request-tracing layer: one
+// trace follows a /check verdict from the watchdog HTTP handler through
+// verdict-cache lookup, singleflight, the graph/WOT crawls (every httpx
+// retry attempt and breaker decision included), feature extraction, and
+// SVM inference — across the loopback services in internal/stack, via
+// W3C `traceparent` headers.
+//
+// Where internal/telemetry answers "how often and how long in aggregate",
+// tracing answers "which request, through which path, stalled where": the
+// per-request causality Facebook Inspector (Dewan & Kumaraguru) argues a
+// real-time malicious-post service needs to hold its 99th percentile.
+//
+// Design points, in the spirit of the rest of the repo:
+//
+//   - stdlib-only; no OpenTelemetry dependency. The ID wire format is W3C
+//     trace-context (version 00) so the headers interoperate anyway.
+//   - allocation-conscious: typed attributes (no interface{} boxing),
+//     spans pooled per trace in one slice, ID generation is an atomic
+//     splitmix64 step — no locks, no crypto/rand per span.
+//   - monotonic timings: span durations come from time.Time's monotonic
+//     reading, immune to wall-clock steps.
+//   - bounded memory: finished traces land in a ring buffer with an
+//     always-keep-slowest reservoir (see store.go); nothing grows without
+//     bound under sustained traffic.
+//
+// Spans are nil-safe: every method works on a nil *Span, so call sites
+// do not need "is tracing on?" checks.
+package tracing
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is the 16-byte W3C trace id shared by every span of one request.
+type TraceID [16]byte
+
+// SpanID is the 8-byte W3C id of one span.
+type SpanID [8]byte
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String returns the 32-char lowercase hex form used on the wire.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String returns the 16-char lowercase hex form used on the wire.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// ParseTraceID parses the 32-char hex form. The zero id is invalid.
+func ParseTraceID(s string) (TraceID, bool) {
+	var t TraceID
+	if len(s) != 32 {
+		return t, false
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil || t.IsZero() {
+		return TraceID{}, false
+	}
+	return t, true
+}
+
+// ParseSpanID parses the 16-char hex form. The zero id is invalid.
+func ParseSpanID(s string) (SpanID, bool) {
+	var id SpanID
+	if len(s) != 16 {
+		return id, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil || id.IsZero() {
+		return SpanID{}, false
+	}
+	return id, true
+}
+
+// idState is the process-wide ID generator: a crypto-seeded counter whose
+// values are finalised with the splitmix64 mixer. One atomic add per
+// 8 bytes of id, no locks, and the crypto seed keeps ids unpredictable
+// across processes.
+var idState atomic.Uint64
+
+func init() {
+	var seed [8]byte
+	if _, err := cryptorand.Read(seed[:]); err == nil {
+		idState.Store(binary.LittleEndian.Uint64(seed[:]))
+	} else {
+		// Degraded but functional: ids stay unique within the process.
+		idState.Store(uint64(time.Now().UnixNano()))
+	}
+}
+
+// nextID returns the next mixed 64-bit id word.
+func nextID() uint64 {
+	x := idState.Add(0x9E3779B97F4A7C15) // golden-ratio increment
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// NewTraceID returns a fresh non-zero trace id.
+func NewTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		binary.BigEndian.PutUint64(t[:8], nextID())
+		binary.BigEndian.PutUint64(t[8:], nextID())
+	}
+	return t
+}
+
+// NewSpanID returns a fresh non-zero span id.
+func NewSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		binary.BigEndian.PutUint64(s[:], nextID())
+	}
+	return s
+}
+
+// ---------------------------------------------------------------- attributes
+
+// attrKind discriminates Attr payloads.
+type attrKind uint8
+
+const (
+	kindString attrKind = iota
+	kindInt
+	kindFloat
+	kindBool
+)
+
+// Attr is one typed span attribute. Values are held unboxed (no
+// interface{}): a string plus one number word cover every kind.
+type Attr struct {
+	Key  string
+	kind attrKind
+	str  string
+	num  uint64 // int64 bits, float64 bits, or 0/1 for bool
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, kind: kindString, str: value} }
+
+// Int builds an int64 attribute.
+func Int(key string, value int64) Attr { return Attr{Key: key, kind: kindInt, num: uint64(value)} }
+
+// Float builds a float64 attribute.
+func Float(key string, value float64) Attr {
+	return Attr{Key: key, kind: kindFloat, num: math.Float64bits(value)}
+}
+
+// Bool builds a bool attribute.
+func Bool(key string, value bool) Attr {
+	a := Attr{Key: key, kind: kindBool}
+	if value {
+		a.num = 1
+	}
+	return a
+}
+
+// Duration builds a duration attribute, rendered as a string ("34ms").
+func Duration(key string, d time.Duration) Attr { return String(key, d.String()) }
+
+// Value returns the attribute's value rendered as a string (the store's
+// JSON form keeps values as strings so the schema is stable).
+func (a Attr) Value() string {
+	switch a.kind {
+	case kindInt:
+		return strconv.FormatInt(int64(a.num), 10)
+	case kindFloat:
+		return strconv.FormatFloat(math.Float64frombits(a.num), 'g', -1, 64)
+	case kindBool:
+		if a.num == 1 {
+			return "true"
+		}
+		return "false"
+	default:
+		return a.str
+	}
+}
+
+// --------------------------------------------------------------------- spans
+
+// Span is one timed operation in a trace. A nil *Span is a valid no-op:
+// every method checks the receiver, so uninstrumented or untraced paths
+// pay one nil check and nothing else.
+type Span struct {
+	tr *activeTrace
+
+	traceID  TraceID
+	spanID   SpanID
+	parentID SpanID
+	name     string
+	start    time.Time // carries the monotonic reading
+	remote   bool      // continues a parent from another process/segment
+
+	mu    sync.Mutex
+	attrs []Attr
+	errs  string
+	end   time.Time
+	ended bool
+}
+
+// TraceID returns the owning trace's id (zero for a nil span).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.traceID
+}
+
+// SpanID returns this span's id (zero for a nil span).
+func (s *Span) SpanID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.spanID
+}
+
+// SetAttr appends attributes to the span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// SetError records an error on the span; the span's status becomes the
+// error text. A nil err is ignored.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.errs = err.Error()
+	s.mu.Unlock()
+}
+
+// SetErrorString records an error status directly.
+func (s *Span) SetErrorString(msg string) {
+	if s == nil || msg == "" {
+		return
+	}
+	s.mu.Lock()
+	s.errs = msg
+	s.mu.Unlock()
+}
+
+// End finishes the span. Ending twice is a no-op. When the span is its
+// trace segment's root, the whole finished segment is published to the
+// tracer's store.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := s.tr.tracer.now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.end = now
+	s.mu.Unlock()
+	s.tr.spanEnded(s)
+}
+
+// ------------------------------------------------------------ active traces
+
+// activeTrace is one in-flight local trace segment: the spans created in
+// this process between a segment root (a server span or a local root) and
+// that root's End, at which point the segment is snapshotted and published.
+type activeTrace struct {
+	tracer *Tracer
+	id     TraceID
+	root   *Span
+
+	mu    sync.Mutex
+	spans []*Span
+}
+
+func (t *activeTrace) addSpan(s *Span) {
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// spanEnded publishes the segment when its root ends. Children that are
+// still open at that point are published as unfinished (their duration is
+// "so far"); in practice children end before their parents.
+func (t *activeTrace) spanEnded(s *Span) {
+	if s != t.root {
+		return
+	}
+	t.mu.Lock()
+	spans := t.spans
+	t.spans = nil
+	t.mu.Unlock()
+	if len(spans) == 0 {
+		return
+	}
+	now := t.tracer.now()
+	finished := make([]FinishedSpan, 0, len(spans))
+	for _, sp := range spans {
+		sp.mu.Lock()
+		end := sp.end
+		unfinished := !sp.ended
+		if unfinished {
+			end = now
+		}
+		fs := FinishedSpan{
+			SpanID:     sp.spanID.String(),
+			Name:       sp.name,
+			Start:      sp.start,
+			Duration:   end.Sub(sp.start),
+			DurationMS: durationMS(end.Sub(sp.start)),
+			Error:      sp.errs,
+			Remote:     sp.remote,
+			Unfinished: unfinished,
+		}
+		if !sp.parentID.IsZero() {
+			fs.ParentID = sp.parentID.String()
+		}
+		if len(sp.attrs) > 0 {
+			fs.Attrs = make([]AttrJSON, len(sp.attrs))
+			for i, a := range sp.attrs {
+				fs.Attrs[i] = AttrJSON{Key: a.Key, Value: a.Value()}
+			}
+		}
+		sp.mu.Unlock()
+		finished = append(finished, fs)
+	}
+	root := segmentRoot{
+		spanID:   t.root.spanID,
+		remote:   t.root.remote,
+		parent:   t.root.parentID,
+		duration: finished[0].Duration,
+	}
+	// The root is always the first span created in the segment.
+	for i := range finished {
+		if finished[i].SpanID == t.root.spanID.String() {
+			root.duration = finished[i].Duration
+			break
+		}
+	}
+	t.tracer.store.publish(t.id, root, finished)
+}
+
+// ------------------------------------------------------------------- tracer
+
+// Tracer creates spans and owns the store finished traces land in.
+type Tracer struct {
+	store   *Store
+	now     func() time.Time
+	enabled atomic.Bool
+}
+
+// Options configures a Tracer.
+type Options struct {
+	// Capacity bounds the store's recent-trace ring (default 512).
+	Capacity int
+	// SlowN is how many slowest traces are always retained regardless of
+	// ring eviction (default 32).
+	SlowN int
+	// Now is a test seam for the span clock (nil = time.Now).
+	Now func() time.Time
+}
+
+// New returns a Tracer with its own Store.
+func New(o Options) *Tracer {
+	if o.Capacity <= 0 {
+		o.Capacity = 512
+	}
+	if o.SlowN <= 0 {
+		o.SlowN = 32
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	t := &Tracer{store: newStore(o.Capacity, o.SlowN), now: o.Now}
+	t.enabled.Store(true)
+	return t
+}
+
+var (
+	defaultOnce   sync.Once
+	defaultTracer *Tracer
+)
+
+// Default returns the process-wide tracer every instrumented layer
+// (telemetry middleware, httpx, crawler, watchdog) records into unless
+// handed an explicit one. Its store backs /debug/traces.
+func Default() *Tracer {
+	defaultOnce.Do(func() { defaultTracer = New(Options{}) })
+	return defaultTracer
+}
+
+// Store returns the tracer's finished-trace store.
+func (t *Tracer) Store() *Store { return t.store }
+
+// SetEnabled turns span creation on or off process-wide. Disabled tracers
+// return nil spans everywhere (all methods on which are no-ops).
+func (t *Tracer) SetEnabled(v bool) { t.enabled.Store(v) }
+
+// Enabled reports whether the tracer creates spans.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// ctxKey keys the current span in a context.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying span as the current span.
+func ContextWith(ctx context.Context, span *Span) context.Context {
+	if span == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, span)
+}
+
+// FromContext returns the current span, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// TraceIDFrom returns the current trace id's hex form, or "".
+func TraceIDFrom(ctx context.Context) string {
+	if s := FromContext(ctx); s != nil {
+		return s.traceID.String()
+	}
+	return ""
+}
+
+// Start begins a span: a child of the context's current span when one
+// exists, otherwise the root of a new trace. The returned context carries
+// the new span. With tracing disabled both returns are pass-throughs.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil || !t.enabled.Load() {
+		return ctx, nil
+	}
+	if parent := FromContext(ctx); parent != nil && parent.tr != nil {
+		return t.startIn(ctx, parent.tr, name, parent.traceID, parent.spanID, false)
+	}
+	tr := &activeTrace{tracer: t, id: NewTraceID()}
+	return t.startRoot(ctx, tr, name, SpanID{}, false)
+}
+
+// StartChild begins a span only when the context already carries a trace;
+// otherwise it is a no-op (nil span, same context). This is what the
+// shared layers (httpx, crawler) use so that untraced bulk work — dataset
+// builds, experiment crawls — does not mint a root trace per fetch.
+func (t *Tracer) StartChild(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil || !t.enabled.Load() {
+		return ctx, nil
+	}
+	parent := FromContext(ctx)
+	if parent == nil || parent.tr == nil {
+		return ctx, nil
+	}
+	return t.startIn(ctx, parent.tr, name, parent.traceID, parent.spanID, false)
+}
+
+// StartRemote begins a server-side span continuing the trace described by
+// a W3C traceparent header value. An empty or malformed header starts a
+// fresh root trace instead, so the instrumented server always has a span.
+func (t *Tracer) StartRemote(ctx context.Context, name, traceparent string) (context.Context, *Span) {
+	if t == nil || !t.enabled.Load() {
+		return ctx, nil
+	}
+	if tid, sid, ok := ParseTraceparent(traceparent); ok {
+		tr := &activeTrace{tracer: t, id: tid}
+		ctx, sp := t.startRoot(ctx, tr, name, sid, true)
+		return ctx, sp
+	}
+	tr := &activeTrace{tracer: t, id: NewTraceID()}
+	return t.startRoot(ctx, tr, name, SpanID{}, false)
+}
+
+func (t *Tracer) startRoot(ctx context.Context, tr *activeTrace, name string, parent SpanID, remote bool) (context.Context, *Span) {
+	s := &Span{
+		tr:       tr,
+		traceID:  tr.id,
+		spanID:   NewSpanID(),
+		parentID: parent,
+		name:     name,
+		start:    t.now(),
+		remote:   remote,
+	}
+	tr.root = s
+	tr.addSpan(s)
+	return ContextWith(ctx, s), s
+}
+
+func (t *Tracer) startIn(ctx context.Context, tr *activeTrace, name string, tid TraceID, parent SpanID, remote bool) (context.Context, *Span) {
+	s := &Span{
+		tr:       tr,
+		traceID:  tid,
+		spanID:   NewSpanID(),
+		parentID: parent,
+		name:     name,
+		start:    t.now(),
+		remote:   remote,
+	}
+	tr.addSpan(s)
+	return ContextWith(ctx, s), s
+}
+
+// ------------------------------------------------------------- traceparent
+
+// TraceparentHeader is the W3C trace-context header name.
+const TraceparentHeader = "traceparent"
+
+// Traceparent renders the span as a W3C traceparent value
+// ("00-<trace-id>-<span-id>-01"); "" for a nil span.
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("00-%s-%s-01", s.traceID.String(), s.spanID.String())
+}
+
+// ParseTraceparent parses a W3C traceparent value. Only version 00 with
+// valid non-zero ids is accepted.
+func ParseTraceparent(v string) (TraceID, SpanID, bool) {
+	// 00-{32 hex}-{16 hex}-{2 hex}
+	if len(v) != 55 || v[0] != '0' || v[1] != '0' || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return TraceID{}, SpanID{}, false
+	}
+	tid, ok := ParseTraceID(v[3:35])
+	if !ok {
+		return TraceID{}, SpanID{}, false
+	}
+	sid, ok := ParseSpanID(v[36:52])
+	if !ok {
+		return TraceID{}, SpanID{}, false
+	}
+	if !isHex(v[53]) || !isHex(v[54]) {
+		return TraceID{}, SpanID{}, false
+	}
+	return tid, sid, true
+}
+
+func isHex(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

@@ -1,0 +1,388 @@
+package tracing
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIDsAreUniqueNonZeroAndHex(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		tid := NewTraceID()
+		sid := NewSpanID()
+		if tid.IsZero() || sid.IsZero() {
+			t.Fatal("generated a zero id")
+		}
+		ts, ss := tid.String(), sid.String()
+		if len(ts) != 32 || len(ss) != 16 {
+			t.Fatalf("hex lengths = %d/%d, want 32/16", len(ts), len(ss))
+		}
+		if seen[ts] || seen[ss] {
+			t.Fatalf("duplicate id at iteration %d", i)
+		}
+		seen[ts], seen[ss] = true, true
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := New(Options{})
+	_, sp := tr.Start(context.Background(), "root")
+	tp := sp.Traceparent()
+	tid, sid, ok := ParseTraceparent(tp)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected its own output", tp)
+	}
+	if tid != sp.TraceID() || sid != sp.SpanID() {
+		t.Fatalf("round trip mismatch: got %s/%s want %s/%s", tid, sid, sp.TraceID(), sp.SpanID())
+	}
+	sp.End()
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-short-short-01",
+		"01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // wrong version
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero span id
+		"00-0af7651916cd43dd8448eb211c80319cXb7ad6b7169203331-01", // bad separator
+		"00-zzf7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // non-hex
+	}
+	for _, v := range bad {
+		if _, _, ok := ParseTraceparent(v); ok {
+			t.Errorf("ParseTraceparent(%q) = ok, want rejection", v)
+		}
+	}
+	if _, _, ok := ParseTraceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"); !ok {
+		t.Error("canonical traceparent rejected")
+	}
+}
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var s *Span
+	s.SetAttr(String("k", "v"))
+	s.SetError(fmt.Errorf("x"))
+	s.SetErrorString("y")
+	s.End()
+	if got := s.Traceparent(); got != "" {
+		t.Errorf("nil span traceparent = %q, want empty", got)
+	}
+	if !s.TraceID().IsZero() || !s.SpanID().IsZero() {
+		t.Error("nil span ids not zero")
+	}
+}
+
+func TestStartChildWithoutTraceIsNoop(t *testing.T) {
+	tr := New(Options{})
+	ctx, sp := tr.StartChild(context.Background(), "orphan")
+	if sp != nil {
+		t.Fatal("StartChild minted a span with no trace in context")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("context gained a span")
+	}
+	if tr.Store().Len() != 0 {
+		t.Fatal("store gained a trace")
+	}
+}
+
+func TestDisabledTracerCreatesNothing(t *testing.T) {
+	tr := New(Options{})
+	tr.SetEnabled(false)
+	_, sp := tr.Start(context.Background(), "root")
+	if sp != nil {
+		t.Fatal("disabled tracer returned a span")
+	}
+	_, sp = tr.StartRemote(context.Background(), "srv", "")
+	if sp != nil {
+		t.Fatal("disabled tracer returned a remote span")
+	}
+}
+
+func TestSpanTreeAssemblyAndAttrs(t *testing.T) {
+	tr := New(Options{})
+	ctx, root := tr.Start(context.Background(), "root")
+	root.SetAttr(String("app_id", "a1"), Int("n", 42), Float("f", 1.5), Bool("hit", true))
+
+	cctx, child := tr.Start(ctx, "child")
+	_, grand := tr.Start(cctx, "grandchild")
+	grand.SetErrorString("boom")
+	grand.End()
+	child.End()
+	root.End()
+
+	if got := tr.Store().Len(); got != 1 {
+		t.Fatalf("store traces = %d, want 1", got)
+	}
+	tj, ok := tr.Store().Trace(root.TraceID().String())
+	if !ok {
+		t.Fatal("trace not found by id")
+	}
+	if tj.Spans != 3 {
+		t.Fatalf("spans = %d, want 3", tj.Spans)
+	}
+	if len(tj.Roots) != 1 || tj.Roots[0].Name != "root" {
+		t.Fatalf("roots = %+v, want single root", tj.Roots)
+	}
+	r := tj.Roots[0]
+	if len(r.Children) != 1 || r.Children[0].Name != "child" {
+		t.Fatalf("root children = %+v", r.Children)
+	}
+	g := r.Children[0].Children
+	if len(g) != 1 || g[0].Name != "grandchild" || g[0].Error != "boom" {
+		t.Fatalf("grandchild = %+v", g)
+	}
+	attrs := map[string]string{}
+	for _, a := range r.Attrs {
+		attrs[a.Key] = a.Value
+	}
+	want := map[string]string{"app_id": "a1", "n": "42", "f": "1.5", "hit": "true"}
+	for k, v := range want {
+		if attrs[k] != v {
+			t.Errorf("attr %s = %q, want %q", k, attrs[k], v)
+		}
+	}
+}
+
+func TestRemoteSegmentsMergeIntoOneTrace(t *testing.T) {
+	tr := New(Options{})
+	// Client side: root + outbound span.
+	ctx, root := tr.Start(context.Background(), "client.root")
+	_, out := tr.Start(ctx, "client.request")
+	tp := out.Traceparent()
+
+	// Server side: continues the trace via the header.
+	_, srv := tr.StartRemote(context.Background(), "http.server", tp)
+	if srv.TraceID() != root.TraceID() {
+		t.Fatalf("server span trace id %s, want %s", srv.TraceID(), root.TraceID())
+	}
+	srv.End() // server segment publishes first, as in real request flow
+	out.End()
+	root.End()
+
+	if got := tr.Store().Len(); got != 1 {
+		t.Fatalf("store traces = %d, want 1 merged trace", got)
+	}
+	tj, _ := tr.Store().Trace(root.TraceID().String())
+	if tj.Spans != 3 {
+		t.Fatalf("merged spans = %d, want 3", tj.Spans)
+	}
+	// The server span's parent is the outbound span: one stitched tree.
+	if len(tj.Roots) != 1 {
+		t.Fatalf("roots = %d, want 1 (stitched)", len(tj.Roots))
+	}
+	req := tj.Roots[0].Children[0]
+	if req.Name != "client.request" || len(req.Children) != 1 || req.Children[0].Name != "http.server" {
+		t.Fatalf("tree not stitched across segments: %+v", req)
+	}
+	if !req.Children[0].Remote {
+		t.Error("server segment root not marked remote")
+	}
+}
+
+func TestStartRemoteWithBadHeaderStartsFreshRoot(t *testing.T) {
+	tr := New(Options{})
+	_, sp := tr.StartRemote(context.Background(), "srv", "garbage")
+	if sp == nil {
+		t.Fatal("no span for bad header")
+	}
+	if sp.TraceID().IsZero() {
+		t.Fatal("zero trace id")
+	}
+	if sp.remote {
+		t.Error("fresh root marked remote")
+	}
+	sp.End()
+	if tr.Store().Len() != 1 {
+		t.Error("fresh root did not publish")
+	}
+}
+
+func TestRingEvictionKeepsSlowest(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tr := New(Options{Capacity: 4, SlowN: 2, Now: func() time.Time { return now }})
+	mk := func(d time.Duration) TraceID {
+		ctx := context.Background()
+		_, sp := tr.Start(ctx, "root")
+		now = now.Add(d)
+		sp.End()
+		return sp.TraceID()
+	}
+	slow1 := mk(5 * time.Second)
+	slow2 := mk(4 * time.Second)
+	var lastFast TraceID
+	for i := 0; i < 20; i++ {
+		lastFast = mk(time.Millisecond)
+	}
+	if _, ok := tr.Store().Trace(slow1.String()); !ok {
+		t.Error("slowest trace evicted from store")
+	}
+	if _, ok := tr.Store().Trace(slow2.String()); !ok {
+		t.Error("second-slowest trace evicted from store")
+	}
+	if _, ok := tr.Store().Trace(lastFast.String()); !ok {
+		t.Error("most recent trace missing")
+	}
+	_, slowest := tr.Store().Snapshot(4)
+	if len(slowest) != 2 {
+		t.Fatalf("slowest reservoir = %d traces, want 2", len(slowest))
+	}
+	if slowest[0].TraceID != slow1.String() || slowest[1].TraceID != slow2.String() {
+		t.Errorf("slowest order = %s,%s want %s,%s",
+			slowest[0].TraceID, slowest[1].TraceID, slow1, slow2)
+	}
+	// Bounded: capacity + slowN is the ceiling on retained traces.
+	if got := tr.Store().Len(); got > 4+2 {
+		t.Errorf("store retains %d traces, want <= 6", got)
+	}
+}
+
+func TestStoreHandlerJSON(t *testing.T) {
+	tr := New(Options{})
+	ctx, root := tr.Start(context.Background(), "root")
+	_, child := tr.Start(ctx, "child")
+	child.End()
+	root.End()
+
+	h := tr.Store().Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var doc struct {
+		Recent  []TraceJSON `json:"recent"`
+		Slowest []TraceJSON `json:"slowest"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("decoding /debug/traces: %v", err)
+	}
+	if len(doc.Recent) != 1 || doc.Recent[0].TraceID != root.TraceID().String() {
+		t.Fatalf("recent = %+v", doc.Recent)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?trace="+root.TraceID().String(), nil))
+	var tj TraceJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &tj); err != nil {
+		t.Fatalf("decoding single trace: %v", err)
+	}
+	if tj.Spans != 2 {
+		t.Fatalf("single trace spans = %d, want 2", tj.Spans)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?trace="+NewTraceID().String(), nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown trace status = %d, want 404", rec.Code)
+	}
+}
+
+// TestStoreConcurrentPublishAndSnapshot is the ring-buffer race workout:
+// many goroutines publishing full traces while readers snapshot, look up,
+// and serve JSON. Run under -race (the CI tracing smoke does).
+func TestStoreConcurrentPublishAndSnapshot(t *testing.T) {
+	tr := New(Options{Capacity: 32, SlowN: 4})
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 200; i++ {
+				ctx, root := tr.Start(context.Background(), "root")
+				root.SetAttr(Int("worker", int64(w)), Int("i", int64(i)))
+				_, c := tr.Start(ctx, "child")
+				c.SetAttr(Duration("d", time.Millisecond))
+				c.End()
+				root.End()
+			}
+		}(w)
+	}
+	for rdr := 0; rdr < 4; rdr++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				recent, slowest := tr.Store().Snapshot(10)
+				_ = len(recent) + len(slowest)
+				tr.Store().Len()
+				tr.Store().Stats()
+				rec := httptest.NewRecorder()
+				tr.Store().Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?n=5", nil))
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	published, _ := tr.Store().Stats()
+	if published == 0 {
+		t.Fatal("nothing published")
+	}
+	if got := tr.Store().Len(); got > 32+4 {
+		t.Errorf("store retains %d traces, want <= 36", got)
+	}
+}
+
+func TestSlogHandlerStampsTraceID(t *testing.T) {
+	var buf bytes.Buffer
+	base := slog.NewTextHandler(&buf, nil)
+	logger := slog.New(WrapSlogHandler(base))
+
+	tr := New(Options{})
+	ctx, sp := tr.Start(context.Background(), "root")
+	logger.InfoContext(ctx, "hello", "k", "v")
+	line := buf.String()
+	if !strings.Contains(line, "trace_id="+sp.TraceID().String()) {
+		t.Errorf("log line missing trace_id: %q", line)
+	}
+	if !strings.Contains(line, "span_id="+sp.SpanID().String()) {
+		t.Errorf("log line missing span_id: %q", line)
+	}
+	sp.End()
+
+	buf.Reset()
+	logger.Info("no ctx")
+	if strings.Contains(buf.String(), "trace_id") {
+		t.Errorf("untraced line gained a trace_id: %q", buf.String())
+	}
+
+	if w := WrapSlogHandler(WrapSlogHandler(base)); w != WrapSlogHandler(w) {
+		t.Error("WrapSlogHandler not idempotent")
+	}
+}
+
+func TestUnfinishedChildMarked(t *testing.T) {
+	tr := New(Options{})
+	ctx, root := tr.Start(context.Background(), "root")
+	_, child := tr.Start(ctx, "leaked")
+	_ = child
+	root.End() // child never ended
+	tj, _ := tr.Store().Trace(root.TraceID().String())
+	var found bool
+	for _, r := range tj.Roots {
+		for _, c := range r.Children {
+			if c.Name == "leaked" && c.Unfinished {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("open child not published as unfinished")
+	}
+}

@@ -134,10 +134,10 @@ func (c *Client) transport() *httpx.Client {
 }
 
 // Score returns the trust score for domain, or ErrUnknownDomain when WOT
-// has no data.
-func (c *Client) Score(domain string) (int, error) {
+// has no data. The context carries cancellation and the caller's trace.
+func (c *Client) Score(ctx context.Context, domain string) (int, error) {
 	u := strings.TrimRight(c.BaseURL, "/") + "/lookup?" + url.Values{"domain": {domain}}.Encode()
-	resp, err := c.transport().Get(context.Background(), u)
+	resp, err := c.transport().Get(ctx, u)
 	if err != nil {
 		return 0, fmt.Errorf("wot: %w", err)
 	}
@@ -159,12 +159,12 @@ func (c *Client) Score(domain string) (int, error) {
 // ScoreOrUnknown returns the score for the domain of rawURL, mapping
 // unknown domains (and unparseable URLs) to UnknownScore, exactly as the
 // paper's feature extraction does.
-func (c *Client) ScoreOrUnknown(rawURL string) int {
+func (c *Client) ScoreOrUnknown(ctx context.Context, rawURL string) int {
 	d := DomainOf(rawURL)
 	if d == "" {
 		return UnknownScore
 	}
-	score, err := c.Score(d)
+	score, err := c.Score(ctx, d)
 	if err != nil {
 		return UnknownScore
 	}

@@ -1,6 +1,7 @@
 package wot
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -71,11 +72,11 @@ func TestHTTPLookup(t *testing.T) {
 	defer srv.Close()
 
 	c := &Client{BaseURL: srv.URL}
-	score, err := c.Score("apps.facebook.com")
+	score, err := c.Score(context.Background(), "apps.facebook.com")
 	if err != nil || score != 92 {
 		t.Errorf("Score = %d, %v", score, err)
 	}
-	if _, err := c.Score("fastfreeupdates.com"); !errors.Is(err, ErrUnknownDomain) {
+	if _, err := c.Score(context.Background(), "fastfreeupdates.com"); !errors.Is(err, ErrUnknownDomain) {
 		t.Errorf("unknown domain err = %v", err)
 	}
 
@@ -108,13 +109,13 @@ func TestScoreOrUnknown(t *testing.T) {
 	defer srv.Close()
 	c := &Client{BaseURL: srv.URL}
 
-	if got := c.ScoreOrUnknown("http://good.example/install"); got != 80 {
+	if got := c.ScoreOrUnknown(context.Background(), "http://good.example/install"); got != 80 {
 		t.Errorf("known = %d, want 80", got)
 	}
-	if got := c.ScoreOrUnknown("http://evil.example/x"); got != UnknownScore {
+	if got := c.ScoreOrUnknown(context.Background(), "http://evil.example/x"); got != UnknownScore {
 		t.Errorf("unknown = %d, want %d", got, UnknownScore)
 	}
-	if got := c.ScoreOrUnknown(""); got != UnknownScore {
+	if got := c.ScoreOrUnknown(context.Background(), ""); got != UnknownScore {
 		t.Errorf("empty URL = %d, want %d", got, UnknownScore)
 	}
 }

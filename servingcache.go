@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"frappe/internal/telemetry"
+	"frappe/internal/tracing"
 )
 
 // The watchdog's serving path absorbs repeated traffic with two layers:
@@ -79,9 +80,12 @@ func cacheable(a Assessment) bool {
 
 // do returns appID's assessment under the given model generation: from
 // cache when fresh and produced by the same model, by joining an in-flight
-// same-model computation when one exists, or by running fn. The returned
-// assessment has Cached set when it was not computed by this caller.
-func (c *verdictCache) do(ctx context.Context, appID, modelID string, fn func() Assessment) Assessment {
+// same-model computation when one exists, or by running fn with a context
+// carrying this layer's span (so the crawl underneath joins the request
+// trace). The returned assessment has Cached set when it was not computed
+// by this caller.
+func (c *verdictCache) do(ctx context.Context, appID, modelID string, fn func(context.Context) Assessment) Assessment {
+	result := "miss"
 	c.mu.Lock()
 	if e, ok := c.entries[appID]; ok {
 		switch {
@@ -90,38 +94,46 @@ func (c *verdictCache) do(ctx context.Context, appID, modelID string, fn func() 
 			// race where an old-model flight completed after the flush.
 			delete(c.entries, appID)
 			verdictCacheSize.Set(float64(len(c.entries)))
-			verdictCacheTotal.With("stale_model").Inc()
+			result = "stale_model"
 		case c.now().Before(e.exp):
 			c.mu.Unlock()
 			verdictCacheTotal.With("hit").Inc()
+			markCacheLookup(ctx, "hit")
 			a := e.a
 			a.Cached = true
 			return a
 		default:
 			delete(c.entries, appID)
 			verdictCacheSize.Set(float64(len(c.entries)))
-			verdictCacheTotal.With("expired").Inc()
+			result = "expired"
 		}
-	} else {
-		verdictCacheTotal.With("miss").Inc()
 	}
+	verdictCacheTotal.With(result).Inc()
 	if fl, ok := c.flights[appID]; ok && fl.modelID == modelID {
 		c.mu.Unlock()
+		markCacheLookup(ctx, result)
+		_, sp := tracing.Default().StartChild(ctx, "verdict.singleflight")
 		select {
 		case <-fl.done:
+			sp.End()
 			verdictShared.Inc()
 			a := fl.a
 			a.Cached = true
 			return a
 		case <-ctx.Done():
+			sp.SetError(ctx.Err())
+			sp.End()
 			return Assessment{AppID: appID, Error: ctx.Err().Error(), Cause: CauseUpstream}
 		}
 	}
 	fl := &verdictFlight{done: make(chan struct{}), modelID: modelID}
 	c.flights[appID] = fl
 	c.mu.Unlock()
+	markCacheLookup(ctx, result)
 
-	a := fn()
+	cctx, sp := tracing.Default().StartChild(ctx, "verdict.compute")
+	a := fn(cctx)
+	sp.End()
 
 	c.mu.Lock()
 	fl.a = a
@@ -138,6 +150,15 @@ func (c *verdictCache) do(ctx context.Context, appID, modelID string, fn func() 
 	c.mu.Unlock()
 	close(fl.done)
 	return a
+}
+
+// markCacheLookup drops a zero-length marker span recording how the
+// verdict-cache lookup resolved, so a trace shows hit/miss/expired/
+// stale_model at a glance.
+func markCacheLookup(ctx context.Context, result string) {
+	_, sp := tracing.Default().StartChild(ctx, "verdict.cache")
+	sp.SetAttr(tracing.String("result", result))
+	sp.End()
 }
 
 // flush empties the verdict table — called on model swap so no verdict of

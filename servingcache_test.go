@@ -22,7 +22,7 @@ func TestVerdictCacheSingleflightCollapse(t *testing.T) {
 	reg := telemetry.Default()
 	sharedBefore := reg.CounterValue("frappe_verdict_singleflight_shared_total")
 
-	compute := func() Assessment {
+	compute := func(context.Context) Assessment {
 		if calls.Add(1) == 1 {
 			close(entered)
 			<-release
@@ -78,7 +78,7 @@ func TestVerdictCacheTTLExpiry(t *testing.T) {
 	c.now = func() time.Time { return now }
 
 	var calls int
-	compute := func() Assessment {
+	compute := func(context.Context) Assessment {
 		calls++
 		return Assessment{AppID: "app", Score: float64(calls)}
 	}
@@ -113,8 +113,8 @@ func TestVerdictCacheModelSwapInvalidation(t *testing.T) {
 	c := newVerdictCache(time.Minute)
 	ctx := context.Background()
 	calls := 0
-	compute := func(modelID string, score float64) func() Assessment {
-		return func() Assessment {
+	compute := func(modelID string, score float64) func(context.Context) Assessment {
+		return func(context.Context) Assessment {
 			calls++
 			return Assessment{AppID: "app", Score: score, ModelVersion: modelID}
 		}
@@ -161,7 +161,7 @@ func TestVerdictCacheFlightNotJoinedAcrossSwap(t *testing.T) {
 	release := make(chan struct{})
 	oldDone := make(chan Assessment, 1)
 	go func() {
-		oldDone <- c.do(ctx, "app", "v1-aaaa", func() Assessment {
+		oldDone <- c.do(ctx, "app", "v1-aaaa", func(context.Context) Assessment {
 			close(entered)
 			<-release
 			return Assessment{AppID: "app", Score: 1, ModelVersion: "v1-aaaa"}
@@ -173,7 +173,7 @@ func TestVerdictCacheFlightNotJoinedAcrossSwap(t *testing.T) {
 	c.flush()
 	newDone := make(chan Assessment, 1)
 	go func() {
-		newDone <- c.do(ctx, "app", "v2-bbbb", func() Assessment {
+		newDone <- c.do(ctx, "app", "v2-bbbb", func(context.Context) Assessment {
 			return Assessment{AppID: "app", Score: 2, ModelVersion: "v2-bbbb"}
 		})
 	}()
@@ -187,7 +187,7 @@ func TestVerdictCacheFlightNotJoinedAcrossSwap(t *testing.T) {
 		t.Fatalf("old flight result corrupted: %+v", old)
 	}
 	// The old flight's late result must not have poisoned the table for v2.
-	a := c.do(ctx, "app", "v2-bbbb", func() Assessment {
+	a := c.do(ctx, "app", "v2-bbbb", func(context.Context) Assessment {
 		t.Error("v2 verdict should have been cached")
 		return Assessment{AppID: "app", ModelVersion: "v2-bbbb"}
 	})
@@ -200,7 +200,7 @@ func TestVerdictCacheDoesNotCacheFailures(t *testing.T) {
 	c := newVerdictCache(time.Minute)
 	var calls int
 	ctx := context.Background()
-	fail := func() Assessment {
+	fail := func(context.Context) Assessment {
 		calls++
 		return Assessment{AppID: "app", Error: "upstream exploded", Cause: CauseUpstream}
 	}
@@ -213,7 +213,7 @@ func TestVerdictCacheDoesNotCacheFailures(t *testing.T) {
 		t.Errorf("compute ran %d times, want 2 (failures must not be cached)", calls)
 	}
 	// A deleted-app verdict IS conclusive and cacheable.
-	deleted := func() Assessment {
+	deleted := func(context.Context) Assessment {
 		calls++
 		return Assessment{AppID: "gone", Deleted: true, Malicious: true,
 			Cause: CauseDeleted, Error: "app removed from the graph"}

@@ -12,6 +12,7 @@ import (
 	"frappe/internal/crawler"
 	"frappe/internal/graphapi"
 	"frappe/internal/httpx"
+	"frappe/internal/tracing"
 	"frappe/internal/wot"
 )
 
@@ -179,7 +180,21 @@ func (w *Watchdog) evaluateWith(ctx context.Context, clf *Classifier, appID stri
 	if r.SummaryErr != nil && !errors.Is(r.SummaryErr, graphapi.ErrDeleted) {
 		return Verdict{AppID: appID}, fmt.Errorf("frappe: crawling %s: %w", appID, r.SummaryErr)
 	}
-	return clf.Classify(AppRecord{ID: appID, Crawl: r})
+	// Feature extraction + SVM inference under one span: inference is
+	// microseconds next to the crawl, but seeing it in the tree confirms a
+	// verdict was computed rather than served from cache.
+	_, sp := tracing.Default().StartChild(ctx, "svm.classify")
+	v, err := clf.Classify(AppRecord{ID: appID, Crawl: r})
+	if err != nil {
+		if !errors.Is(err, core.ErrNotClassifiable) {
+			sp.SetError(err)
+		}
+	} else {
+		sp.SetAttr(tracing.Bool("malicious", v.Malicious))
+		sp.SetAttr(tracing.Float("score", v.Score))
+	}
+	sp.End()
+	return v, err
 }
 
 // ErrNotClassifiable is returned by Evaluate for apps without a crawlable

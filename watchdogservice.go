@@ -12,6 +12,7 @@ import (
 
 	"frappe/internal/httpx"
 	"frappe/internal/telemetry"
+	"frappe/internal/tracing"
 	"frappe/internal/workerpool"
 )
 
@@ -41,6 +42,12 @@ type Assessment struct {
 	// consumer can tell which classifier generation it is looking at —
 	// and so the verdict cache never serves a superseded model's verdict.
 	ModelVersion string `json:"model_version,omitempty"`
+	// TraceID links this assessment to its request trace: the same value
+	// appears in the X-Trace-Id response header, the service's log lines,
+	// and /debug/traces. It is stamped per request — a cached verdict
+	// carries the trace ID of the request that retrieved it, not of the
+	// one that computed it.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Assessment causes — the /check endpoint maps each to a distinct status.
@@ -71,15 +78,35 @@ var (
 // outcomes carry a Cause distinguishing an open circuit breaker from an
 // ordinary upstream failure.
 func (w *Watchdog) Assess(ctx context.Context, appID string) Assessment {
+	ctx, span := tracing.Default().StartChild(ctx, "watchdog.assess")
+	span.SetAttr(tracing.String("app_id", appID))
 	// Pin the serving model once: the whole assessment — cache lookup,
 	// crawl, classification, version stamp — runs against one generation
 	// even if a hot swap lands mid-flight.
 	sm := w.serving.Load()
+	var a Assessment
 	if w.cache != nil {
-		return w.cache.do(ctx, appID, sm.manifest.ModelID(),
-			func() Assessment { return w.assess(ctx, sm, appID) })
+		a = w.cache.do(ctx, appID, sm.manifest.ModelID(),
+			func(cctx context.Context) Assessment { return w.assess(cctx, sm, appID) })
+	} else {
+		a = w.assess(ctx, sm, appID)
 	}
-	return w.assess(ctx, sm, appID)
+	if a.Cause != "" {
+		span.SetAttr(tracing.String("cause", a.Cause))
+	}
+	if a.Cached {
+		span.SetAttr(tracing.Bool("cached", true))
+	}
+	if a.Error != "" && !a.Deleted {
+		span.SetErrorString(a.Error)
+	}
+	span.End()
+	// Stamp the live request's trace ID — even onto cached verdicts, so
+	// the JSON a client sees always matches its own X-Trace-Id header.
+	if tid := tracing.TraceIDFrom(ctx); tid != "" {
+		a.TraceID = tid
+	}
+	return a
 }
 
 func (w *Watchdog) assess(ctx context.Context, sm *servingModel, appID string) Assessment {
@@ -200,6 +227,13 @@ func WatchdogHandlerWith(w *Watchdog, timeout time.Duration, rel *Reloader) http
 			rw.Header().Set("Retry-After", retryAfter)
 		case CauseUpstream:
 			status = http.StatusBadGateway
+		}
+		if status != http.StatusOK {
+			// The ctx carries the request span, so the trace-aware slog
+			// handler stamps trace_id — an operator can jump from this
+			// line straight to the span tree at /debug/traces.
+			slog.Default().WarnContext(ctx, "watchdog: non-OK assessment",
+				"app", appID, "status", status, "cause", a.Cause, "err", a.Error)
 		}
 		writeAssessJSON(rw, status, a)
 	})
