@@ -6,7 +6,9 @@
 //
 //	frappebench [-scale 0.15] [-seed 20121210] [-quick] [-bench-json FILE]
 //	frappebench -serve [-serve-clients 8] [-serve-duration 10s]
-//	            [-serve-apps 32] [-serve-verdict-ttl 5s] [-bench-json FILE]
+//	            [-serve-apps 32] [-serve-verdict-ttl 5s] [-tracing on|off]
+//	            [-serve-compile off|exact|rff] [-serve-variants]
+//	            [-bench-json FILE]
 //
 // -quick skips the classifier cross-validation experiments (the slowest
 // part) and prints only the measurement and forensics results.
@@ -15,6 +17,10 @@
 // wired against an in-process loopback stack and hammered with
 // -serve-clients concurrent /check loops for -serve-duration, reporting
 // verdicts/sec, p50/p95/p99 latency and the verdict-cache hit rate.
+// -tracing off disables request tracing for the run (isolating its cost),
+// -serve-compile serves through a compiled inference artifact, and
+// -serve-variants appends uncached, untraced exact-vs-RFF passes so one
+// run records the full inference-path comparison.
 //
 // -bench-json writes per-stage wall-clock timings (world generation,
 // dataset build, classifier training, cross-validation) read back from the
@@ -117,6 +123,10 @@ func main() {
 	serveDuration := flag.Duration("serve-duration", 10*time.Second, "measurement window for -serve")
 	serveApps := flag.Int("serve-apps", 32, "distinct live app IDs rotated through by -serve clients")
 	serveTTL := flag.Duration("serve-verdict-ttl", 5*time.Second, "watchdog verdict-cache TTL for -serve (0 = cache off)")
+	tracingFlag := flag.String("tracing", "on", "request tracing for -serve: on or off")
+	serveCompile := flag.String("serve-compile", "off", "serve through a compiled artifact: off, exact or rff (-serve only)")
+	serveVariants := flag.Bool("serve-variants", false,
+		"after the primary -serve pass, run uncached/untraced exact-vs-RFF variant passes")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSONFlag := flag.Bool("log-json", false, "log as JSON instead of text")
 	flag.Parse()
@@ -128,6 +138,11 @@ func main() {
 		runtime.GOMAXPROCS(*workersFlag)
 	}
 
+	if *tracingFlag != "on" && *tracingFlag != "off" {
+		fmt.Fprintf(os.Stderr, "unknown -tracing %q (want on or off)\n", *tracingFlag)
+		os.Exit(1)
+	}
+
 	if *serveMode {
 		start := time.Now()
 		res, err := runServe(logger, serveConfig{
@@ -137,6 +152,9 @@ func main() {
 			duration: *serveDuration,
 			appPool:  *serveApps,
 			ttl:      *serveTTL,
+			tracing:  *tracingFlag == "on",
+			compile:  *serveCompile,
+			variants: *serveVariants,
 		})
 		if err != nil {
 			fatal(logger, err)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -15,6 +16,7 @@ import (
 
 	"frappe"
 	"frappe/internal/telemetry"
+	"frappe/internal/tracing"
 )
 
 // The -serve mode benchmarks the watchdog's serving path end to end: it
@@ -25,14 +27,25 @@ import (
 // previous one answers, so concurrency is exactly -serve-clients and the
 // measured latency distribution is not coordinated-omission-biased by an
 // open-loop arrival schedule.
+//
+// -serve-variants adds isolated passes over the same world and stack that
+// strip the verdict cache and request tracing, comparing the exact
+// kernel-expansion model against the compiled random-Fourier-features
+// artifact on the pure uncached miss path — the inference-bound regime the
+// compiled path exists for.
 
 // serveResult is the serving-benchmark section of the -bench-json doc.
 type serveResult struct {
 	Clients        int     `json:"clients"`
 	AppPool        int     `json:"app_pool"`
 	VerdictTTLSecs float64 `json:"verdict_ttl_seconds"`
-	DurationSecs   float64 `json:"duration_seconds"`
-	Requests       uint64  `json:"requests"`
+	// Tracing reports whether request tracing was enabled for the pass.
+	Tracing bool `json:"tracing"`
+	// Compile names the inference form that served the pass: "exact"
+	// (kernel expansion) or a compiled artifact ("rff(d=128,seed=2,float32)").
+	Compile      string  `json:"compile"`
+	DurationSecs float64 `json:"duration_seconds"`
+	Requests     uint64  `json:"requests"`
 	// Verdicts counts conclusive answers: 200 classifications plus 404
 	// deleted-app findings (a verdict in the paper's terms).
 	Verdicts       uint64             `json:"verdicts"`
@@ -42,6 +55,14 @@ type serveResult struct {
 	// CacheHitRate is hits over all verdict-cache lookups (hit, miss,
 	// expired, stale_model), read from the process telemetry registry.
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// InferenceNSPerOp is the warm single-verdict classification cost
+	// (pooled extraction + scaling + decision value) measured directly
+	// against the pass's pinned inference form, outside the HTTP path —
+	// the number the compiled artifact exists to shrink, isolated from
+	// crawl and network noise.
+	InferenceNSPerOp float64 `json:"inference_ns_per_op,omitempty"`
+	// Variants holds the -serve-variants passes, keyed by variant name.
+	Variants map[string]*serveResult `json:"variants,omitempty"`
 }
 
 type serveConfig struct {
@@ -51,7 +72,15 @@ type serveConfig struct {
 	duration time.Duration
 	appPool  int
 	ttl      time.Duration
+	tracing  bool
+	compile  string // off, exact or rff
+	variants bool
 }
+
+// benchCompileTolerance gates the compiled artifact the benchmark serves:
+// the RFF approximation may cost at most two points of holdout accuracy
+// before the gate widens the map (or gives up).
+const benchCompileTolerance = 0.02
 
 // runServe executes the closed-loop serving benchmark and returns its
 // result (for -bench-json) or an error. Zero verdicts is an error: a
@@ -79,14 +108,119 @@ func runServe(logger *slog.Logger, cfg serveConfig) (*serveResult, error) {
 		return nil, fmt.Errorf("starting service stack: %w", err)
 	}
 	defer st.Close()
-	wd, err := frappe.NewWatchdogWith(clf, frappe.WatchdogConfig{
-		GraphURL:   st.GraphURL,
-		WOTURL:     st.WOTURL,
-		VerdictTTL: cfg.ttl,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("building watchdog: %w", err)
+
+	pool := livePool(w, cfg.appPool)
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("no live apps in the generated world")
 	}
+
+	// compileFor pins the inference form a pass serves through. For RFF it
+	// walks the latency dial the wrong-side-out: start at the default
+	// (fastest) dimension and double until the parity gate accepts — the
+	// benchmark then serves the smallest map that passed, exactly what a
+	// deployment would pick.
+	compileFor := func(mode string) (string, error) {
+		clf.DropCompiled()
+		if mode == "off" || mode == "exact-model" {
+			return "exact", nil
+		}
+		cm, err := frappe.ParseCompileMode(mode)
+		if err != nil {
+			return "", fmt.Errorf("-serve-compile: %w", err)
+		}
+		opts := frappe.DefaultCompileOptions(cm)
+		opts.Seed = 2
+		for {
+			parity, err := frappe.CompileClassifier(clf, records, labels, opts, benchCompileTolerance)
+			if errors.Is(err, frappe.ErrCompileRefused) && cm == frappe.CompileRFF && opts.RFFDim < 1024 {
+				logger.Info("compile gate refused; widening the Fourier map",
+					"rff_dim", opts.RFFDim, "reason", err.Error())
+				opts.RFFDim *= 2
+				continue
+			}
+			if err != nil {
+				return "", fmt.Errorf("compiling classifier (%s): %w", mode, err)
+			}
+			logger.Info("serving compiled artifact", "compiled", clf.Compiled().String(),
+				"agreement", parity.AgreementRate, "max_drift", parity.MaxDecisionDrift)
+			return clf.Compiled().String(), nil
+		}
+	}
+
+	pass := func(label, mode string, ttl time.Duration, traceOn bool) (*serveResult, error) {
+		compiled, err := compileFor(mode)
+		if err != nil {
+			return nil, err
+		}
+		wd, err := frappe.NewWatchdogWith(clf, frappe.WatchdogConfig{
+			GraphURL:   st.GraphURL,
+			WOTURL:     st.WOTURL,
+			VerdictTTL: ttl,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("building watchdog: %w", err)
+		}
+		tracing.Default().SetEnabled(traceOn)
+		infNS := measureInference(clf, records[0])
+		res, err := drivePass(logger, label, wd, cfg.clients, cfg.duration, pool)
+		if err != nil {
+			return nil, err
+		}
+		res.VerdictTTLSecs = ttl.Seconds()
+		res.Tracing = traceOn
+		res.Compile = compiled
+		res.InferenceNSPerOp = infNS
+		fmt.Printf("  inference       %.0f ns/op (%s)\n", infNS, compiled)
+		return res, nil
+	}
+
+	primary, err := pass("primary", cfg.compile, cfg.ttl, cfg.tracing)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.variants {
+		// The variant passes isolate the uncached inference path: no
+		// verdict cache, no tracing, exact vs compiled-RFF scoring.
+		primary.Variants = make(map[string]*serveResult)
+		for _, v := range []struct{ name, mode string }{
+			{"exact_uncached_untraced", "off"},
+			{"rff_uncached_untraced", "rff"},
+		} {
+			res, err := pass(v.name, v.mode, 0, false)
+			if err != nil {
+				return nil, fmt.Errorf("variant %s: %w", v.name, err)
+			}
+			primary.Variants[v.name] = res
+		}
+	}
+	tracing.Default().SetEnabled(true)
+	return primary, nil
+}
+
+// measureInference times the warm single-verdict path against whatever
+// inference form is pinned on clf: one warming call, then the median of
+// several tight-loop samples (median, because a GC pause or scheduler
+// preemption in one sample should not smear the number).
+func measureInference(clf *frappe.Classifier, r frappe.AppRecord) float64 {
+	if _, err := clf.Classify(r); err != nil {
+		return 0
+	}
+	const samples, n = 7, 50_000
+	perOp := make([]float64, samples)
+	for s := range perOp {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			clf.Classify(r)
+		}
+		perOp[s] = float64(time.Since(start).Nanoseconds()) / n
+	}
+	sort.Float64s(perOp)
+	return perOp[samples/2]
+}
+
+// drivePass hammers one watchdog with the closed-loop client set and
+// reports the measured pass.
+func drivePass(logger *slog.Logger, label string, wd *frappe.Watchdog, clients int, duration time.Duration, pool []string) (*serveResult, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("listening: %w", err)
@@ -96,23 +230,19 @@ func runServe(logger *slog.Logger, cfg serveConfig) (*serveResult, error) {
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()
 
-	pool := livePool(w, cfg.appPool)
-	if len(pool) == 0 {
-		return nil, fmt.Errorf("no live apps in the generated world")
-	}
-	fmt.Printf("Serving benchmark: %d clients, %d-app pool, verdict TTL %v, %v ...\n",
-		cfg.clients, len(pool), cfg.ttl, cfg.duration)
+	fmt.Printf("Serving pass %q: %d clients, %d-app pool, %v ...\n",
+		label, clients, len(pool), duration)
 
 	reg := telemetry.Default()
 	cacheBefore := cacheLookups(reg)
 	hitsBefore := reg.CounterValue("frappe_verdict_cache_total", "hit")
 
 	var requests, verdicts, errCount atomic.Uint64
-	lats := make([][]time.Duration, cfg.clients)
-	deadline := time.Now().Add(cfg.duration)
+	lats := make([][]time.Duration, clients)
+	deadline := time.Now().Add(duration)
 	start := time.Now()
 	var wg sync.WaitGroup
-	for c := 0; c < cfg.clients; c++ {
+	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
@@ -144,8 +274,8 @@ func runServe(logger *slog.Logger, cfg serveConfig) (*serveResult, error) {
 	elapsed := time.Since(start)
 
 	if verdicts.Load() == 0 {
-		return nil, fmt.Errorf("serving benchmark produced zero verdicts in %v (%d requests, %d errors)",
-			elapsed.Round(time.Millisecond), requests.Load(), errCount.Load())
+		return nil, fmt.Errorf("serving pass %q produced zero verdicts in %v (%d requests, %d errors)",
+			label, elapsed.Round(time.Millisecond), requests.Load(), errCount.Load())
 	}
 
 	var all []time.Duration
@@ -154,13 +284,12 @@ func runServe(logger *slog.Logger, cfg serveConfig) (*serveResult, error) {
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	res := &serveResult{
-		Clients:        cfg.clients,
-		AppPool:        len(pool),
-		VerdictTTLSecs: cfg.ttl.Seconds(),
-		DurationSecs:   elapsed.Seconds(),
-		Requests:       requests.Load(),
-		Verdicts:       verdicts.Load(),
-		Errors:         errCount.Load(),
+		Clients:      clients,
+		AppPool:      len(pool),
+		DurationSecs: elapsed.Seconds(),
+		Requests:     requests.Load(),
+		Verdicts:     verdicts.Load(),
+		Errors:       errCount.Load(),
 		VerdictsPerSec: float64(verdicts.Load()) / elapsed.Seconds(),
 		LatencyMS: map[string]float64{
 			"p50":  ms(percentile(all, 0.50)),
@@ -176,16 +305,16 @@ func runServe(logger *slog.Logger, cfg serveConfig) (*serveResult, error) {
 	}
 
 	fmt.Printf(`
-Serving benchmark (closed loop, %d clients, %v)
+Serving pass %q (closed loop, %d clients, %v)
   verdicts/sec    %.1f  (%d verdicts / %d requests, %d errors)
   latency ms      p50 %.2f  p95 %.2f  p99 %.2f  max %.2f
   cache-hit rate  %.1f%%
 `,
-		res.Clients, elapsed.Round(time.Millisecond),
+		label, res.Clients, elapsed.Round(time.Millisecond),
 		res.VerdictsPerSec, res.Verdicts, res.Requests, res.Errors,
 		res.LatencyMS["p50"], res.LatencyMS["p95"], res.LatencyMS["p99"], res.LatencyMS["max"],
 		100*res.CacheHitRate)
-	logger.Info("serving benchmark complete",
+	logger.Info("serving pass complete", "pass", label,
 		"verdicts_per_sec", res.VerdictsPerSec, "p99_ms", res.LatencyMS["p99"],
 		"cache_hit_rate", res.CacheHitRate)
 	return res, nil

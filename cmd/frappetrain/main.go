@@ -11,8 +11,18 @@
 //	frappetrain -registry DIR [-scale 0.02] [-seed ...]
 //	            [-features lite|full|robust] [-rounds 3] [-interval 0]
 //	            [-holdout 0.2] [-tolerance 0] [-keep 0]
+//	            [-compile off|exact|rff] [-rff-dim 64]
+//	            [-compile-tolerance 0] [-no-quantize]
 //	            [-grow-start 0.5] [-grow-step 0.25]
 //	            [-debug-addr ""] [-log-level info] [-log-json]
+//
+// With -compile, each accepted candidate is additionally compiled into a
+// serving artifact (exact flattened form, or the approximate
+// random-Fourier-features form with -compile rff) and gated on the same
+// holdout: a compiled form whose accuracy regresses more than
+// -compile-tolerance below the exact model is refused, and the round
+// publishes exact-only. Accepted artifacts are embedded in the published
+// payload, so watchdogd hot-swaps straight onto the compiled path.
 //
 // Each round trains on a growing prefix of the labeled view (-grow-start
 // fraction on round one, +-grow-step per round, capped at the full view),
@@ -45,6 +55,12 @@ func main() {
 	holdout := flag.Float64("holdout", 0.2, "holdout fraction per class for the promotion gate")
 	tolerance := flag.Float64("tolerance", 0, "allowed holdout-accuracy drop before a candidate is refused")
 	keep := flag.Int("keep", 0, "registry retention: GC all but the newest N versions after publish (0 = keep all)")
+	compileMode := flag.String("compile", "off", "compiled inference artifact: off, exact or rff")
+	rffDim := flag.Int("rff-dim", frappe.DefaultCompileOptions(frappe.CompileRFF).RFFDim,
+		"random-Fourier-feature dimension for -compile rff")
+	compileTolerance := flag.Float64("compile-tolerance", 0,
+		"allowed holdout-accuracy drop of the compiled form vs the exact model")
+	noQuantize := flag.Bool("no-quantize", false, "keep compiled weights in float64 (skip float32 quantization)")
 	growStart := flag.Float64("grow-start", 0.5, "fraction of the labeled view used in round one")
 	growStep := flag.Float64("grow-step", 0.25, "labeled-view growth per round")
 	debugAddr := flag.String("debug-addr", "",
@@ -134,11 +150,26 @@ func main() {
 		return outR, outL, nil
 	}
 
+	var compileCfg *frappe.CompileConfig
+	if *compileMode != "off" {
+		mode, err := frappe.ParseCompileMode(*compileMode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unknown -compile %q (want off, exact or rff)\n", *compileMode)
+			os.Exit(1)
+		}
+		opts := frappe.DefaultCompileOptions(mode)
+		opts.RFFDim = *rffDim
+		opts.Seed = cfg.Seed
+		opts.Quantize = !*noQuantize
+		compileCfg = &frappe.CompileConfig{Options: opts, Tolerance: *compileTolerance}
+	}
+
 	rt, err := frappe.NewRetrainer(reg, frappe.RetrainConfig{
 		Snapshot:        snapshot,
 		Options:         frappe.Options{Features: feats, Seed: cfg.Seed},
 		HoldoutFraction: *holdout,
 		Tolerance:       *tolerance,
+		Compile:         compileCfg,
 		Keep:            *keep,
 		Notes:           fmt.Sprintf("frappetrain scale=%g seed=%d", *scale, cfg.Seed),
 		Logger:          logger,
@@ -169,6 +200,14 @@ func main() {
 		}
 		if res.Reason != "" {
 			fmt.Printf(" (%s)", res.Reason)
+		}
+		if c := res.Compile; c != nil {
+			if c.Accepted {
+				fmt.Printf(" [compiled %s: agreement %.4f, max drift %.2e]",
+					c.Mode, c.Parity.AgreementRate, c.Parity.MaxDecisionDrift)
+			} else {
+				fmt.Printf(" [compile %s refused: %s]", c.Mode, c.Reason)
+			}
 		}
 		fmt.Println()
 		if ctx.Err() != nil {

@@ -1,0 +1,149 @@
+package frappe
+
+import (
+	"errors"
+	"fmt"
+
+	"frappe/internal/svm"
+)
+
+// This file is the classifier-level face of compiled inference
+// (internal/svm's Compile): turning a trained kernel-expansion SVM into a
+// flat serving artifact — exact, or an approximate random-Fourier-features
+// form — and gating the approximation on holdout parity before it is
+// allowed anywhere near a serving process. The compiled artifact travels
+// inside the classifier's registry payload, so the PR 5 publish → validate
+// → hot-swap loop carries it for free.
+
+// CompileMode selects the compiled-inference form; see svm.CompileMode.
+type CompileMode = svm.CompileMode
+
+// CompileOptions is the compile recipe: mode, RFF dimension, sampling
+// seed, and float32 quantization. The recipe is the whole provenance — the
+// same model and options always compile to the same artifact.
+type CompileOptions = svm.CompileOptions
+
+// Compile modes.
+const (
+	// CompileExact flattens the support-vector expansion (bit-identical
+	// decisions, faster memory layout).
+	CompileExact = svm.CompileExact
+	// CompileRFF replaces the kernel expansion with random Fourier
+	// features: O(dim) per verdict regardless of support-vector count.
+	CompileRFF = svm.CompileRFF
+)
+
+// ParseCompileMode parses "exact" or "rff".
+func ParseCompileMode(s string) (CompileMode, error) { return svm.ParseCompileMode(s) }
+
+// DefaultCompileOptions returns the default recipe for a mode.
+func DefaultCompileOptions(mode CompileMode) CompileOptions {
+	return svm.DefaultCompileOptions(mode)
+}
+
+// ErrCompileRefused reports that a compiled artifact's holdout accuracy
+// regressed beyond tolerance versus the exact model; the classifier has
+// been reverted to exact serving.
+var ErrCompileRefused = errors.New("frappe: compiled model refused")
+
+// ParityMetrics quantifies how faithfully a compiled artifact tracks the
+// exact model it was compiled from, over one labelled record set.
+type ParityMetrics struct {
+	// Samples is the number of classifiable records compared.
+	Samples int `json:"samples"`
+	// AgreementRate is the fraction of records on which exact and
+	// compiled verdicts agree (1 = label-identical).
+	AgreementRate float64 `json:"agreement_rate"`
+	// MaxDecisionDrift is the largest |exact - compiled| decision-value
+	// gap observed.
+	MaxDecisionDrift float64 `json:"max_decision_drift"`
+	// ExactAccuracy and CompiledAccuracy are each form's accuracy against
+	// the true labels.
+	ExactAccuracy    float64 `json:"exact_accuracy"`
+	CompiledAccuracy float64 `json:"compiled_accuracy"`
+}
+
+// CompileClassifier compiles clf's SVM with the given recipe and gates the
+// result on the labelled record set: the compiled form's accuracy may not
+// fall more than tolerance below the exact model's on the same records.
+//
+// On success the compiled artifact is pinned (clf serves through it, Save
+// embeds it) and the measured parity is returned. On regression the
+// classifier is reverted to exact serving and the error wraps
+// ErrCompileRefused — the returned metrics are still valid, so callers can
+// report what the refused artifact measured.
+func CompileClassifier(clf *Classifier, records []AppRecord, labels []bool, opts CompileOptions, tolerance float64) (ParityMetrics, error) {
+	var p ParityMetrics
+	if clf == nil {
+		return p, errors.New("frappe: nil classifier")
+	}
+	if len(records) == 0 || len(records) != len(labels) {
+		return p, fmt.Errorf("frappe: compile gate needs labelled records (%d records, %d labels)",
+			len(records), len(labels))
+	}
+
+	// Exact pass first: any previously pinned artifact is dropped so the
+	// baseline really is the kernel expansion.
+	clf.DropCompiled()
+	exact := make([]float64, 0, len(records))
+	kept := make([]int, 0, len(records))
+	for i, r := range records {
+		v, err := clf.DecisionValueRecord(r)
+		if errors.Is(err, ErrNotClassifiable) {
+			continue
+		}
+		if err != nil {
+			return p, fmt.Errorf("frappe: scoring %s: %w", r.ID, err)
+		}
+		exact = append(exact, v)
+		kept = append(kept, i)
+	}
+	if len(kept) == 0 {
+		return p, errors.New("frappe: compile gate: no classifiable records")
+	}
+
+	if err := clf.CompileInference(opts); err != nil {
+		return p, err
+	}
+	p.Samples = len(kept)
+	var agree, exactRight, compiledRight int
+	for k, i := range kept {
+		cv, err := clf.DecisionValueRecord(records[i])
+		if err != nil {
+			clf.DropCompiled()
+			return p, fmt.Errorf("frappe: scoring %s compiled: %w", records[i].ID, err)
+		}
+		ev := exact[k]
+		if drift := abs(ev - cv); drift > p.MaxDecisionDrift {
+			p.MaxDecisionDrift = drift
+		}
+		exactMal, compiledMal := ev >= 0, cv >= 0
+		if exactMal == compiledMal {
+			agree++
+		}
+		if exactMal == labels[i] {
+			exactRight++
+		}
+		if compiledMal == labels[i] {
+			compiledRight++
+		}
+	}
+	n := float64(p.Samples)
+	p.AgreementRate = float64(agree) / n
+	p.ExactAccuracy = float64(exactRight) / n
+	p.CompiledAccuracy = float64(compiledRight) / n
+
+	if p.CompiledAccuracy < p.ExactAccuracy-tolerance {
+		clf.DropCompiled()
+		return p, fmt.Errorf("%w: %s holdout accuracy %.4f vs exact %.4f (tolerance %.4f)",
+			ErrCompileRefused, opts.Mode, p.CompiledAccuracy, p.ExactAccuracy, tolerance)
+	}
+	return p, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,273 @@
+package frappe
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"encoding/json"
+)
+
+// End-to-end compiled inference: compile gate → manifest provenance →
+// hot-swap. The acceptance story: an RFF compile whose holdout accuracy
+// regresses is refused and never reaches the registry, an accepted compile
+// publishes with full provenance in the manifest, and a serving process
+// hot-swaps the compiled payload in under concurrent load with zero failed
+// requests and verdicts identical to the exact model's.
+
+// TestCompileGateRefusesRegressingRFF: a one-dimensional Fourier map
+// cannot track an RBF expansion, so its holdout accuracy collapses and
+// both the direct gate and the retrainer must refuse it — while the
+// retrainer still publishes the exact model with the refusal on record.
+func TestCompileGateRefusesRegressingRFF(t *testing.T) {
+	_, d := sharedWorld(t)
+	records, labels := LabeledSample(d)
+
+	crippled := DefaultCompileOptions(CompileRFF)
+	crippled.RFFDim = 1
+
+	clf := trainLifecycle(t, 2, 0)
+	parity, err := CompileClassifier(clf, records, labels, crippled, 0)
+	if !errors.Is(err, ErrCompileRefused) {
+		t.Fatalf("CompileClassifier(rff dim=1): err = %v, want ErrCompileRefused", err)
+	}
+	if clf.Compiled() != nil {
+		t.Error("refused compile left an artifact pinned; serving would use it")
+	}
+	if parity.Samples == 0 || parity.CompiledAccuracy >= parity.ExactAccuracy {
+		t.Errorf("refusal parity not auditable: %+v", parity)
+	}
+	// The classifier still serves exact verdicts after the refusal.
+	if _, err := clf.Classify(records[0]); err != nil {
+		t.Fatalf("Classify after refused compile: %v", err)
+	}
+
+	// Retrainer path: the round publishes exact-only and reports the refusal.
+	reg, err := OpenModelRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRetrainer(reg, RetrainConfig{
+		Snapshot: func(context.Context) ([]AppRecord, []bool, error) {
+			return records, labels, nil
+		},
+		Options: Options{Features: LiteFeatures(), Seed: 2},
+		CVFolds: -1,
+		Compile: &CompileConfig{Options: crippled},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.RunOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != RetrainPublished {
+		t.Fatalf("round outcome = %q (%s), want published (refused compile must not block the round)",
+			res.Outcome, res.Reason)
+	}
+	if res.Compile == nil || res.Compile.Accepted || res.Compile.Reason == "" {
+		t.Fatalf("compile report = %+v, want an explained refusal", res.Compile)
+	}
+	if res.Manifest.Compile != nil {
+		t.Errorf("refused compile stamped into manifest: %+v", res.Manifest.Compile)
+	}
+	// The published payload carries no compiled artifact.
+	loaded, _, err := LoadClassifier(reg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Compiled() != nil {
+		t.Error("published payload carries the refused artifact")
+	}
+}
+
+// TestCompileAcceptedPublishesProvenance: a healthy RFF compile passes the
+// gate, ships inside the payload, and the manifest records the full recipe
+// and parity numbers.
+func TestCompileAcceptedPublishesProvenance(t *testing.T) {
+	_, d := sharedWorld(t)
+	records, labels := LabeledSample(d)
+	reg, err := OpenModelRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultCompileOptions(CompileRFF)
+	opts.Seed = 2
+	rt, err := NewRetrainer(reg, RetrainConfig{
+		Snapshot: func(context.Context) ([]AppRecord, []bool, error) {
+			return records, labels, nil
+		},
+		Options: Options{Features: LiteFeatures(), Seed: 2},
+		CVFolds: -1,
+		Compile: &CompileConfig{Options: opts, Tolerance: 0.02},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.RunOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != RetrainPublished {
+		t.Fatalf("round outcome = %q (%s), want published", res.Outcome, res.Reason)
+	}
+	if res.Compile == nil || !res.Compile.Accepted {
+		t.Fatalf("compile report = %+v, want accepted", res.Compile)
+	}
+	ci := res.Manifest.Compile
+	if ci == nil {
+		t.Fatal("accepted compile missing from manifest")
+	}
+	if ci.Mode != "rff" || ci.RFFDim != opts.RFFDim || ci.Seed != 2 || !ci.Quantized {
+		t.Errorf("manifest compile provenance = %+v, want rff/d=%d/seed=2/quantized", ci, opts.RFFDim)
+	}
+	if ci.AgreementRate <= 0.9 || ci.HoldoutAccuracy <= 0 {
+		t.Errorf("manifest parity numbers implausible: %+v", ci)
+	}
+	loaded, _, err := LoadClassifier(reg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm := loaded.Compiled(); cm == nil || cm.String() != "rff(d=64,seed=2,float32)" {
+		t.Errorf("loaded payload compiled artifact = %v, want rff(d=64,seed=2,float32)", cm)
+	}
+}
+
+// TestCompiledHotSwapServesIdenticalVerdicts: publish an exact v1, record
+// its served verdicts, then hot-swap in a compiled-exact v2 of the same
+// model under concurrent /check load. Zero requests may fail across the
+// swap, and post-swap verdicts must be bit-identical to v1's — the exact
+// compile changes the serving data layout, never the decision. A final RFF
+// v3 swap must keep every verdict label-identical.
+func TestCompiledHotSwapServesIdenticalVerdicts(t *testing.T) {
+	reg, err := OpenModelRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := trainLifecycle(t, 2, 4)
+	m1, err := PublishClassifier(reg, v1, ModelManifest{Notes: "v1-exact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, wd := lifecycleServer(t, reg)
+	ids := liveApps(t, 3)
+	if len(ids) == 0 {
+		t.Skip("world has no live apps")
+	}
+
+	baseline := make(map[string]Assessment, len(ids))
+	for _, id := range ids {
+		_, a := getAssessment(t, srv.URL+"/check?app="+id)
+		if a.ModelVersion != m1.ModelID() {
+			t.Fatalf("baseline verdict stamped %q, want %q", a.ModelVersion, m1.ModelID())
+		}
+		baseline[id] = a
+	}
+
+	// v2: the identical training recipe (deterministic ⇒ the same SVM),
+	// compiled exact. Same decisions, different payload bytes.
+	_, d := sharedWorld(t)
+	records, labels := LabeledSample(d)
+	v2 := trainLifecycle(t, 2, 4)
+	if _, err := CompileClassifier(v2, records, labels, DefaultCompileOptions(CompileExact), 0); err != nil {
+		t.Fatalf("compiling v2 exact: %v", err)
+	}
+	m2, err := PublishClassifier(reg, v2, ModelManifest{
+		Notes:   "v2-compiled-exact",
+		Compile: &CompileInfo{Mode: "exact", Quantized: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.ModelID() == m1.ModelID() {
+		t.Fatal("compiled payload content-identical to exact; artifact not embedded")
+	}
+
+	// Hammer /check across the swap; every request must complete.
+	var (
+		stop     atomic.Bool
+		requests atomic.Int64
+		failures atomic.Int64
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				resp, err := http.Get(srv.URL + "/check?app=" + ids[(g+i)%len(ids)])
+				if err != nil {
+					failures.Add(1)
+					t.Errorf("worker %d: %v", g, err)
+					continue
+				}
+				var a Assessment
+				decErr := json.NewDecoder(resp.Body).Decode(&a)
+				resp.Body.Close()
+				requests.Add(1)
+				if decErr != nil || (resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound) {
+					failures.Add(1)
+					t.Errorf("worker %d: status %d, decode %v", g, resp.StatusCode, decErr)
+				}
+			}
+		}(g)
+	}
+	time.Sleep(30 * time.Millisecond)
+	st := postReload(t, srv)
+	if st.Outcome != ReloadSwapped {
+		t.Fatalf("swap to compiled v2: %q (%s)", st.Outcome, st.Error)
+	}
+	time.Sleep(30 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d of %d requests failed across the compiled hot-swap", n, requests.Load())
+	}
+	if got := wd.ServingManifest(); got.ModelID() != m2.ModelID() || got.Compile == nil {
+		t.Fatalf("serving manifest after swap = %s (compile %+v), want %s with compile info",
+			got.ModelID(), got.Compile, m2.ModelID())
+	}
+
+	// Post-swap verdicts: bit-identical scores under the exact compile.
+	for _, id := range ids {
+		_, a := getAssessment(t, srv.URL+"/check?app="+id)
+		want := baseline[id]
+		if a.ModelVersion != m2.ModelID() {
+			t.Errorf("post-swap verdict for %s stamped %q, want %q", id, a.ModelVersion, m2.ModelID())
+		}
+		if a.Malicious != want.Malicious || a.Score != want.Score || a.Deleted != want.Deleted {
+			t.Errorf("compiled-exact verdict for %s diverged: %+v, want %+v", id, a, want)
+		}
+	}
+
+	// v3: the same model compiled to RFF through the gate. Scores are
+	// approximate by construction; the decisions must hold.
+	v3 := trainLifecycle(t, 2, 4)
+	opts := DefaultCompileOptions(CompileRFF)
+	opts.Seed = 2
+	if _, err := CompileClassifier(v3, records, labels, opts, 0.02); err != nil {
+		t.Fatalf("compiling v3 rff: %v", err)
+	}
+	m3, err := PublishClassifier(reg, v3, ModelManifest{Notes: "v3-compiled-rff"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := postReload(t, srv); st.Outcome != ReloadSwapped {
+		t.Fatalf("swap to rff v3: %q (%s)", st.Outcome, st.Error)
+	}
+	for _, id := range ids {
+		_, a := getAssessment(t, srv.URL+"/check?app="+id)
+		want := baseline[id]
+		if a.ModelVersion != m3.ModelID() {
+			t.Errorf("rff verdict for %s stamped %q, want %q", id, a.ModelVersion, m3.ModelID())
+		}
+		if a.Malicious != want.Malicious || a.Deleted != want.Deleted {
+			t.Errorf("rff verdict for %s flipped: %+v, want label of %+v", id, a, want)
+		}
+	}
+}

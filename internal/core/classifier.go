@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"frappe/internal/svm"
@@ -44,11 +45,45 @@ func (o Options) svmParams(dim int) svm.Params {
 }
 
 // Classifier is a trained FRAppE instance.
+//
+// When a compiled artifact is attached (CompileInference, or a registry
+// payload that carried one), single and batch classification score through
+// it instead of the kernel-expansion model; the exact model always remains
+// available as the source of truth for parity checks and recompilation.
 type Classifier struct {
 	extractor Extractor
 	scaler    *svm.Scaler
 	model     *svm.Model
+	compiled  *svm.CompiledModel
+
+	// scratch pools the per-call feature buffers so a warm Classify
+	// allocates nothing; see classifyScratch.
+	scratch sync.Pool
 }
+
+// classifyScratch is one pooled set of serving buffers: the raw feature
+// vector, its missing mask, and the scaled copy the SVM consumes. One
+// Classify call borrows one set, so concurrent classification scales
+// without contention and without per-request garbage.
+type classifyScratch struct {
+	vec     []float64
+	missing []bool
+	scaled  []float64
+}
+
+func (c *Classifier) getScratch() *classifyScratch {
+	if s, ok := c.scratch.Get().(*classifyScratch); ok {
+		return s
+	}
+	n := len(c.extractor.Features)
+	return &classifyScratch{
+		vec:     make([]float64, n),
+		missing: make([]bool, n),
+		scaled:  make([]float64, n),
+	}
+}
+
+func (c *Classifier) putScratch(s *classifyScratch) { c.scratch.Put(s) }
 
 // Verdict is a classification outcome.
 type Verdict struct {
@@ -119,16 +154,77 @@ func (c *Classifier) Features() []Feature {
 	return append([]Feature(nil), c.extractor.Features...)
 }
 
-// Classify evaluates one record.
+// Classify evaluates one record. The warm path — pooled feature buffers,
+// in-place scaling, a decision value against the compiled artifact or the
+// flattened support-vector cache — allocates nothing, which is what holds
+// the watchdog's uncached /check inference to sub-microsecond latency.
 func (c *Classifier) Classify(r AppRecord) (Verdict, error) {
-	v, err := c.extractor.Vector(r)
-	if err != nil {
+	s := c.getScratch()
+	if err := c.extractor.VectorInto(r, s.vec, s.missing); err != nil {
+		c.putScratch(s)
 		return Verdict{AppID: r.ID}, err
 	}
-	score := c.model.DecisionValue(c.scaler.Apply(v))
+	c.scaler.ApplyInto(s.vec, s.scaled)
+	score := c.decisionValue(s.scaled)
+	c.putScratch(s)
 	verdict := Verdict{AppID: r.ID, Malicious: score >= 0, Score: score}
 	observeVerdict(verdict)
 	return verdict, nil
+}
+
+// decisionValue scores one scaled vector through the serving pin: the
+// compiled artifact when one is attached, the exact model otherwise.
+func (c *Classifier) decisionValue(x []float64) float64 {
+	if cm := c.compiled; cm != nil {
+		return cm.DecisionValue(x)
+	}
+	return c.model.DecisionValue(x)
+}
+
+// decisionValues is the batch counterpart of decisionValue, so batch and
+// single classification always agree on which artifact scored a record.
+func (c *Classifier) decisionValues(rows [][]float64) []float64 {
+	if cm := c.compiled; cm != nil {
+		return cm.DecisionValues(rows)
+	}
+	return c.model.DecisionValues(rows)
+}
+
+// CompileInference compiles the classifier's SVM into a serving artifact
+// (svm.CompileExact or svm.CompileRFF) and pins it: subsequent Classify /
+// ClassifyBatch calls score through the compiled form, and Save embeds it
+// so registry consumers hot-swap the compiled artifact as part of the
+// version. The exact model is retained untouched. Compiling is an offline
+// step — gate an approximate compile on holdout parity before serving it
+// (the retrainer does; see frappe.CompileConfig).
+func (c *Classifier) CompileInference(o svm.CompileOptions) error {
+	cm, err := svm.Compile(c.model, o)
+	if err != nil {
+		return err
+	}
+	c.compiled = cm
+	return nil
+}
+
+// Compiled returns the attached compiled artifact, or nil when the
+// classifier serves through the exact kernel expansion.
+func (c *Classifier) Compiled() *svm.CompiledModel { return c.compiled }
+
+// DropCompiled detaches the compiled artifact, reverting Classify to the
+// exact model — the rollback lever when a compiled form misbehaves.
+func (c *Classifier) DropCompiled() { c.compiled = nil }
+
+// DecisionValueRecord extracts, scales and scores one record, returning
+// the raw decision value — the parity-check primitive used to compare an
+// exact model with its compiled approximation on identical inputs.
+func (c *Classifier) DecisionValueRecord(r AppRecord) (float64, error) {
+	s := c.getScratch()
+	defer c.putScratch(s)
+	if err := c.extractor.VectorInto(r, s.vec, s.missing); err != nil {
+		return 0, err
+	}
+	c.scaler.ApplyInto(s.vec, s.scaled)
+	return c.decisionValue(s.scaled), nil
 }
 
 // batchVectors extracts and scales feature vectors for every record on a
@@ -171,7 +267,7 @@ func (c *Classifier) ClassifyBatch(records []AppRecord, workers int) (verdicts [
 			rows = append(rows, vecs[i])
 		}
 	}
-	scores := c.model.DecisionValues(rows)
+	scores := c.decisionValues(rows)
 	verdicts = make([]Verdict, len(rows))
 	for k, i := range keep {
 		verdicts[k] = Verdict{AppID: records[i].ID, Malicious: scores[k] >= 0, Score: scores[k]}

@@ -21,7 +21,7 @@ var (
 	data  *datasets.Datasets
 )
 
-func sharedData(t *testing.T) (*synth.World, *datasets.Datasets) {
+func sharedData(t testing.TB) (*synth.World, *datasets.Datasets) {
 	t.Helper()
 	once.Do(func() {
 		cfg := synth.Default(0.08)
@@ -50,7 +50,7 @@ func recordsFor(d *datasets.Datasets, ids []string) []AppRecord {
 }
 
 // completeSet returns D-Complete records and labels.
-func completeSet(t *testing.T) ([]AppRecord, []bool) {
+func completeSet(t testing.TB) ([]AppRecord, []bool) {
 	t.Helper()
 	_, d := sharedData(t)
 	ben, mal := d.DComplete()

@@ -189,32 +189,58 @@ func NameCounts(records []AppRecord) (counts map[string]int, contributed map[str
 // sweep over partially-crawlable apps is then driven by the features that
 // ARE observable.
 func (e *Extractor) Vector(r AppRecord) ([]float64, error) {
-	v, missing, err := e.VectorMask(r)
-	if err != nil {
+	vec := make([]float64, len(e.Features))
+	missing := make([]bool, len(e.Features))
+	if err := e.VectorInto(r, vec, missing); err != nil {
 		return nil, err
+	}
+	return vec, nil
+}
+
+// VectorInto is Vector writing into caller-owned storage: vec and missing
+// must both have len(e.Features). It allocates nothing on the hot path
+// (the classifier's pooled serving vectors come through here), overwrites
+// every slot — pooled slices need no zeroing between uses — and applies
+// imputation in place.
+func (e *Extractor) VectorInto(r AppRecord, vec []float64, missing []bool) error {
+	if err := e.vectorMaskInto(r, vec, missing); err != nil {
+		return err
 	}
 	for i, f := range e.Features {
 		if !missing[i] {
 			continue
 		}
 		if imp, ok := e.Imputed[f]; ok {
-			v[i] = imp
+			vec[i] = imp
 		}
 	}
-	return v, nil
+	return nil
 }
 
 // VectorMask extracts features and reports which of them are missing
 // (crawl surface unavailable). Missing entries hold a placeholder zero.
 func (e *Extractor) VectorMask(r AppRecord) (vec []float64, missing []bool, err error) {
+	vec = make([]float64, len(e.Features))
+	missing = make([]bool, len(e.Features))
+	if err := e.vectorMaskInto(r, vec, missing); err != nil {
+		return nil, nil, err
+	}
+	return vec, missing, nil
+}
+
+// vectorMaskInto is the extraction core: it fills vec[i] and missing[i]
+// for every configured feature, writing each slot exactly once.
+func (e *Extractor) vectorMaskInto(r AppRecord, vec []float64, missing []bool) error {
 	if r.Crawl == nil || r.Crawl.SummaryErr != nil || r.Crawl.Summary == nil {
-		return nil, nil, ErrNotClassifiable
+		return ErrNotClassifiable
+	}
+	if len(vec) != len(e.Features) || len(missing) != len(e.Features) {
+		return fmt.Errorf("core: feature buffers sized %d/%d, want %d", len(vec), len(missing), len(e.Features))
 	}
 	c := r.Crawl
-	vec = make([]float64, 0, len(e.Features))
-	missing = make([]bool, len(e.Features))
 	for i, f := range e.Features {
 		var v float64
+		miss := false
 		switch f {
 		case FeatCategory:
 			v = boolFeature(c.Summary.Category != "")
@@ -224,25 +250,25 @@ func (e *Extractor) VectorMask(r AppRecord) (vec []float64, missing []bool, err 
 			v = boolFeature(c.Summary.Description != "")
 		case FeatProfilePosts:
 			if c.FeedErr != nil {
-				missing[i] = true
+				miss = true
 			} else {
 				v = boolFeature(len(c.Feed) > 0)
 			}
 		case FeatPermissionCount:
 			if c.InstallErr != nil {
-				missing[i] = true
+				miss = true
 			} else {
 				v = float64(len(c.Install.Permissions))
 			}
 		case FeatClientIDDiffers:
 			if c.InstallErr != nil {
-				missing[i] = true
+				miss = true
 			} else {
 				v = boolFeature(c.Install.ClientID != "" && c.Install.ClientID != c.Install.AppID)
 			}
 		case FeatWOTScore:
 			if c.InstallErr != nil {
-				missing[i] = true
+				miss = true
 			} else {
 				v = float64(c.WOTScore)
 			}
@@ -258,14 +284,15 @@ func (e *Extractor) VectorMask(r AppRecord) (vec []float64, missing []bool, err 
 			if r.Stats.Posts > 0 {
 				v = float64(r.Stats.ExternalLinks) / float64(r.Stats.Posts)
 			} else {
-				missing[i] = true
+				miss = true
 			}
 		default:
-			return nil, nil, fmt.Errorf("core: unknown feature %v", f)
+			return fmt.Errorf("core: unknown feature %v", f)
 		}
-		vec = append(vec, v)
+		vec[i] = v
+		missing[i] = miss
 	}
-	return vec, missing, nil
+	return nil
 }
 
 // FitImputation computes per-feature means over the records where each

@@ -8,7 +8,10 @@ import (
 	"frappe/internal/svm"
 )
 
-// persistedClassifier is the gob wire form of a trained classifier.
+// persistedClassifier is the gob wire form of a trained classifier. The
+// Compiled field is optional — gob omits it when nil and ignores it when an
+// older reader decodes a newer payload, so compiled artifacts ride the
+// existing registry format without a version bump.
 type persistedClassifier struct {
 	Features            []Feature
 	MaliciousNameCounts map[string]int
@@ -16,6 +19,7 @@ type persistedClassifier struct {
 	Imputed             map[Feature]float64
 	Scaler              *svm.Scaler
 	Model               *svm.Model
+	Compiled            *svm.CompiledModel
 }
 
 func encodeClassifier(w io.Writer, c *Classifier) error {
@@ -26,6 +30,7 @@ func encodeClassifier(w io.Writer, c *Classifier) error {
 		Imputed:             c.extractor.Imputed,
 		Scaler:              c.scaler,
 		Model:               c.model,
+		Compiled:            c.compiled,
 	}
 	if err := gob.NewEncoder(w).Encode(&p); err != nil {
 		return fmt.Errorf("core: encoding classifier: %w", err)
@@ -41,6 +46,15 @@ func decodeClassifier(r io.Reader) (*Classifier, error) {
 	if p.Model == nil || p.Scaler == nil || len(p.Features) == 0 {
 		return nil, fmt.Errorf("core: decoded classifier is incomplete")
 	}
+	if p.Compiled != nil {
+		if err := p.Compiled.Validate(); err != nil {
+			return nil, fmt.Errorf("core: decoded compiled artifact: %w", err)
+		}
+		if p.Compiled.InputDim != len(p.Features) {
+			return nil, fmt.Errorf("core: compiled artifact dimension %d does not match %d features",
+				p.Compiled.InputDim, len(p.Features))
+		}
+	}
 	return &Classifier{
 		extractor: Extractor{
 			Features:            p.Features,
@@ -48,7 +62,8 @@ func decodeClassifier(r io.Reader) (*Classifier, error) {
 			ContributedIDs:      p.ContributedIDs,
 			Imputed:             p.Imputed,
 		},
-		scaler: p.Scaler,
-		model:  p.Model,
+		scaler:   p.Scaler,
+		model:    p.Model,
+		compiled: p.Compiled,
 	}, nil
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active; the zero-alloc
+// serving gates are meaningless under its instrumentation and skip.
+const raceEnabled = true

@@ -35,14 +35,21 @@ var (
 	decisionValues = telemetry.Default().Histogram("frappe_svm_decision_value",
 		"SVM decision values observed at classification time.",
 		[]float64{-5, -2, -1, -0.5, -0.1, 0, 0.1, 0.5, 1, 2, 5})
+
+	// Per-verdict counter and histogram handles are resolved once: With is
+	// variadic and allocates its label slice, which would be the only
+	// allocation left on the warm Classify path.
+	maliciousVerdicts   = classifications.With("malicious")
+	benignVerdicts      = classifications.With("benign")
+	decisionValueScores = decisionValues.With()
 )
 
 // observeVerdict tallies one classification outcome.
 func observeVerdict(v Verdict) {
-	verdict := "benign"
 	if v.Malicious {
-		verdict = "malicious"
+		maliciousVerdicts.Inc()
+	} else {
+		benignVerdicts.Inc()
 	}
-	classifications.With(verdict).Inc()
-	decisionValues.With().Observe(v.Score)
+	decisionValueScores.Observe(v.Score)
 }

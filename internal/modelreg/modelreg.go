@@ -44,6 +44,31 @@ type Metrics struct {
 	Samples  int     `json:"samples"`
 }
 
+// CompileInfo records how a published payload's compiled inference
+// artifact was produced and how faithfully it tracks the exact model —
+// the provenance a serving process needs to know what form it is about
+// to pin, and an auditor needs to reconstruct the compile bit-for-bit
+// (mode + RFF dim + seed + quantization are the whole recipe).
+type CompileInfo struct {
+	// Mode is the compile mode ("exact" or "rff").
+	Mode string `json:"mode"`
+	// RFFDim is the random-Fourier-feature dimension (rff mode only).
+	RFFDim int `json:"rff_dim,omitempty"`
+	// Seed drove the RFF frequency sampling (rff mode only).
+	Seed int64 `json:"seed,omitempty"`
+	// Quantized reports float32 weight quantization.
+	Quantized bool `json:"quantized,omitempty"`
+	// HoldoutAccuracy is the compiled form's accuracy on the same holdout
+	// that gated the model's own promotion.
+	HoldoutAccuracy float64 `json:"holdout_accuracy,omitempty"`
+	// AgreementRate is the fraction of holdout verdicts on which the
+	// compiled form agrees with the exact model (1 = bit-identical labels).
+	AgreementRate float64 `json:"agreement_rate,omitempty"`
+	// MaxDecisionDrift is the largest |exact - compiled| decision-value
+	// gap observed over the holdout.
+	MaxDecisionDrift float64 `json:"max_decision_drift,omitempty"`
+}
+
 // Manifest describes one published model version.
 type Manifest struct {
 	// Version is the registry-assigned monotone version number (>= 1).
@@ -63,6 +88,10 @@ type Manifest struct {
 	// split that gated promotion.
 	CV      Metrics  `json:"cv_metrics"`
 	Holdout *Metrics `json:"holdout_metrics,omitempty"`
+	// Compile describes the compiled inference artifact embedded in the
+	// payload, nil when the payload serves through the exact kernel
+	// expansion only.
+	Compile *CompileInfo `json:"compile,omitempty"`
 	// CreatedAt is the publish time (UTC).
 	CreatedAt time.Time `json:"created_at"`
 	// Notes is free-form provenance ("initial frappeserve model", ...).

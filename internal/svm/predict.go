@@ -11,18 +11,32 @@ import (
 // costs one dot product per support vector (the RBF distance is recovered
 // from the cached norms) over contiguous memory. Built once, lazily, so
 // models arriving via gob Load get it too.
+//
+// A corrupt gob load can present zero-dimensional or ragged support
+// vectors; those leave the cache unbuilt (predOK stays false) and every
+// decision value degrades to the bias instead of indexing out of bounds.
 func (m *Model) ensurePredictCache() {
 	m.predOnce.Do(func() {
 		if len(m.SV) == 0 {
 			return
 		}
-		m.svDim = len(m.SV[0])
-		m.svFlat = make([]float64, len(m.SV)*m.svDim)
+		dim := len(m.SV[0])
+		if dim == 0 || len(m.Coef) != len(m.SV) {
+			return
+		}
+		for _, sv := range m.SV {
+			if len(sv) != dim {
+				return
+			}
+		}
+		m.svDim = dim
+		m.svFlat = make([]float64, len(m.SV)*dim)
 		m.svNorms = make([]float64, len(m.SV))
 		for i, sv := range m.SV {
-			copy(m.svFlat[i*m.svDim:(i+1)*m.svDim], sv)
+			copy(m.svFlat[i*dim:(i+1)*dim], sv)
 			m.svNorms[i] = SqNorm(sv)
 		}
+		m.predOK = true
 	})
 }
 
@@ -42,7 +56,7 @@ func (m *Model) decisionValueNorm(x []float64, xNorm float64) float64 {
 // classify as the +1 class.
 func (m *Model) DecisionValue(x []float64) float64 {
 	m.ensurePredictCache()
-	if len(m.SV) == 0 {
+	if !m.predOK {
 		return m.B
 	}
 	return m.decisionValueNorm(x, SqNorm(x))
@@ -51,12 +65,18 @@ func (m *Model) DecisionValue(x []float64) float64 {
 // DecisionValues computes f(x) for every row of xs, fanning the rows out
 // over a bounded worker pool (GOMAXPROCS wide). Each row writes only its
 // own output slot, so the result is identical to calling DecisionValue in
-// a loop — for any worker count.
+// a loop — for any worker count. An empty batch returns immediately and
+// leaves the batch-prediction metrics untouched: observing a zero-width
+// "batch" would skew the duration histogram and pin the worker gauge to a
+// meaningless value.
 func (m *Model) DecisionValues(xs [][]float64) []float64 {
+	if len(xs) == 0 {
+		return []float64{}
+	}
 	start := time.Now()
 	m.ensurePredictCache()
 	out := make([]float64, len(xs))
-	if len(m.SV) == 0 {
+	if !m.predOK {
 		for i := range out {
 			out[i] = m.B
 		}

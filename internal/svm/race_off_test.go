@@ -1,0 +1,5 @@
+//go:build !race
+
+package svm
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package svm
+
+// raceEnabled reports whether the race detector is active; the zero-alloc
+// and latency gates are meaningless under its instrumentation and skip.
+const raceEnabled = true

@@ -40,6 +40,13 @@ func FitScaler(xs [][]float64) (*Scaler, error) {
 // clamped to [0, 1] so that test-time outliers cannot blow up the kernel.
 func (s *Scaler) Apply(x []float64) []float64 {
 	out := make([]float64, len(x))
+	s.ApplyInto(x, out)
+	return out
+}
+
+// ApplyInto scales x into out (len(out) must be >= len(x)), allocating
+// nothing — the serving path's pooled feature vectors come through here.
+func (s *Scaler) ApplyInto(x, out []float64) {
 	for j, v := range x {
 		lo, hi := s.Min[j], s.Max[j]
 		if hi <= lo {
@@ -54,7 +61,6 @@ func (s *Scaler) Apply(x []float64) []float64 {
 		}
 		out[j] = sv
 	}
-	return out
 }
 
 // ApplyAll scales every row of xs.

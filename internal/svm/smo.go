@@ -64,6 +64,7 @@ type Model struct {
 	Classes [2]float64  // label values for -1 and +1 sides (for reporting)
 
 	predOnce sync.Once
+	predOK   bool      // cache built and structurally sound
 	svFlat   []float64 // SV rows flattened row-major, cache-friendly
 	svNorms  []float64 // per-SV ‖sv‖² for EvalNorm
 	svDim    int

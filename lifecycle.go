@@ -29,6 +29,10 @@ type ModelManifest = modelreg.Manifest
 // ModelMetrics is the quality summary a manifest carries.
 type ModelMetrics = modelreg.Metrics
 
+// CompileInfo records the compiled-inference provenance a manifest carries
+// (mode, RFF dimension, seed, quantization, parity numbers).
+type CompileInfo = modelreg.CompileInfo
+
 // OpenModelRegistry creates (if needed) and opens a registry at dir.
 func OpenModelRegistry(dir string) (*ModelRegistry, error) {
 	return modelreg.Open(dir)

@@ -150,9 +150,13 @@ func (r *Reloader) Check(ctx context.Context) ReloadStatus {
 	}
 	reloadTotal.With(ReloadSwapped).Inc()
 	reloadServingVersion.Set(float64(m.Version))
+	inference := "exact"
+	if cm := clf.Compiled(); cm != nil {
+		inference = cm.String()
+	}
 	r.cfg.Logger.Info("model hot-swapped",
 		"from", prev.ModelID(), "to", m.ModelID(),
-		"feature_mode", m.FeatureMode,
+		"feature_mode", m.FeatureMode, "inference", inference,
 		"cv_accuracy", m.CV.Accuracy, "cv_fp_rate", m.CV.FPRate, "cv_fn_rate", m.CV.FNRate)
 	return ReloadStatus{Outcome: ReloadSwapped, Serving: m, Previous: &prev}
 }

@@ -68,6 +68,12 @@ type RetrainConfig struct {
 	// the incumbent and still be published (default 0: strictly no
 	// regression).
 	Tolerance float64
+	// Compile, when non-nil, compiles the accepted candidate into a
+	// serving artifact (exact or RFF) and gates it on the same holdout
+	// that gated promotion: a compiled form whose accuracy regresses
+	// beyond Compile.Tolerance is refused — the round still publishes, but
+	// exact-only, and the refusal is reported in RetrainResult.Compile.
+	Compile *CompileConfig
 	// Keep bounds registry retention: after a publish, all but the newest
 	// Keep versions are GC'd (0 = keep everything).
 	Keep int
@@ -75,6 +81,31 @@ type RetrainConfig struct {
 	Notes string
 	// Logger receives round outcomes; nil means slog.Default.
 	Logger *slog.Logger
+}
+
+// CompileConfig configures the retrainer's compiled-inference step.
+type CompileConfig struct {
+	// Options is the compile recipe (mode, RFF dimension, seed,
+	// quantization); see DefaultCompileOptions.
+	Options CompileOptions
+	// Tolerance is how much holdout accuracy the compiled form may lose
+	// versus the exact candidate and still ship (default 0: strictly no
+	// regression).
+	Tolerance float64
+}
+
+// CompileReport reports the compile step of one retraining round.
+type CompileReport struct {
+	// Mode is the attempted compile mode ("exact" or "rff").
+	Mode string `json:"mode"`
+	// Accepted reports whether the compiled artifact passed the parity
+	// gate and shipped inside the published payload.
+	Accepted bool `json:"accepted"`
+	// Reason explains a refusal.
+	Reason string `json:"reason,omitempty"`
+	// Parity is the measured exact-vs-compiled fidelity on the holdout —
+	// populated for refusals too, so the regression is auditable.
+	Parity ParityMetrics `json:"parity"`
 }
 
 // RetrainResult reports one retraining round.
@@ -86,6 +117,9 @@ type RetrainResult struct {
 	// shared holdout; Incumbent is nil for the first publish.
 	Candidate ModelMetrics  `json:"candidate"`
 	Incumbent *ModelMetrics `json:"incumbent,omitempty"`
+	// Compile reports the compiled-inference step (nil when the round did
+	// not reach it or no CompileConfig is set).
+	Compile *CompileReport `json:"compile,omitempty"`
 	// Reason explains refused/unchanged outcomes.
 	Reason string `json:"reason,omitempty"`
 }
@@ -208,12 +242,48 @@ func (rt *Retrainer) runOnce(ctx context.Context) (RetrainResult, error) {
 		}
 	}
 
+	// Compile step: the accepted candidate is compiled into a serving
+	// artifact and the compiled form is gated on the very same holdout. A
+	// refused compile never blocks the round — the exact model publishes
+	// alone — but the refusal and its parity numbers are reported.
+	var compileInfo *modelreg.CompileInfo
+	if cc := rt.cfg.Compile; cc != nil {
+		parity, cerr := CompileClassifier(candidate, holdR, holdL, cc.Options, cc.Tolerance)
+		report := &CompileReport{Mode: cc.Options.Mode.String(), Parity: parity}
+		switch {
+		case errors.Is(cerr, ErrCompileRefused):
+			report.Reason = cerr.Error()
+			rt.cfg.Logger.Warn("compiled artifact refused; publishing exact model",
+				"mode", report.Mode, "reason", cerr.Error())
+		case cerr != nil:
+			return RetrainResult{}, fmt.Errorf("frappe: compiling candidate: %w", cerr)
+		default:
+			report.Accepted = true
+			compileInfo = &modelreg.CompileInfo{
+				Mode:             report.Mode,
+				Quantized:        cc.Options.Quantize,
+				HoldoutAccuracy:  parity.CompiledAccuracy,
+				AgreementRate:    parity.AgreementRate,
+				MaxDecisionDrift: parity.MaxDecisionDrift,
+			}
+			if cc.Options.Mode == CompileRFF {
+				compileInfo.RFFDim = cc.Options.RFFDim
+				compileInfo.Seed = cc.Options.Seed
+			}
+			rt.cfg.Logger.Info("candidate compiled",
+				"mode", report.Mode, "compiled", candidate.Compiled().String(),
+				"agreement", parity.AgreementRate, "max_drift", parity.MaxDecisionDrift)
+		}
+		res.Compile = report
+	}
+
 	holdout := res.Candidate
 	m, err := PublishClassifier(rt.reg, candidate, ModelManifest{
 		TrainingFingerprint: fingerprint,
 		TrainedRecords:      len(trainR),
 		CV:                  ModelMetricsOf(cv),
 		Holdout:             &holdout,
+		Compile:             compileInfo,
 		Notes:               rt.cfg.Notes,
 	})
 	if err != nil {
