@@ -10,6 +10,7 @@
 package frappe_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -28,7 +29,7 @@ var (
 func runner(b *testing.B) *experiments.Runner {
 	b.Helper()
 	benchOnce.Do(func() {
-		benchRunner, benchErr = experiments.New(benchScale, 0)
+		benchRunner, benchErr = experiments.New(context.Background(), benchScale, 0)
 	})
 	if benchErr != nil {
 		b.Fatalf("world generation: %v", benchErr)
@@ -38,7 +39,7 @@ func runner(b *testing.B) *experiments.Runner {
 
 func BenchmarkWorldGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.New(0.01, int64(i+1)); err != nil {
+		if _, err := experiments.New(context.Background(), 0.01, int64(i+1)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -121,7 +122,7 @@ func BenchmarkTable8Validation(b *testing.B) {
 	r := runner(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := r.Table8()
+		res, err := r.Table8(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

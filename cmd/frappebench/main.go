@@ -13,6 +13,15 @@
 // -quick skips the classifier cross-validation experiments (the slowest
 // part) and prints only the measurement and forensics results.
 //
+// The experiment suite runs on the internal/lab DAG engine by default:
+// stages execute dependency-ordered with independent branches in parallel,
+// and artifacts are cached content-addressed under -lab-store (a fresh
+// temp directory per run unless set, so caching across invocations is
+// opt-in). -no-cache runs the original monolithic sequential path instead;
+// both paths render the same sections through the same code, so their
+// reports are byte-identical. -report tees the rendered tables/figures to
+// a file for exactly that comparison.
+//
 // -serve switches to the closed-loop serving benchmark: a watchdog is
 // wired against an in-process loopback stack and hammered with
 // -serve-clients concurrent /check loops for -serve-duration, reporting
@@ -25,19 +34,25 @@
 // -bench-json writes per-stage wall-clock timings (world generation,
 // dataset build, classifier training, cross-validation) read back from the
 // process telemetry registry, plus a full metrics snapshot, so successive
-// BENCH_*.json files capture a perf trajectory across PRs.
+// BENCH_*.json files capture a perf trajectory across PRs. In engine mode
+// it additionally runs a second, fully cached pass over the same store and
+// records a "lab" section: per-stage cold/cached wall times and cache
+// hit/miss counts.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"frappe/internal/experiments"
+	"frappe/internal/lab"
 	"frappe/internal/telemetry"
 )
 
@@ -64,21 +79,72 @@ type benchDoc struct {
 	// Serve carries the -serve closed-loop benchmark results; nil for the
 	// experiment-suite mode.
 	Serve *serveResult `json:"serve,omitempty"`
+	// Lab carries the DAG engine's cold-vs-cached comparison; nil for the
+	// -no-cache and -serve modes.
+	Lab *labSection `json:"lab,omitempty"`
 }
 
-func writeBenchJSON(path string, scale float64, seed int64, quick bool, total time.Duration, serve *serveResult) error {
+// labPass summarises one engine pass over the experiment DAG.
+type labPass struct {
+	Seconds float64 `json:"seconds"`
+	Hits    int     `json:"hits"`
+	Misses  int     `json:"misses"`
+	// StageSeconds holds wall clock per executed stage; cache hits are
+	// absent (they cost no stage work).
+	StageSeconds map[string]float64 `json:"stage_seconds"`
+	// StageStatus is hit/ran per stage.
+	StageStatus map[string]string `json:"stage_status"`
+}
+
+// labSection is the -bench-json "lab" block: the cold pass that produced
+// the report and a second, fully cached pass over the same store.
+type labSection struct {
+	Store   string  `json:"store"`
+	Cold    labPass `json:"cold"`
+	Cached  labPass `json:"cached"`
+	Speedup float64 `json:"speedup"`
+}
+
+func labPassFrom(res *lab.Result) labPass {
+	p := labPass{
+		Seconds:      res.ElapsedSeconds,
+		Hits:         res.Hits,
+		Misses:       res.Misses,
+		StageSeconds: map[string]float64{},
+		StageStatus:  map[string]string{},
+	}
+	for name, rep := range res.Stages {
+		p.StageStatus[name] = string(rep.Status)
+		if rep.Status == lab.StatusRan {
+			p.StageSeconds[name] = rep.Seconds
+		}
+	}
+	return p
+}
+
+func writeBenchJSON(path string, scale float64, seed int64, quick bool, total time.Duration, serve *serveResult, labSec *labSection) error {
 	reg := telemetry.Default()
 	trainSum, trainRuns := reg.HistogramSum("frappe_train_duration_seconds")
 	cvSum, cvRuns := reg.HistogramSum("frappe_crossval_duration_seconds")
+	// Build() spans the whole dataset assembly under the "total" gauge; the
+	// DAG path runs Select and CrawlSample as separate stages, so fall back
+	// to summing the sub-stage gauges when "total" was never set.
+	buildDatasets := reg.GaugeValue("frappe_dataset_stage_seconds", "total")
+	if buildDatasets == 0 {
+		for _, sub := range []string{"flag", "whitelist", "select_benign", "crawl"} {
+			buildDatasets += reg.GaugeValue("frappe_dataset_stage_seconds", sub)
+		}
+	}
 	doc := benchDoc{
 		Serve:   serve,
+		Lab:     labSec,
 		Scale:   scale,
 		Seed:    seed,
 		Quick:   quick,
 		Workers: runtime.GOMAXPROCS(0),
 		StagesSeconds: map[string]float64{
 			"generate":       reg.GaugeValue("frappe_synth_stage_seconds", "total"),
-			"build_datasets": reg.GaugeValue("frappe_dataset_stage_seconds", "total"),
+			"build_datasets": buildDatasets,
 			// The ingest stage is the monitor-bound slice of generate:
 			// posts and manual_posts stream through the sharded monitor's
 			// queues, ingest_drain is the queue tail after the producer
@@ -116,7 +182,10 @@ func main() {
 	seed := flag.Int64("seed", 0, "world seed (0 = paper-calibrated default)")
 	quick := flag.Bool("quick", false, "skip the classifier experiments")
 	workersFlag := flag.Int("workers", 0, "cap worker parallelism via GOMAXPROCS (0 = all cores); results are identical for any value")
-	dotPath := flag.String("dot", "", "write the Fig. 1 snapshot component as Graphviz DOT to this file")
+	dotPath := flag.String("dot", "", "write the Fig. 1 snapshot component as Graphviz DOT to this file (implies -no-cache)")
+	noCache := flag.Bool("no-cache", false, "run the monolithic sequential path instead of the DAG engine")
+	labStore := flag.String("lab-store", "", "artifact store directory for the DAG engine (default: fresh temp dir, removed at exit)")
+	reportPath := flag.String("report", "", "also write the rendered tables/figures to this file")
 	benchJSON := flag.String("bench-json", "", "write per-stage timings and a metrics snapshot as JSON to this file")
 	serveMode := flag.Bool("serve", false, "run the closed-loop serving benchmark instead of the experiment suite")
 	serveClients := flag.Int("serve-clients", 8, "closed-loop client count for -serve")
@@ -160,7 +229,7 @@ func main() {
 			fatal(logger, err)
 		}
 		if *benchJSON != "" {
-			if err := writeBenchJSON(*benchJSON, *scale, *seed, false, time.Since(start), res); err != nil {
+			if err := writeBenchJSON(*benchJSON, *scale, *seed, false, time.Since(start), res, nil); err != nil {
 				fatal(logger, err)
 			}
 			fmt.Fprintf(os.Stderr, "serving benchmark written to %s\n", *benchJSON)
@@ -168,116 +237,134 @@ func main() {
 		return
 	}
 
+	ctx := context.Background()
+	opts := experiments.PipelineOptions{Scale: *scale, Seed: *seed, Quick: *quick}
+	if *dotPath != "" && !*noCache {
+		fmt.Fprintln(os.Stderr, "-dot needs the live world; running the monolithic -no-cache path")
+		*noCache = true
+	}
+
 	start := time.Now()
-	fmt.Printf("Generating synthetic world at scale %.2f ...\n", *scale)
-	r, err := experiments.New(*scale, *seed)
-	if err != nil {
-		logger.Error("building experiment world", "err", err)
-		os.Exit(1)
+	var report string
+	var labSec *labSection
+	if *noCache {
+		report = runMonolithic(ctx, logger, opts, *dotPath)
+	} else {
+		report, labSec = runEngine(ctx, logger, opts, *labStore, *benchJSON != "")
 	}
-	fmt.Printf("World ready in %v: %d apps, %d monitored users, %d posts streamed.\n\n",
-		time.Since(start).Round(time.Millisecond),
-		r.World.Platform.NumApps(), r.World.Platform.Users(), r.World.TotalStreamPosts)
-
-	section := func(s string) { fmt.Println(s) }
-
-	// Measurement study (§2-§4).
-	section(r.Table1().Render())
-	section(experiments.RenderTable2(r.Table2()))
-	section(r.Table3().Render())
-	section(experiments.Table4())
-	section(r.Prevalence().Render())
-	section(r.Fig3().Render())
-	fig4 := r.Fig4()
-	section(fig4.Median.Render() + fig4.Max.Render())
-	section(experiments.RenderFig5(r.Fig5()))
-	section(experiments.RenderFig6(r.Fig6()))
-	section(r.Fig7().Render())
-	section(r.Fig8().Render())
-	section(r.Fig9().Render())
-	section(experiments.RenderFig10(r.Fig10()))
-	section(r.Fig11().Render())
-	section(r.Fig12().Render())
-
-	// Classification (§5).
-	if !*quick {
-		t5, err := r.Table5()
-		if err != nil {
-			fatal(logger, err)
-		}
-		section(experiments.RenderTable5(t5))
-		t6, err := r.Table6()
-		if err != nil {
-			fatal(logger, err)
-		}
-		section(experiments.RenderTable6(t6))
-		head, err := r.FRAppE()
-		if err != nil {
-			fatal(logger, err)
-		}
-		section(head.Render())
-		t8, err := r.Table8()
-		if err != nil {
-			fatal(logger, err)
-		}
-		section(t8.Render())
-		robust, err := r.Robust()
-		if err != nil {
-			fatal(logger, err)
-		}
-		section(robust.Render())
-		kernels, err := r.AblationKernels()
-		if err != nil {
-			fatal(logger, err)
-		}
-		section(experiments.RenderKernels(kernels))
-		noise, err := r.AblationLabelNoise()
-		if err != nil {
-			fatal(logger, err)
-		}
-		section(experiments.RenderNoise(noise))
-		gs, err := r.AblationGridSearch()
-		if err != nil {
-			fatal(logger, err)
-		}
-		section(gs.Render())
-		lm, err := r.AblationLearnedMPK()
-		if err != nil {
-			fatal(logger, err)
-		}
-		section(lm.Render())
-		section(r.Countermeasures().Render())
-	}
-
-	// Ecosystem forensics (§6).
-	section(r.Fig1().Render())
-	if *dotPath != "" {
-		f, err := os.Create(*dotPath)
-		if err != nil {
-			fatal(logger, err)
-		}
-		if err := r.WriteFig1DOT(f); err != nil {
-			fatal(logger, err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(logger, err)
-		}
-		fmt.Printf("Fig 1 snapshot written to %s (render with: dot -Tpng %s)\n\n", *dotPath, *dotPath)
-	}
-	section(r.Indirection().Render())
-	section(r.Fig14().Render())
-	section(r.Fig15().Render())
-	section(r.Fig16().Render())
-	section(experiments.RenderTable9(r.Table9()))
-
 	total := time.Since(start)
+
+	if *reportPath != "" {
+		if err := os.WriteFile(*reportPath, []byte(report), 0o644); err != nil {
+			fatal(logger, err)
+		}
+		fmt.Fprintf(os.Stderr, "report written to %s\n", *reportPath)
+	}
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, *scale, r.Seed, *quick, total, nil); err != nil {
+		if err := writeBenchJSON(*benchJSON, *scale, opts.WorldSeed(), *quick, total, nil, labSec); err != nil {
 			fatal(logger, err)
 		}
 		fmt.Fprintf(os.Stderr, "stage timings written to %s\n", *benchJSON)
 	}
 	fmt.Fprintf(os.Stderr, "total runtime: %v\n", total.Round(time.Millisecond))
+}
+
+// runMonolithic is the original sequential path: build the world and the
+// datasets, then render every section in order. Kept as the benchmarking
+// and parity baseline for the DAG engine.
+func runMonolithic(ctx context.Context, logger *slog.Logger, opts experiments.PipelineOptions, dotPath string) string {
+	start := time.Now()
+	scale := opts.Scale
+	if scale == 0 {
+		scale = experiments.DefaultScale
+	}
+	fmt.Printf("Generating synthetic world at scale %.2f ...\n", scale)
+	r, err := experiments.New(ctx, scale, opts.Seed)
+	if err != nil {
+		fatal(logger, err)
+	}
+	fmt.Printf("World ready in %v: %d apps, %d monitored users, %d posts streamed.\n\n",
+		time.Since(start).Round(time.Millisecond),
+		r.World.Platform.NumApps(), r.World.Platform.Users(), r.World.TotalStreamPosts)
+
+	var report strings.Builder
+	for _, sec := range experiments.Sections(opts) {
+		if opts.Quick && !sec.InQuick {
+			continue
+		}
+		out, err := sec.Render(ctx, r)
+		if err != nil {
+			fatal(logger, fmt.Errorf("section %s: %w", sec.Name, err))
+		}
+		fmt.Println(out)
+		report.WriteString(out)
+		report.WriteByte('\n')
+		if sec.Name == "fig1" && dotPath != "" {
+			writeDOT(logger, r, dotPath)
+		}
+	}
+	return report.String()
+}
+
+// runEngine runs the experiment DAG on the lab engine. With benchLab set it
+// runs a second, fully cached pass over the same store and returns the
+// cold-vs-cached comparison for the -bench-json lab section.
+func runEngine(ctx context.Context, logger *slog.Logger, opts experiments.PipelineOptions, storeDir string, benchLab bool) (string, *labSection) {
+	if storeDir == "" {
+		tmp, err := os.MkdirTemp("", "frappelab-*")
+		if err != nil {
+			fatal(logger, err)
+		}
+		defer os.RemoveAll(tmp)
+		storeDir = tmp
+	}
+	store, err := lab.OpenStore(storeDir)
+	if err != nil {
+		fatal(logger, err)
+	}
+	run := func() *lab.Result {
+		res, err := lab.Run(ctx, experiments.Pipeline(opts), lab.Options{Store: store, Logger: logger})
+		if err != nil {
+			fatal(logger, err)
+		}
+		return res
+	}
+	res := run()
+	report, ok := res.Artifact("report")
+	if !ok {
+		fatal(logger, fmt.Errorf("engine run produced no report artifact"))
+	}
+	os.Stdout.Write(report)
+	fmt.Fprintf(os.Stderr, "lab: %d stages — %d hits, %d misses in %v (store %s)\n",
+		len(res.Stages), res.Hits, res.Misses, res.Elapsed.Round(time.Millisecond), storeDir)
+
+	if !benchLab {
+		return string(report), nil
+	}
+	cold := labPassFrom(res)
+	cachedRes := run()
+	cached := labPassFrom(cachedRes)
+	sec := &labSection{Store: storeDir, Cold: cold, Cached: cached}
+	if cached.Seconds > 0 {
+		sec.Speedup = cold.Seconds / cached.Seconds
+	}
+	fmt.Fprintf(os.Stderr, "lab cached pass: %d hits, %d misses in %v (%.1fx)\n",
+		cachedRes.Hits, cachedRes.Misses, cachedRes.Elapsed.Round(time.Millisecond), sec.Speedup)
+	return string(report), sec
+}
+
+func writeDOT(logger *slog.Logger, r *experiments.Runner, dotPath string) {
+	f, err := os.Create(dotPath)
+	if err != nil {
+		fatal(logger, err)
+	}
+	if err := r.WriteFig1DOT(f); err != nil {
+		fatal(logger, err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(logger, err)
+	}
+	fmt.Printf("Fig 1 snapshot written to %s (render with: dot -Tpng %s)\n\n", dotPath, dotPath)
 }
 
 func fatal(logger *slog.Logger, err error) {

@@ -284,12 +284,12 @@ func drivePass(logger *slog.Logger, label string, wd *frappe.Watchdog, clients i
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	res := &serveResult{
-		Clients:      clients,
-		AppPool:      len(pool),
-		DurationSecs: elapsed.Seconds(),
-		Requests:     requests.Load(),
-		Verdicts:     verdicts.Load(),
-		Errors:       errCount.Load(),
+		Clients:        clients,
+		AppPool:        len(pool),
+		DurationSecs:   elapsed.Seconds(),
+		Requests:       requests.Load(),
+		Verdicts:       verdicts.Load(),
+		Errors:         errCount.Load(),
 		VerdictsPerSec: float64(verdicts.Load()) / elapsed.Seconds(),
 		LatencyMS: map[string]float64{
 			"p50":  ms(percentile(all, 0.50)),

@@ -165,6 +165,23 @@ func (b *Builder) stageTimer() func(stage string, start time.Time) {
 	}
 }
 
+// Selection is the dataset membership decided before any crawling: the
+// paper's §2.3 flagging, whitelisting and benign-side sampling. It is the
+// artifact boundary between the "datasets" and "crawl" stages of the
+// experiment DAG (internal/experiments, cmd/frappelab).
+type Selection struct {
+	// DTotal is every app observed posting, sorted by ID.
+	DTotal []string
+	// Flagged / Whitelisted / Malicious / Benign follow the Datasets
+	// fields of the same names.
+	Flagged     []string
+	Whitelisted []string
+	Malicious   []string
+	Benign      []string
+	// Stats is MyPageKeeper's per-app aggregation for all observed apps.
+	Stats map[string]mypagekeeper.AppStats
+}
+
 // Build assembles the corpus. It advances the world clock to the crawl
 // month first, so deletions up to that point are in effect.
 func (b *Builder) Build(ctx context.Context) (*Datasets, error) {
@@ -172,13 +189,21 @@ func (b *Builder) Build(ctx context.Context) (*Datasets, error) {
 	buildStart := time.Now()
 	defer func() { stage("total", buildStart) }()
 
+	sel, err := b.Select(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return b.CrawlSample(ctx, sel)
+}
+
+// Select runs the pre-crawl half of Build: advance the clock to the crawl
+// month, aggregate monitor stats, flag, whitelist and pick the benign side.
+func (b *Builder) Select(ctx context.Context) (*Selection, error) {
+	stage := b.stageTimer()
 	w := b.World
 	w.AdvanceTo(w.Config.CrawlMonth)
 
-	d := &Datasets{
-		Crawl: make(map[string]*crawler.Result),
-		Stats: w.Monitor.Apps(),
-	}
+	d := &Datasets{Stats: w.Monitor.Apps()}
 	for id := range d.Stats {
 		d.DTotal = append(d.DTotal, id)
 	}
@@ -193,6 +218,9 @@ func (b *Builder) Build(ctx context.Context) (*Datasets, error) {
 		}
 	}
 	stage("flag", start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Step 2: whitelisting. Popular, Social Bakers-vetted apps that got
 	// flagged are victims of piggybacking, not scams.
@@ -205,6 +233,9 @@ func (b *Builder) Build(ctx context.Context) (*Datasets, error) {
 		}
 	}
 	stage("whitelist", start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Step 3: benign selection — vetted, never-flagged apps first, then
 	// the highest-volume unflagged apps to reach parity with malicious.
@@ -212,8 +243,34 @@ func (b *Builder) Build(ctx context.Context) (*Datasets, error) {
 	d.Benign = b.selectBenign(d)
 	stage("select_benign", start)
 
-	// Step 4: crawl D-Sample.
-	start = time.Now()
+	return &Selection{
+		DTotal:      d.DTotal,
+		Flagged:     d.Flagged,
+		Whitelisted: d.Whitelisted,
+		Malicious:   d.Malicious,
+		Benign:      d.Benign,
+		Stats:       d.Stats,
+	}, nil
+}
+
+// CrawlSample runs the post-selection half of Build: crawl D-Sample and
+// assemble the Datasets. The clock advance is idempotent — it matters when
+// the selection was rehydrated from a cached artifact against a freshly
+// generated world still sitting at month zero.
+func (b *Builder) CrawlSample(ctx context.Context, sel *Selection) (*Datasets, error) {
+	stage := b.stageTimer()
+	w := b.World
+	w.AdvanceTo(w.Config.CrawlMonth)
+
+	d := &Datasets{
+		DTotal:      sel.DTotal,
+		Flagged:     sel.Flagged,
+		Whitelisted: sel.Whitelisted,
+		Malicious:   sel.Malicious,
+		Benign:      sel.Benign,
+		Stats:       sel.Stats,
+	}
+	start := time.Now()
 	sample := append(append([]string(nil), d.Malicious...), d.Benign...)
 	results, err := b.crawl(ctx, sample)
 	stage("crawl", start)
@@ -312,7 +369,7 @@ func (b *Builder) crawl(ctx context.Context, ids []string) (map[string]*crawler.
 		}
 		return c.Crawl(ctx, ids)
 	}
-	return b.crawlDirect(ids, flakiness), nil
+	return b.crawlDirect(ctx, ids, flakiness)
 }
 
 func (b *Builder) workers() int {
@@ -330,17 +387,23 @@ func (b *Builder) workers() int {
 // (every dependency — platform snapshots, WOT, telemetry — is concurrency
 // safe) into per-index slots, so the result map is identical to a serial
 // crawl at any worker count.
-func (b *Builder) crawlDirect(ids []string, flaky func(string, crawler.Kind) bool) map[string]*crawler.Result {
+func (b *Builder) crawlDirect(ctx context.Context, ids []string, flaky func(string, crawler.Kind) bool) (map[string]*crawler.Result, error) {
 	ins := crawler.NewInstruments(b.registry())
 	results := make([]*crawler.Result, len(ids))
 	workerpool.Run(len(ids), b.workers(), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		results[i] = b.crawlDirectOne(ins, ids[i], flaky)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make(map[string]*crawler.Result, len(ids))
 	for i, id := range ids {
 		out[id] = results[i]
 	}
-	return out
+	return out, nil
 }
 
 // crawlDirectOne crawls one app's three surfaces against the live world.

@@ -254,3 +254,28 @@ func TestCrawlWorkerEquivalence(t *testing.T) {
 		t.Fatal("dataset Stats differ across crawl worker counts")
 	}
 }
+
+// TestBuildHonorsCancellation pins the context plumbing added for the lab
+// DAG: a cancelled context aborts Select, CrawlSample and Build instead of
+// silently completing the work.
+func TestBuildHonorsCancellation(t *testing.T) {
+	w, _ := sharedData(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	b := &Builder{World: w}
+	if _, err := b.Build(ctx); err == nil {
+		t.Error("Build with cancelled context succeeded, want error")
+	}
+	if _, err := b.Select(ctx); err == nil {
+		t.Error("Select with cancelled context succeeded, want error")
+	}
+
+	sel, err := b.Select(context.Background())
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if _, err := b.CrawlSample(ctx, sel); err == nil {
+		t.Error("CrawlSample with cancelled context succeeded, want error")
+	}
+}

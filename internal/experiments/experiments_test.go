@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -14,7 +15,7 @@ var (
 
 func sharedRunner(t *testing.T) *Runner {
 	t.Helper()
-	once.Do(func() { runner, runErr = New(0.08, 11) })
+	once.Do(func() { runner, runErr = New(context.Background(), 0.08, 11) })
 	if runErr != nil {
 		t.Fatalf("New: %v", runErr)
 	}
@@ -131,7 +132,7 @@ func TestFRAppEHeadline(t *testing.T) {
 
 func TestTable8(t *testing.T) {
 	r := sharedRunner(t)
-	res, err := r.Table8()
+	res, err := r.Table8(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

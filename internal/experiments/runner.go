@@ -31,14 +31,15 @@ type Runner struct {
 }
 
 // New generates a world at the given scale and assembles the datasets.
-func New(scale float64, seed int64) (*Runner, error) {
+// The context cancels the dataset build (and with it the crawl).
+func New(ctx context.Context, scale float64, seed int64) (*Runner, error) {
 	cfg := synth.Default(scale)
 	if seed != 0 {
 		cfg.Seed = seed
 	}
 	w := synth.Generate(cfg)
 	b := &datasets.Builder{World: w}
-	d, err := b.Build(context.Background())
+	d, err := b.Build(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}

@@ -140,9 +140,15 @@ type RatioRow struct {
 // Table5 runs FRAppE Lite 5-fold cross-validation at ratios 1:1, 4:1, 7:1
 // and 10:1 (paper Table 5).
 func (r *Runner) Table5() ([]RatioRow, error) {
+	return r.Table5With([]int{1, 4, 7, 10})
+}
+
+// Table5With runs the Table 5 cross-validation at the given training
+// ratios (the DAG pipeline's invalidation tests narrow the sweep).
+func (r *Runner) Table5With(ratios []int) ([]RatioRow, error) {
 	records, labels := r.completeSample()
 	var rows []RatioRow
-	for _, ratio := range []int{1, 4, 7, 10} {
+	for _, ratio := range ratios {
 		subR, subL, err := core.SampleRatio(records, labels, ratio, r.Seed+int64(ratio))
 		if err != nil {
 			return nil, fmt.Errorf("ratio %d: %w", ratio, err)
@@ -238,7 +244,18 @@ type Table8Result struct {
 
 // Table8 trains on all of D-Sample, sweeps the rest of D-Total, and runs
 // the §5.3 validation pipeline over the newly flagged apps.
-func (r *Runner) Table8() (Table8Result, error) {
+func (r *Runner) Table8(ctx context.Context) (Table8Result, error) {
+	clf, err := r.TrainFull()
+	if err != nil {
+		return Table8Result{}, err
+	}
+	return r.Table8With(ctx, clf)
+}
+
+// TrainFull trains the full-feature FRAppE model on every crawlable
+// D-Sample app — the §5.3 sweep's classifier. The DAG pipeline runs it as
+// its own "train" stage.
+func (r *Runner) TrainFull() (*core.Classifier, error) {
 	d := r.Data
 	labels := d.Labels()
 	var trainR []core.AppRecord
@@ -251,11 +268,17 @@ func (r *Runner) Table8() (Table8Result, error) {
 		trainR = append(trainR, rec)
 		trainL = append(trainL, l == datasets.LabelMalicious)
 	}
-	clf, err := core.Train(trainR, trainL, core.Options{Features: core.FullFeatures(), Seed: r.Seed})
-	if err != nil {
-		return Table8Result{}, err
-	}
+	return core.Train(trainR, trainL, core.Options{Features: core.FullFeatures(), Seed: r.Seed})
+}
 
+// Table8With runs the §5.3 sweep and validation with a pre-trained full
+// model. The initial clock advance is a no-op on a world that already
+// crawled, but positions a freshly materialized world whose datasets were
+// rehydrated from a cached artifact.
+func (r *Runner) Table8With(ctx context.Context, clf *core.Classifier) (Table8Result, error) {
+	d := r.Data
+	r.World.AdvanceTo(r.World.Config.CrawlMonth)
+	labels := d.Labels()
 	inSample := make(map[string]bool, len(labels))
 	for id := range labels {
 		inSample[id] = true
@@ -267,7 +290,7 @@ func (r *Runner) Table8() (Table8Result, error) {
 		}
 	}
 	b := &datasets.Builder{World: r.World}
-	crawl, err := b.CrawlAll(context.Background(), sweepIDs)
+	crawl, err := b.CrawlAll(ctx, sweepIDs)
 	if err != nil {
 		return Table8Result{}, err
 	}

@@ -1,0 +1,195 @@
+package lab
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stage is one node of the pipeline DAG.
+type Stage struct {
+	// Name identifies the stage; it keys the artifact store index.
+	Name string
+	// Deps are the names of stages whose artifacts this stage consumes.
+	// Only declared dependencies are reachable from the StageContext — an
+	// undeclared read would silently escape the fingerprint.
+	Deps []string
+	// Config is the stage's own input surface: everything that can change
+	// its output besides the dependency artifacts. It is JSON-encoded into
+	// the fingerprint, so it must marshal deterministically (structs and
+	// scalars do; encoding/json sorts map keys).
+	Config any
+	// Run computes the stage, returning the artifact payload to persist.
+	// Stages whose consumers need an in-memory value (a generated world, a
+	// decoded dataset) publish it with StageContext.SetValue.
+	Run func(c *StageContext) ([]byte, error)
+	// Open rehydrates the in-memory value from a cached artifact, letting
+	// consumers of a cache-hit stage proceed without re-running it. Nil
+	// means the value can only be recreated by re-running Run (a
+	// "materialization", counted separately from cache misses).
+	Open func(data []byte) (any, error)
+}
+
+// StageStatus is how a stage was satisfied during a run.
+type StageStatus string
+
+const (
+	// StatusHit means the artifact came from the store.
+	StatusHit StageStatus = "hit"
+	// StatusRan means the stage executed and stored a fresh artifact.
+	StatusRan StageStatus = "ran"
+	// StatusSkipped means the stage never executed because a dependency
+	// failed or the run was cancelled.
+	StatusSkipped StageStatus = "skipped"
+)
+
+// StageReport describes one stage's outcome.
+type StageReport struct {
+	Name        string      `json:"name"`
+	Status      StageStatus `json:"status"`
+	Fingerprint string      `json:"fingerprint"`
+	SHA256      string      `json:"sha256"`
+	Seconds     float64     `json:"seconds"`
+	// Runs counts Run invocations during this engine run, including
+	// materializations demanded by downstream stages.
+	Runs int `json:"runs"`
+
+	// artifact holds the payload for Result.Artifact; off the JSON surface.
+	artifact []byte
+}
+
+// Result summarises an engine run.
+type Result struct {
+	// Order is the deterministic topological order the engine used.
+	Order  []string                `json:"order"`
+	Stages map[string]*StageReport `json:"stages"`
+	// Hits and Misses count cache outcomes; Materializations and Opens
+	// count how cache-hit values were recreated on demand.
+	Hits             int           `json:"hits"`
+	Misses           int           `json:"misses"`
+	Materializations int           `json:"materializations"`
+	Opens            int           `json:"opens"`
+	Elapsed          time.Duration `json:"-"`
+	ElapsedSeconds   float64       `json:"elapsed_seconds"`
+}
+
+// Artifact returns the artifact bytes stage produced (or hit) this run.
+func (r *Result) Artifact(stage string) ([]byte, bool) {
+	rep, ok := r.Stages[stage]
+	if !ok || rep.artifact == nil {
+		return nil, false
+	}
+	return rep.artifact, true
+}
+
+// node is the engine's runtime state for one stage.
+type node struct {
+	stage  Stage
+	report *StageReport
+
+	// done closes when the stage reaches a terminal state; err is valid
+	// after that.
+	done chan struct{}
+	err  error
+
+	// artifact and sha are valid after done when err == nil.
+	artifact []byte
+	sha      string
+
+	// value state: set by SetValue during Run, or lazily by Value via
+	// Open/materialization under valOnce.
+	mu       sync.Mutex
+	value    any
+	hasValue bool
+	valOnce  sync.Once
+	valErr   error
+}
+
+// shaHex returns the hex sha256 of data.
+func shaHex(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// fingerprint computes the stage's content fingerprint from its config and
+// the artifact hashes of its dependencies. Dependencies are hashed in
+// sorted order so reordering Deps does not invalidate caches.
+func fingerprint(s Stage, depSHA map[string]string) (string, error) {
+	cfg, err := json.Marshal(s.Config)
+	if err != nil {
+		return "", fmt.Errorf("lab: stage %s: config not fingerprintable: %w", s.Name, err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "frappelab/v1\n%s\n%s\n", s.Name, cfg)
+	deps := append([]string(nil), s.Deps...)
+	sort.Strings(deps)
+	for _, d := range deps {
+		fmt.Fprintf(h, "%s=%s\n", d, depSHA[d])
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// StageContext is a stage's window onto the engine during Run.
+type StageContext struct {
+	ctx  context.Context
+	eng  *engine
+	node *node
+	// materializing marks a re-Run demanded by a downstream Value call on
+	// a cache-hit stage; its returned artifact is verified, not stored.
+	materializing bool
+}
+
+// Context returns the run's context; stages must honour cancellation.
+func (c *StageContext) Context() context.Context { return c.ctx }
+
+// Artifact returns a declared dependency's artifact bytes.
+func (c *StageContext) Artifact(dep string) ([]byte, error) {
+	n, err := c.depNode(dep)
+	if err != nil {
+		return nil, err
+	}
+	return n.artifact, nil
+}
+
+// Value returns a declared dependency's in-memory value. If the dependency
+// ran this engine run, that's the value it published with SetValue; if it
+// was a cache hit, the value is recreated once — via Open when the stage
+// defines one, otherwise by re-running it as a materialization.
+func (c *StageContext) Value(dep string) (any, error) {
+	n, err := c.depNode(dep)
+	if err != nil {
+		return nil, err
+	}
+	return c.eng.value(c.ctx, n)
+}
+
+// SetValue publishes the stage's in-memory value for downstream stages.
+func (c *StageContext) SetValue(v any) {
+	c.node.mu.Lock()
+	c.node.value = v
+	c.node.hasValue = true
+	c.node.mu.Unlock()
+}
+
+func (c *StageContext) depNode(dep string) (*node, error) {
+	declared := false
+	for _, d := range c.node.stage.Deps {
+		if d == dep {
+			declared = true
+			break
+		}
+	}
+	if !declared {
+		return nil, fmt.Errorf("lab: stage %s reads %q without declaring it as a dependency", c.node.stage.Name, dep)
+	}
+	n, ok := c.eng.nodes[dep]
+	if !ok {
+		return nil, fmt.Errorf("lab: unknown stage %q", dep)
+	}
+	return n, nil
+}

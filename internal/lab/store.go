@@ -1,0 +1,146 @@
+// Package lab executes experiment pipelines as explicit DAGs with
+// content-addressed artifact caching.
+//
+// A pipeline is a set of Stages, each declaring its dependencies, a config
+// value, and a Run function that produces an artifact (a byte payload).
+// Every stage gets a content fingerprint — sha256 over the stage name, its
+// JSON-encoded config, and the artifact hashes of its dependencies — so a
+// re-run with unchanged inputs is a cache hit and a changed config or seed
+// invalidates exactly the downstream cone. Because fingerprints hash the
+// dependencies' artifact *contents* (not their fingerprints), a stage whose
+// inputs changed but whose output came out byte-identical cuts invalidation
+// off early: its consumers still hit.
+//
+// Artifacts persist in a Store, so interrupted runs resume where they left
+// off, and independent branches execute concurrently on
+// internal/workerpool. Per-stage wall clock, run counts and cache hit/miss
+// counters land in telemetry under the frappe_lab_* families.
+package lab
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Store layout (same idiom as internal/modelreg):
+//
+//	objects/sha256-<hex>        immutable artifact payloads, content-addressed
+//	index/<stage>/<fingerprint> JSON entry mapping a stage fingerprint to its object
+//
+// Writes are temp-file + rename, so a crash mid-Put never leaves a torn
+// entry; payloads are verified against the recorded sha256 on every Get and
+// any anomaly (missing file, bad JSON, checksum mismatch) reads as a cache
+// miss, which the engine repairs by re-running the stage.
+const (
+	objectsDir = "objects"
+	indexDir   = "index"
+)
+
+// indexEntry is the on-disk index record for one (stage, fingerprint).
+type indexEntry struct {
+	Stage       string `json:"stage"`
+	Fingerprint string `json:"fingerprint"`
+	SHA256      string `json:"sha256"`
+	Size        int    `json:"size"`
+}
+
+// Store is a content-addressed artifact store rooted at one directory.
+type Store struct {
+	root string
+}
+
+// OpenStore opens (creating if needed) a store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	for _, sub := range []string{objectsDir, indexDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("lab: opening store: %w", err)
+		}
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+func (s *Store) objectPath(sum string) string {
+	return filepath.Join(s.root, objectsDir, "sha256-"+sum)
+}
+
+func (s *Store) indexPath(stage, fp string) string {
+	return filepath.Join(s.root, indexDir, stage, fp)
+}
+
+// Get returns the artifact cached for (stage, fingerprint). Any anomaly —
+// no entry, unreadable object, checksum mismatch — is reported as a miss.
+func (s *Store) Get(stage, fp string) ([]byte, bool) {
+	raw, err := os.ReadFile(s.indexPath(stage, fp))
+	if err != nil {
+		return nil, false
+	}
+	var e indexEntry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return nil, false
+	}
+	if e.Stage != stage || e.Fingerprint != fp || len(e.SHA256) != sha256.Size*2 {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.objectPath(e.SHA256))
+	if err != nil {
+		return nil, false
+	}
+	if sum := sha256.Sum256(data); hex.EncodeToString(sum[:]) != e.SHA256 || len(data) != e.Size {
+		return nil, false
+	}
+	return data, true
+}
+
+// Put stores the artifact for (stage, fingerprint) and returns its sha256.
+// The object is written unconditionally — rewriting identical content is
+// harmless and repairs a corrupted object in place.
+func (s *Store) Put(stage, fp string, data []byte) (string, error) {
+	sum := sha256.Sum256(data)
+	sumHex := hex.EncodeToString(sum[:])
+	if err := writeAtomic(s.objectPath(sumHex), data); err != nil {
+		return "", fmt.Errorf("lab: storing object: %w", err)
+	}
+	entry, err := json.Marshal(indexEntry{Stage: stage, Fingerprint: fp, SHA256: sumHex, Size: len(data)})
+	if err != nil {
+		return "", fmt.Errorf("lab: encoding index entry: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Join(s.root, indexDir, stage), 0o755); err != nil {
+		return "", fmt.Errorf("lab: storing index entry: %w", err)
+	}
+	if err := writeAtomic(s.indexPath(stage, fp), append(entry, '\n')); err != nil {
+		return "", fmt.Errorf("lab: storing index entry: %w", err)
+	}
+	return sumHex, nil
+}
+
+// writeAtomic writes data to path via a temp file in the same directory
+// followed by a rename, so readers never observe a partial write.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
