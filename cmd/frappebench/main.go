@@ -5,6 +5,7 @@
 // Usage:
 //
 //	frappebench [-scale 0.15] [-seed 20121210] [-quick] [-bench-json FILE]
+//	            [-wal-dir DIR] [-wal-replay]
 //	frappebench -serve [-serve-clients 8] [-serve-duration 10s]
 //	            [-serve-apps 32] [-serve-verdict-ttl 5s] [-tracing on|off]
 //	            [-serve-compile off|exact|rff] [-serve-variants]
@@ -53,7 +54,9 @@ import (
 
 	"frappe/internal/experiments"
 	"frappe/internal/lab"
+	"frappe/internal/mypagekeeper"
 	"frappe/internal/telemetry"
+	"frappe/internal/wal"
 )
 
 // benchDoc is the -bench-json document shape.
@@ -187,6 +190,10 @@ func main() {
 	labStore := flag.String("lab-store", "", "artifact store directory for the DAG engine (default: fresh temp dir, removed at exit)")
 	reportPath := flag.String("report", "", "also write the rendered tables/figures to this file")
 	benchJSON := flag.String("bench-json", "", "write per-stage timings and a metrics snapshot as JSON to this file")
+	walDir := flag.String("wal-dir", "",
+		"write a durable ingestion WAL under world generation to this directory; after the run, replay it back and report integrity + throughput")
+	walReplay := flag.Bool("wal-replay", false,
+		"resume from an existing WAL in -wal-dir: replay it into the monitor and regenerate only past the replayed prefix")
 	serveMode := flag.Bool("serve", false, "run the closed-loop serving benchmark instead of the experiment suite")
 	serveClients := flag.Int("serve-clients", 8, "closed-loop client count for -serve")
 	serveDuration := flag.Duration("serve-duration", 10*time.Second, "measurement window for -serve")
@@ -237,8 +244,14 @@ func main() {
 		return
 	}
 
+	if *walReplay && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "-wal-replay requires -wal-dir")
+		os.Exit(1)
+	}
+
 	ctx := context.Background()
-	opts := experiments.PipelineOptions{Scale: *scale, Seed: *seed, Quick: *quick}
+	opts := experiments.PipelineOptions{Scale: *scale, Seed: *seed, Quick: *quick,
+		WALDir: *walDir, WALResume: *walReplay}
 	if *dotPath != "" && !*noCache {
 		fmt.Fprintln(os.Stderr, "-dot needs the live world; running the monolithic -no-cache path")
 		*noCache = true
@@ -266,7 +279,37 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "stage timings written to %s\n", *benchJSON)
 	}
+	if *walDir != "" {
+		verifyWAL(logger, *walDir)
+	}
 	fmt.Fprintf(os.Stderr, "total runtime: %v\n", total.Round(time.Millisecond))
+}
+
+// verifyWAL replays the run's ingestion WAL end to end into a throwaway
+// monitor: every record must decode and apply (an integrity pass over the
+// full log), and the pass doubles as a replay-throughput measurement.
+func verifyWAL(logger *slog.Logger, dir string) {
+	l, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		fatal(logger, fmt.Errorf("reopening ingestion WAL: %w", err))
+	}
+	defer l.Close()
+	start := time.Now()
+	stats, err := mypagekeeper.Replay(
+		mypagekeeper.New(mypagekeeper.DefaultClassifierConfig()), l, 0, nil)
+	if err != nil {
+		fatal(logger, fmt.Errorf("WAL replay verification: %w", err))
+	}
+	elapsed := time.Since(start)
+	rate := float64(stats.Records) / elapsed.Seconds()
+	consumers, err := l.Consumers()
+	if err != nil {
+		fatal(logger, fmt.Errorf("listing WAL consumers: %w", err))
+	}
+	fmt.Fprintf(os.Stderr,
+		"wal: %d records replayed clean in %v (%.0f records/sec; %d posts, %d blacklists) consumers=%v\n",
+		stats.Records, elapsed.Round(time.Millisecond), rate,
+		stats.Posts, stats.Blacklists, consumers)
 }
 
 // runMonolithic is the original sequential path: build the world and the
@@ -279,7 +322,7 @@ func runMonolithic(ctx context.Context, logger *slog.Logger, opts experiments.Pi
 		scale = experiments.DefaultScale
 	}
 	fmt.Printf("Generating synthetic world at scale %.2f ...\n", scale)
-	r, err := experiments.New(ctx, scale, opts.Seed)
+	r, err := experiments.NewFromOptions(ctx, opts)
 	if err != nil {
 		fatal(logger, err)
 	}

@@ -9,7 +9,7 @@
 // Usage:
 //
 //	frappeserve [-scale 0.02] [-seed ...] [-model frappe-model.gob]
-//	            [-registry DIR]
+//	            [-registry DIR] [-wal-dir DIR] [-wal-replay]
 //	            [-debug-addr 127.0.0.1:0] [-log-level info] [-log-json]
 //	            [-fault-error-rate 0] [-fault-hang-rate 0]
 //	            [-fault-latency 0] [-fault-seed 1]
@@ -51,6 +51,10 @@ func main() {
 		"probability [0,1] a service request hangs until the client gives up")
 	faultLatency := flag.Duration("fault-latency", 0, "latency added to every service request")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault-injection RNG")
+	walDir := flag.String("wal-dir", "",
+		"write a durable ingestion WAL under world generation to this directory (empty = no WAL)")
+	walReplay := flag.Bool("wal-replay", false,
+		"replay an existing WAL in -wal-dir before generating, resuming past the replayed prefix")
 	flag.Parse()
 
 	logger := telemetry.SetupProcessLogger(telemetry.LogConfig{
@@ -61,8 +65,18 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
-	logger.Info("generating world", "scale", *scale, "seed", cfg.Seed)
+	if *walReplay && *walDir == "" {
+		logger.Error("-wal-replay requires -wal-dir")
+		os.Exit(1)
+	}
+	cfg.WALDir = *walDir
+	cfg.WALResume = *walReplay
+	logger.Info("generating world", "scale", *scale, "seed", cfg.Seed,
+		"wal_dir", *walDir, "wal_replay", *walReplay)
 	w := frappe.GenerateWorld(cfg)
+	if *walReplay {
+		logger.Info("WAL resume complete", "already_logged", w.WALResumed)
+	}
 
 	d, err := frappe.BuildDatasets(context.Background(), w)
 	if err != nil {

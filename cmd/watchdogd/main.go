@@ -9,7 +9,7 @@
 //	          [-listen :8080] [-reload-interval 15s]
 //	          [-timeout 5s] [-retries 2]
 //	          [-breaker-threshold 5] [-breaker-cooldown 10s]
-//	          [-verdict-ttl 30s]
+//	          [-verdict-ttl 30s] [-wal-dir DIR] [-wal-replay]
 //	          [-debug-addr 127.0.0.1:0] [-log-level info] [-log-json]
 //
 // Endpoints:
@@ -35,6 +35,13 @@
 // being computed), so repeated /check traffic for hot apps costs one
 // upstream crawl per TTL window. The cache is flushed on every model swap.
 //
+// With -wal-dir, the daemon opens the ingestion write-ahead log the
+// monitored stream was generated under and reports its committed consumer
+// offset and replay lag (frappe_wal_consumer_* gauges). Adding -wal-replay
+// rebuilds the monitor's blacklist state into a local replica at startup
+// and commits the "watchdogd" consumer offset — the first step toward
+// propagating blacklist updates to a fleet of watchdogs.
+//
 // SIGINT/SIGTERM drain in-flight requests through http.Server.Shutdown
 // before exiting. The debug listener serves /metrics (Prometheus text
 // format), /debug/vars (expvar) and /debug/pprof; its resolved address is
@@ -53,7 +60,9 @@ import (
 	"time"
 
 	"frappe"
+	"frappe/internal/mypagekeeper"
 	"frappe/internal/telemetry"
+	"frappe/internal/wal"
 )
 
 func main() {
@@ -75,6 +84,10 @@ func main() {
 		"how long an open circuit waits before probing (0 = default 10s)")
 	verdictTTL := flag.Duration("verdict-ttl", 30*time.Second,
 		"how long verdicts are served from cache (0 = no caching)")
+	walDir := flag.String("wal-dir", "",
+		"ingestion WAL directory to track (reports consumer offset and replay lag)")
+	walReplay := flag.Bool("wal-replay", false,
+		"replay the WAL in -wal-dir into a local blacklist replica at startup and commit the watchdogd consumer offset")
 	debugAddr := flag.String("debug-addr", "127.0.0.1:0",
 		"debug listen address for /metrics, /debug/vars and /debug/pprof (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -145,6 +158,42 @@ func main() {
 		"trained_records", m.TrainedRecords,
 		"cv_accuracy", m.CV.Accuracy, "cv_fp_rate", m.CV.FPRate, "cv_fn_rate", m.CV.FNRate,
 		"created_at", m.CreatedAt)
+
+	if *walReplay && *walDir == "" {
+		logger.Error("-wal-replay requires -wal-dir")
+		os.Exit(1)
+	}
+	if *walDir != "" {
+		wlog, werr := wal.Open(*walDir, wal.Options{})
+		if werr != nil {
+			logger.Error("opening ingestion WAL", "dir", *walDir, "err", werr)
+			os.Exit(1)
+		}
+		defer wlog.Close()
+		off, werr := wlog.ConsumerOffset("watchdogd")
+		if werr != nil {
+			logger.Error("reading watchdogd consumer offset", "err", werr)
+			os.Exit(1)
+		}
+		logger.Info("ingestion WAL opened", "dir", *walDir,
+			"records", wlog.End(), "consumer_offset", off, "lag", wlog.End()-off)
+		if *walReplay {
+			replica := mypagekeeper.New(mypagekeeper.DefaultClassifierConfig())
+			stats, werr := mypagekeeper.Replay(replica, wlog, 0, nil)
+			if werr != nil {
+				logger.Error("replaying ingestion WAL", "err", werr)
+				os.Exit(1)
+			}
+			if werr := wlog.CommitConsumer("watchdogd", stats.Next); werr != nil {
+				logger.Error("committing watchdogd consumer offset", "err", werr)
+				os.Exit(1)
+			}
+			logger.Info("WAL replayed into blacklist replica",
+				"records", stats.Records, "posts", stats.Posts,
+				"blacklists", stats.Blacklists,
+				"flagged_urls", replica.Stats().URLsFlagged)
+		}
+	}
 
 	if *debugAddr != "" {
 		ds, err := telemetry.StartDebugServer(*debugAddr, nil)

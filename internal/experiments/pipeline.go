@@ -34,6 +34,12 @@ type PipelineOptions struct {
 	// 1, 4, 7, 10). The invalidation tests use it to change exactly one
 	// evaluation stage's config.
 	Table5Ratios []int
+	// WALDir puts a durable write-ahead log under world generation's
+	// ingestion stream (synth.Config.WALDir); WALResume replays an
+	// existing log and resumes past it. Neither enters stage fingerprints
+	// — the generated world is byte-identical either way.
+	WALDir    string
+	WALResume bool
 }
 
 func (o PipelineOptions) synthConfig() synth.Config {
@@ -45,6 +51,8 @@ func (o PipelineOptions) synthConfig() synth.Config {
 	if o.Seed != 0 {
 		cfg.Seed = o.Seed
 	}
+	cfg.WALDir = o.WALDir
+	cfg.WALResume = o.WALResume
 	return cfg
 }
 
@@ -229,10 +237,13 @@ type labSeed struct {
 // anything.
 func Pipeline(opts PipelineOptions) []lab.Stage {
 	cfg := opts.synthConfig()
-	// Worker counts never enter fingerprints: the generated world is
-	// byte-identical at any ingestion width.
+	// Worker counts and WAL placement never enter fingerprints: the
+	// generated world is byte-identical at any ingestion width, with or
+	// without durability underneath.
 	fpCfg := cfg
 	fpCfg.IngestWorkers = 0
+	fpCfg.WALDir = ""
+	fpCfg.WALResume = false
 	seed := cfg.Seed
 
 	stages := []lab.Stage{

@@ -33,10 +33,13 @@ type Runner struct {
 // New generates a world at the given scale and assembles the datasets.
 // The context cancels the dataset build (and with it the crawl).
 func New(ctx context.Context, scale float64, seed int64) (*Runner, error) {
-	cfg := synth.Default(scale)
-	if seed != 0 {
-		cfg.Seed = seed
-	}
+	return NewFromOptions(ctx, PipelineOptions{Scale: scale, Seed: seed})
+}
+
+// NewFromOptions is New with the full pipeline options applied — scale and
+// seed, plus WAL placement for a durable or resumed generation.
+func NewFromOptions(ctx context.Context, opts PipelineOptions) (*Runner, error) {
+	cfg := opts.synthConfig()
 	w := synth.Generate(cfg)
 	b := &datasets.Builder{World: w}
 	d, err := b.Build(ctx)

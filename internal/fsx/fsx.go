@@ -1,0 +1,59 @@
+// Package fsx holds the one crash-safe file-write primitive every durable
+// store in this repo shares.
+//
+// It exists because the repo shipped two copies of "atomic write" that had
+// quietly diverged: internal/modelreg fsynced the temp file before the
+// rename, internal/lab (copied from it) did not — so a crash at the wrong
+// moment could leave the lab store a renamed-but-empty artifact that
+// passed every in-process test. One implementation, used everywhere
+// (modelreg, lab, the ingestion WAL's consumer offsets), keeps the fsync
+// contract a property of the package instead of a per-copy accident.
+package fsx
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+)
+
+// WriteAtomic writes data to path so that after a crash the file holds
+// either the previous content or the new content, never a prefix of it:
+// a temp file in the same directory is written, fsynced, closed and
+// renamed over path, and the parent directory is fsynced so the rename
+// itself survives the crash. Concurrent readers never observe a partial
+// file.
+func WriteAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	// The fsync before rename is the whole point: rename is atomic on the
+	// directory, but without it the new name can point at not-yet-flushed
+	// bytes, and a crash leaves a complete-looking empty file.
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if err := errors.Join(werr, serr, cerr); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making previously performed renames and
+// file creations in it durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	return errors.Join(serr, cerr)
+}

@@ -1,0 +1,62 @@
+package fsx
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "value")
+	if err := WriteAtomic(path, []byte("v1")); err != nil {
+		t.Fatalf("WriteAtomic: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v1" {
+		t.Fatalf("read back %q, want v1", got)
+	}
+	// Overwrite must replace the whole content, not append or leave a mix.
+	if err := WriteAtomic(path, []byte("second")); err != nil {
+		t.Fatalf("WriteAtomic overwrite: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second" {
+		t.Fatalf("read back %q, want second", got)
+	}
+}
+
+func TestWriteAtomicLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		if err := WriteAtomic(filepath.Join(dir, "f"), []byte("x")); err != nil {
+			t.Fatalf("WriteAtomic: %v", err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir has %d entries, want 1", len(entries))
+	}
+}
+
+func TestWriteAtomicMissingDir(t *testing.T) {
+	if err := WriteAtomic(filepath.Join(t.TempDir(), "nope", "f"), []byte("x")); err == nil {
+		t.Fatal("want error writing into a missing directory")
+	}
+}
+
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("want error syncing a missing directory")
+	}
+}

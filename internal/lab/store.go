@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"frappe/internal/fsx"
 )
 
 // Store layout (same idiom as internal/modelreg):
@@ -31,7 +33,8 @@ import (
 //	objects/sha256-<hex>        immutable artifact payloads, content-addressed
 //	index/<stage>/<fingerprint> JSON entry mapping a stage fingerprint to its object
 //
-// Writes are temp-file + rename, so a crash mid-Put never leaves a torn
+// Writes go through fsx.WriteAtomic (temp file + fsync + rename + dir
+// fsync), so a crash mid-Put never leaves a torn — or renamed-but-empty —
 // entry; payloads are verified against the recorded sha256 on every Get and
 // any anomaly (missing file, bad JSON, checksum mismatch) reads as a cache
 // miss, which the engine repairs by re-running the stage.
@@ -104,7 +107,7 @@ func (s *Store) Get(stage, fp string) ([]byte, bool) {
 func (s *Store) Put(stage, fp string, data []byte) (string, error) {
 	sum := sha256.Sum256(data)
 	sumHex := hex.EncodeToString(sum[:])
-	if err := writeAtomic(s.objectPath(sumHex), data); err != nil {
+	if err := fsx.WriteAtomic(s.objectPath(sumHex), data); err != nil {
 		return "", fmt.Errorf("lab: storing object: %w", err)
 	}
 	entry, err := json.Marshal(indexEntry{Stage: stage, Fingerprint: fp, SHA256: sumHex, Size: len(data)})
@@ -114,33 +117,8 @@ func (s *Store) Put(stage, fp string, data []byte) (string, error) {
 	if err := os.MkdirAll(filepath.Join(s.root, indexDir, stage), 0o755); err != nil {
 		return "", fmt.Errorf("lab: storing index entry: %w", err)
 	}
-	if err := writeAtomic(s.indexPath(stage, fp), append(entry, '\n')); err != nil {
+	if err := fsx.WriteAtomic(s.indexPath(stage, fp), append(entry, '\n')); err != nil {
 		return "", fmt.Errorf("lab: storing index entry: %w", err)
 	}
 	return sumHex, nil
-}
-
-// writeAtomic writes data to path via a temp file in the same directory
-// followed by a rename, so readers never observe a partial write.
-func writeAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
-	if err != nil {
-		return err
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return err
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return err
-	}
-	return nil
 }

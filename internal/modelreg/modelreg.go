@@ -9,9 +9,11 @@
 //	manifests/v<%08d>.json      one JSON manifest per published version
 //	CURRENT                     the active version number
 //
-// Every write is atomic (temp file in the same directory + rename), so a
-// reader — another process included — never observes a half-written
-// artifact. Payloads are verified against their manifest's sha256 on every
+// Every write goes through fsx.WriteAtomic (temp file in the same
+// directory + fsync + rename + directory fsync), so a reader — another
+// process included — never observes a half-written artifact, and a crash
+// right after Publish cannot roll the registry back to a pre-publish
+// view. Payloads are verified against their manifest's sha256 on every
 // load, so silent corruption surfaces as ErrCorrupt instead of a garbage
 // model reaching a serving process. Publishing never mutates an existing
 // object: rolling back to a prior version therefore restores bit-identical
@@ -32,6 +34,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"frappe/internal/fsx"
 )
 
 // Metrics is the classifier-quality summary a manifest carries; it mirrors
@@ -156,29 +160,6 @@ func (r *Registry) manifestPath(version int) string {
 	return filepath.Join(r.root, manifestsDir, fmt.Sprintf("v%08d.json", version))
 }
 
-// writeAtomic writes data to path via a temp file in the same directory
-// plus rename, so concurrent readers never see a partial file.
-func writeAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
-	if err != nil {
-		return err
-	}
-	tmpName := tmp.Name()
-	_, werr := tmp.Write(data)
-	serr := tmp.Sync()
-	cerr := tmp.Close()
-	if err := errors.Join(werr, serr, cerr); err != nil {
-		os.Remove(tmpName)
-		return err
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return err
-	}
-	return nil
-}
-
 // Publish stores a payload and registers it as the next version, which
 // becomes the active (CURRENT) one. The meta manifest provides provenance
 // (feature mode, fingerprint, metrics, notes); Version, SHA256 and
@@ -200,7 +181,7 @@ func (r *Registry) Publish(payload io.Reader, meta Manifest) (Manifest, error) {
 	// (a rollback-by-republish, say), the existing object is reused.
 	objPath := r.objectPath(meta.SHA256)
 	if _, err := os.Stat(objPath); errors.Is(err, os.ErrNotExist) {
-		if err := writeAtomic(objPath, data); err != nil {
+		if err := fsx.WriteAtomic(objPath, data); err != nil {
 			return Manifest{}, fmt.Errorf("modelreg: writing object: %w", err)
 		}
 	} else if err != nil {
@@ -221,7 +202,7 @@ func (r *Registry) Publish(payload io.Reader, meta Manifest) (Manifest, error) {
 	if err != nil {
 		return Manifest{}, fmt.Errorf("modelreg: encoding manifest: %w", err)
 	}
-	if err := writeAtomic(r.manifestPath(meta.Version), append(mdata, '\n')); err != nil {
+	if err := fsx.WriteAtomic(r.manifestPath(meta.Version), append(mdata, '\n')); err != nil {
 		return Manifest{}, fmt.Errorf("modelreg: writing manifest: %w", err)
 	}
 	if err := r.setCurrentLocked(meta.Version); err != nil {
@@ -368,7 +349,7 @@ func (r *Registry) SetCurrent(version int) error {
 }
 
 func (r *Registry) setCurrentLocked(version int) error {
-	if err := writeAtomic(filepath.Join(r.root, currentFile), []byte(strconv.Itoa(version)+"\n")); err != nil {
+	if err := fsx.WriteAtomic(filepath.Join(r.root, currentFile), []byte(strconv.Itoa(version)+"\n")); err != nil {
 		return fmt.Errorf("modelreg: updating CURRENT: %w", err)
 	}
 	return nil

@@ -1,12 +1,15 @@
 package mypagekeeper
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"frappe/internal/fbplatform"
 	"frappe/internal/telemetry"
+	"frappe/internal/wal"
 )
 
 // ingestQueueDepth bounds each queue so a fast producer exerts backpressure
@@ -19,6 +22,35 @@ type ingestItem struct {
 	post  fbplatform.Post
 	seq   uint64
 	flush *sync.WaitGroup
+}
+
+// IngestConfig configures a queued-ingestion session.
+type IngestConfig struct {
+	// Workers is the number of queue workers (0 or less means GOMAXPROCS).
+	// Results are byte-identical for every value.
+	Workers int
+	// WAL, when non-nil, makes the session durable: every event (post,
+	// blacklist add — re-adds included — install, removal) is appended to
+	// the log BEFORE it is enqueued or applied, and barriers (Flush,
+	// blacklist adds, Close) fsync it. The log is therefore always the
+	// exact call stream in producer order, which is what replay and resume
+	// lean on.
+	WAL *wal.Log
+	// SkipEvents makes the session a crash-recovery resume: the first
+	// SkipEvents event calls are the prefix the WAL already holds, and
+	// are not appended again. Only meaningful when the producer
+	// deterministically regenerates the same event stream (the seeded
+	// generator does). By default skipped calls are dropped entirely —
+	// the caller has already rebuilt monitor state via Replay.
+	SkipEvents uint64
+	// SkipLogOnly changes what a skipped call means: it is still applied
+	// to the monitor, only its WAL append is suppressed. Use this when
+	// the monitor must observe the regenerated stream in real order
+	// rather than by replay — e.g. when classification consults external
+	// service state (the synth world's link resolver) that only exists
+	// mid-regeneration, so replaying the prefix up front would see a
+	// different world than the original run did.
+	SkipLogOnly bool
 }
 
 // Ingester fans a single-threaded post stream out across per-shard queues
@@ -46,17 +78,33 @@ type Ingester struct {
 	wg     sync.WaitGroup
 
 	started time.Time
-	closed  bool
+	closed  atomic.Bool
 
-	posts    *telemetry.CounterVec
-	flushes  *telemetry.CounterVec
-	barriers *telemetry.CounterVec
-	seconds  *telemetry.GaugeVec
+	wal          *wal.Log
+	skip         uint64 // event calls still unlogged (crash-recovery resume)
+	applySkipped bool   // skipped calls still apply (IngestConfig.SkipLogOnly)
+	walErr       error  // first WAL failure; surfaced by Err and Close
+	encBuf       []byte // event-encoding scratch, reused across appends
+	closeErr     error
+
+	posts     *telemetry.CounterVec
+	flushes   *telemetry.CounterVec
+	barriers  *telemetry.CounterVec
+	walErrs   *telemetry.CounterVec
+	walEvents *telemetry.CounterVec
+	seconds   *telemetry.GaugeVec
 }
 
 // StartIngest opens a queued-ingestion session with the given number of
-// queue workers (0 or less means GOMAXPROCS). Results are byte-identical
-// for every worker count. Close drains the queues and ends the session.
+// queue workers; see StartIngestWith for the full contract.
+func (m *Monitor) StartIngest(workers int) *Ingester {
+	return m.StartIngestWith(IngestConfig{Workers: workers})
+}
+
+// StartIngestWith opens a queued-ingestion session. Results are
+// byte-identical for every worker count. Close drains the queues and ends
+// the session; using the Ingester after Close panics with a descriptive
+// message (it used to be a bare send-on-closed-channel panic).
 //
 // Metrics (process default registry):
 //
@@ -65,22 +113,32 @@ type Ingester struct {
 //	frappe_monitor_ingest_posts_total                posts enqueued
 //	frappe_monitor_ingest_flushes_total              full-queue barriers
 //	frappe_monitor_ingest_blacklist_barriers_total   barriers forced by blacklist adds
+//	frappe_monitor_ingest_wal_events_total           events appended to the WAL
+//	frappe_monitor_ingest_wal_errors_total           failed WAL appends/syncs
 //	frappe_monitor_ingest_session_seconds            wall clock of the last session
-func (m *Monitor) StartIngest(workers int) *Ingester {
+func (m *Monitor) StartIngestWith(cfg IngestConfig) *Ingester {
+	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	reg := telemetry.Default()
 	ing := &Ingester{
-		m:       m,
-		queues:  make([]chan ingestItem, workers),
-		started: time.Now(),
+		m:            m,
+		queues:       make([]chan ingestItem, workers),
+		started:      time.Now(),
+		wal:          cfg.WAL,
+		skip:         cfg.SkipEvents,
+		applySkipped: cfg.SkipLogOnly,
 		posts: reg.Counter("frappe_monitor_ingest_posts_total",
 			"Posts enqueued through the monitor's ingestion queues."),
 		flushes: reg.Counter("frappe_monitor_ingest_flushes_total",
 			"Full-queue flush barriers issued during ingestion."),
 		barriers: reg.Counter("frappe_monitor_ingest_blacklist_barriers_total",
 			"Flush barriers forced by blacklist updates mid-stream."),
+		walEvents: reg.Counter("frappe_monitor_ingest_wal_events_total",
+			"Ingestion events appended to the write-ahead log."),
+		walErrs: reg.Counter("frappe_monitor_ingest_wal_errors_total",
+			"Ingestion WAL appends or syncs that failed."),
 		seconds: reg.Gauge("frappe_monitor_ingest_session_seconds",
 			"Wall-clock seconds of the last queued-ingestion session."),
 	}
@@ -114,9 +172,73 @@ func (ing *Ingester) run(q chan ingestItem) {
 	}
 }
 
+// ensureOpen makes post-Close misuse fail loudly and attributably instead
+// of as a bare send-on-closed-channel panic (or, on the single-worker fast
+// path, as silent writes into a supposedly sealed session).
+func (ing *Ingester) ensureOpen(method string) {
+	if ing.closed.Load() {
+		panic("mypagekeeper: Ingester." + method + " called after Close")
+	}
+}
+
+// skipOne consumes one unit of the crash-recovery skip budget; true means
+// the current event was already recovered by replay and must be dropped.
+func (ing *Ingester) skipOne() bool {
+	if ing.skip == 0 {
+		return false
+	}
+	ing.skip--
+	return true
+}
+
+// logEvent appends one event to the WAL, before the event is enqueued or
+// applied. A failing append does not stop in-memory ingestion — serving
+// availability beats durability mid-stream — but the first error is
+// retained and surfaced by Err and Close, and every failure is counted.
+func (ing *Ingester) logEvent(ev WALEvent) {
+	if ing.wal == nil {
+		return
+	}
+	buf, err := AppendEvent(ing.encBuf[:0], ev)
+	if err == nil {
+		ing.encBuf = buf
+		_, err = ing.wal.Append(buf)
+	}
+	if err != nil {
+		ing.walErrs.With().Inc()
+		if ing.walErr == nil {
+			ing.walErr = err
+		}
+		return
+	}
+	ing.walEvents.With().Inc()
+}
+
+// syncWAL is the durability barrier: everything logged so far survives a
+// crash once it returns.
+func (ing *Ingester) syncWAL() {
+	if ing.wal == nil {
+		return
+	}
+	if err := ing.wal.Sync(); err != nil {
+		ing.walErrs.With().Inc()
+		if ing.walErr == nil {
+			ing.walErr = err
+		}
+	}
+}
+
 // Observe enqueues one post. Unlike Monitor.Observe it cannot report the
 // post's verdict — classification happens when a queue worker lands it.
 func (ing *Ingester) Observe(p fbplatform.Post) {
+	ing.ensureOpen("Observe")
+	if skipped := ing.skipOne(); skipped {
+		if !ing.applySkipped {
+			return
+		}
+	} else {
+		ing.logEvent(WALEvent{Kind: KindPost, Post: p})
+	}
 	seq := ing.m.seq.Add(1)
 	if ing.queues == nil {
 		ing.m.observeSeq(p, seq)
@@ -136,8 +258,35 @@ func (ing *Ingester) Observe(p fbplatform.Post) {
 	ing.posts.With().Inc()
 }
 
-// Flush blocks until every post enqueued so far has been fully observed.
+// ObserveInstall logs a user installing an app. The monitor keeps no
+// per-user install state, so the event's only destination is the WAL —
+// durable churn history for offset-tracked consumers.
+func (ing *Ingester) ObserveInstall(appID string, userID int) {
+	ing.ensureOpen("ObserveInstall")
+	if ing.skipOne() {
+		return
+	}
+	ing.logEvent(WALEvent{Kind: KindInstall, AppID: appID, UserID: userID})
+}
+
+// ObserveRemoval logs a user removing an app.
+func (ing *Ingester) ObserveRemoval(appID string, userID int) {
+	ing.ensureOpen("ObserveRemoval")
+	if ing.skipOne() {
+		return
+	}
+	ing.logEvent(WALEvent{Kind: KindRemoval, AppID: appID, UserID: userID})
+}
+
+// Flush blocks until every post enqueued so far has been fully observed,
+// and fsyncs the WAL — a Flush is a barrier in both senses.
 func (ing *Ingester) Flush() {
+	ing.ensureOpen("Flush")
+	ing.flushQueues()
+	ing.syncWAL()
+}
+
+func (ing *Ingester) flushQueues() {
 	if ing.queues == nil {
 		ing.flushes.With().Inc()
 		return
@@ -153,38 +302,75 @@ func (ing *Ingester) Flush() {
 
 // AddBlacklistedURL adds a URL-granularity blacklist entry, sequenced
 // against the queued stream: if the URL is already an entry this is a
-// no-op (re-adds commute with everything); otherwise every queue is
-// flushed first, so exactly the posts the serial monitor would classify
-// pre-blacklist are classified pre-blacklist.
+// no-op (re-adds commute with everything — but are still logged, so the
+// WAL stays the exact call stream); otherwise every queue is flushed
+// first, so exactly the posts the serial monitor would classify
+// pre-blacklist are classified pre-blacklist, and the WAL is fsynced —
+// a blacklist add is a durability barrier.
 func (ing *Ingester) AddBlacklistedURL(url string) {
+	ing.ensureOpen("AddBlacklistedURL")
+	if skipped := ing.skipOne(); skipped {
+		if !ing.applySkipped {
+			return
+		}
+	} else {
+		ing.logEvent(WALEvent{Kind: KindBlacklistURL, Value: url})
+	}
 	if ing.m.urlBlacklistedExact(url) {
 		return
 	}
 	ing.barriers.With().Inc()
-	ing.Flush()
+	ing.flushQueues()
+	ing.syncWAL()
 	ing.m.AddBlacklistedURL(url)
 }
 
 // AddBlacklistedDomain is AddBlacklistedURL for domain-granularity entries.
 func (ing *Ingester) AddBlacklistedDomain(domain string) {
+	ing.ensureOpen("AddBlacklistedDomain")
+	if skipped := ing.skipOne(); skipped {
+		if !ing.applySkipped {
+			return
+		}
+	} else {
+		ing.logEvent(WALEvent{Kind: KindBlacklistDomain, Value: domain})
+	}
 	if ing.m.domainBlacklistedExact(domain) {
 		return
 	}
 	ing.barriers.With().Inc()
-	ing.Flush()
+	ing.flushQueues()
+	ing.syncWAL()
 	ing.m.AddBlacklistedDomain(domain)
 }
 
-// Close drains every queue, stops the workers, and records the session
-// duration. The Ingester must not be used after Close.
-func (ing *Ingester) Close() {
-	if ing.closed {
-		return
+// Err returns the first WAL failure of the session, if any. In-memory
+// ingestion continues past WAL errors; durability does not.
+func (ing *Ingester) Err() error { return ing.walErr }
+
+// Close drains every queue, stops the workers, fsyncs the WAL (the
+// session-end barrier) and records the session duration. It returns the
+// first WAL error of the session — a caller that needs the durability
+// guarantee must check it. The Ingester must not be used after Close;
+// doing so panics with a descriptive message. Close does not close the
+// WAL itself: the log outlives the session (consumers still read it).
+func (ing *Ingester) Close() error {
+	if !ing.closed.CompareAndSwap(false, true) {
+		return ing.closeErr
 	}
-	ing.closed = true
 	for _, q := range ing.queues {
 		close(q)
 	}
 	ing.wg.Wait()
+	ing.syncWAL()
 	ing.seconds.With().Set(time.Since(ing.started).Seconds())
+	if ing.skip > 0 {
+		// The resumed stream ended before covering the replayed prefix:
+		// the producer did not regenerate the same stream. State is fine
+		// (nothing was double-applied) but the resume contract is broken.
+		ing.walErr = fmt.Errorf(
+			"mypagekeeper: resume stream ended with %d replayed events still unseen", ing.skip)
+	}
+	ing.closeErr = ing.walErr
+	return ing.closeErr
 }

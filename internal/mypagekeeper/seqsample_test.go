@@ -1,0 +1,135 @@
+package mypagekeeper
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// Property test for seqSample: no matter what order add is called in, the
+// sample must end up holding exactly the `limit` entries with the smallest
+// seqs, returned by values() in increasing seq order. That commutativity
+// is the load-bearing invariant behind the sharded monitor's byte-identical
+// snapshots, so it gets checked directly against a sort-based oracle here,
+// not just indirectly through whole-monitor equivalence.
+
+// sampleOracle returns the expected values() result: the vals of the
+// `limit` smallest seqs, in seq order.
+func sampleOracle(seqs []uint64, limit int) []string {
+	if limit <= 0 || len(seqs) == 0 {
+		return nil
+	}
+	sorted := append([]uint64(nil), seqs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if limit > len(sorted) {
+		limit = len(sorted)
+	}
+	out := make([]string, limit)
+	for i, seq := range sorted[:limit] {
+		out[i] = valFor(seq)
+	}
+	return out
+}
+
+// valFor derives a payload from a seq so mismatches identify the entry.
+func valFor(seq uint64) string { return fmt.Sprintf("v%d", seq) }
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSeqSampleMatchesOracleUnderPermutation(t *testing.T) {
+	rng := &testLCG{s: 20121210}
+	limits := []int{0, 1, 2, 7, 50, 200}
+	sizes := []int{0, 1, 2, 3, 10, 49, 50, 51, 199, 500}
+	for _, limit := range limits {
+		for _, n := range sizes {
+			// Distinct seqs, deliberately sparse so adjacent values differ.
+			seqs := make([]uint64, n)
+			for i := range seqs {
+				seqs[i] = uint64(i)*3 + 1
+			}
+			want := sampleOracle(seqs, limit)
+			for trial := 0; trial < 20; trial++ {
+				perm := append([]uint64(nil), seqs...)
+				for i := len(perm) - 1; i > 0; i-- {
+					j := rng.intn(i + 1)
+					perm[i], perm[j] = perm[j], perm[i]
+				}
+				s := newSeqSample(limit)
+				for _, seq := range perm {
+					s.add(seq, valFor(seq))
+				}
+				got := s.values()
+				if !equalStrings(got, want) {
+					t.Fatalf("limit=%d n=%d trial=%d: values()=%v, want %v (order %v)",
+						limit, n, trial, got, want, perm)
+				}
+				wantLen := limit
+				if n < limit {
+					wantLen = n
+				}
+				if s.len() != wantLen {
+					t.Fatalf("limit=%d n=%d trial=%d: len()=%d, want %d",
+						limit, n, trial, s.len(), wantLen)
+				}
+			}
+		}
+	}
+}
+
+// TestSeqSampleSerialFastPath: in-order adds must produce the identical
+// result without ever leaving the monotone fast path (no sort on values).
+func TestSeqSampleSerialFastPath(t *testing.T) {
+	const limit, n = 25, 100
+	s := newSeqSample(limit)
+	seqs := make([]uint64, n)
+	for i := range seqs {
+		seqs[i] = uint64(i + 1)
+		s.add(seqs[i], valFor(seqs[i]))
+	}
+	if !s.monotone {
+		t.Error("in-order adds left the monotone fast path")
+	}
+	if got, want := s.values(), sampleOracle(seqs, limit); !equalStrings(got, want) {
+		t.Fatalf("serial values() = %v, want %v", got, want)
+	}
+}
+
+// TestSeqSampleEqualSeqBoundary pins the tie-break at the eviction
+// boundary: once the sample is full, an entry whose seq EQUALS the current
+// maximum is rejected — first writer wins, so replays of the same stream
+// cannot flap between payloads.
+func TestSeqSampleEqualSeqBoundary(t *testing.T) {
+	s := newSeqSample(2)
+	s.add(1, "a")
+	s.add(5, "first-at-5")
+	s.add(5, "second-at-5") // equal to max while full: rejected
+	if got, want := s.values(), []string{"a", "first-at-5"}; !equalStrings(got, want) {
+		t.Fatalf("values() = %v, want %v", got, want)
+	}
+	// A strictly smaller seq still evicts the max.
+	s.add(3, "b")
+	if got, want := s.values(), []string{"a", "b"}; !equalStrings(got, want) {
+		t.Fatalf("after eviction values() = %v, want %v", got, want)
+	}
+}
+
+func TestSeqSampleZeroAndNegativeLimit(t *testing.T) {
+	for _, limit := range []int{0, -3} {
+		s := newSeqSample(limit)
+		s.add(1, "a")
+		s.add(2, "b")
+		if s.len() != 0 || s.values() != nil {
+			t.Fatalf("limit=%d: len=%d values=%v, want empty/nil", limit, s.len(), s.values())
+		}
+	}
+}

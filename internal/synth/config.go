@@ -135,6 +135,17 @@ type Config struct {
 	// The generated world is byte-identical for every value (see
 	// internal/mypagekeeper's determinism argument).
 	IngestWorkers int
+	// WALDir, when non-empty, puts a write-ahead log under the ingestion
+	// session: every streamed event (posts, blacklist adds) is appended
+	// to an internal/wal log in that directory before it is applied, with
+	// fsync barriers at flushes, blacklist adds, and session close. The
+	// generated world is byte-identical with or without it.
+	WALDir string
+	// WALResume makes generation a crash-recovery resume: an existing log
+	// in WALDir is replayed into the monitor first, and the regenerated
+	// (deterministic) event stream skips the replayed prefix instead of
+	// re-applying and re-logging it. Requires WALDir.
+	WALResume bool
 	// ManualPostFrac: fraction of the monitored stream with no application
 	// field (§2.2: 37%).
 	ManualPostFrac float64

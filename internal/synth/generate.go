@@ -52,13 +52,16 @@ func Generate(cfg Config) *World {
 	timed("hackers", g.genHackers)
 	timed("malicious_apps", g.genMaliciousApps)
 	timed("sites", g.genSites)
+	// The event-streaming stages fan out through the monitor's queued
+	// ingestion path: generation stays single-threaded and seeded, but
+	// shard updates land concurrently. The session opens before the
+	// blacklists stage so every blacklist add is part of the (optionally
+	// WAL-logged) event stream, not just the posts. ingest_drain is the
+	// tail latency of the queues; clicks reads Monitor.Apps() and so
+	// needs the drain.
+	w.beginIngest(cfg.IngestWorkers)
 	timed("blacklists", g.assignBlacklists)
 	timed("reputations", g.seedReputations)
-	// The post-streaming stages fan out through the monitor's queued
-	// ingestion path: generation stays single-threaded and seeded, but
-	// shard updates land concurrently. ingest_drain is the tail latency
-	// of the queues; clicks reads Monitor.Apps() and so needs the drain.
-	w.beginIngest(cfg.IngestWorkers)
 	timed("posts", g.genPosts)
 	timed("manual_posts", g.genManualPosts)
 	timed("ingest_drain", w.endIngest)
@@ -563,7 +566,7 @@ func (g *generator) assignBlacklists() {
 		c.blacklisted = true
 		covered += len(c.appIDs)
 		for j, long := range c.landingLong {
-			g.w.Monitor.AddBlacklistedURL(long)
+			g.w.addBlacklistedURL(long)
 			g.flaggableLinks = append(g.flaggableLinks, c.landing[j])
 		}
 	}

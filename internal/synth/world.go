@@ -21,6 +21,7 @@ import (
 	"frappe/internal/redirector"
 	"frappe/internal/socialbakers"
 	"frappe/internal/stats"
+	"frappe/internal/wal"
 	"frappe/internal/wot"
 )
 
@@ -82,9 +83,17 @@ type World struct {
 	Redirector   *redirector.Service
 	Monitor      *mypagekeeper.Monitor
 
-	// ingest is the open queued-ingestion session during the post
-	// streaming stages of Generate; nil otherwise.
+	// ingest is the open queued-ingestion session during the event
+	// streaming stages of Generate; nil otherwise. walLog is the
+	// write-ahead log under it when Config.WALDir is set.
 	ingest *mypagekeeper.Ingester
+	walLog *wal.Log
+
+	// WALResumed is the number of events an existing log already held
+	// when Config.WALResume was set: regeneration re-applies them (the
+	// deterministic generator reproduces the identical stream) but does
+	// not re-append them, so the log completes without duplicates.
+	WALResumed uint64
 
 	Hackers []*Hacker
 
@@ -286,19 +295,56 @@ func (w *World) addBlacklistedURL(url string) {
 	w.Monitor.AddBlacklistedURL(url)
 }
 
-// beginIngest opens the queued-ingestion session observe routes through.
+// beginIngest opens the queued-ingestion session that observe and
+// addBlacklistedURL route through. With Config.WALDir set the session is
+// durable: every event is appended to the log before it is applied. With
+// WALResume additionally set, the events an existing (possibly
+// torn-and-truncated) log already holds are not appended again — they are
+// still applied, in regenerated stream order, because the monitor's
+// classification consults live service state (the bit.ly resolver) that
+// only exists mid-generation; replaying the prefix up front would observe
+// a different world than the original run did.
 func (w *World) beginIngest(workers int) {
-	w.ingest = w.Monitor.StartIngest(workers)
+	cfg := mypagekeeper.IngestConfig{Workers: workers}
+	if w.Config.WALDir != "" {
+		l, err := wal.Open(w.Config.WALDir, wal.Options{})
+		if err != nil {
+			panic(fmt.Sprintf("synth: opening ingestion WAL: %v", err))
+		}
+		w.walLog = l
+		cfg.WAL = l
+		if w.Config.WALResume {
+			w.WALResumed = l.End()
+			cfg.SkipEvents = l.End()
+			cfg.SkipLogOnly = true
+		}
+	}
+	w.ingest = w.Monitor.StartIngestWith(cfg)
 }
 
 // endIngest drains and closes the session; monitor reads are exact again
-// once it returns.
+// once it returns. With a WAL underneath, the session-end barrier has run
+// by then, the "monitor" consumer offset records the applied frontier, and
+// the log is closed — readers (watchdogd, the retrainer) reopen it from
+// disk.
 func (w *World) endIngest() {
 	if w.ingest == nil {
 		return
 	}
-	w.ingest.Close()
+	if err := w.ingest.Close(); err != nil {
+		panic(fmt.Sprintf("synth: closing ingestion session: %v", err))
+	}
 	w.ingest = nil
+	if w.walLog == nil {
+		return
+	}
+	if err := w.walLog.CommitConsumer("monitor", w.walLog.End()); err != nil {
+		panic(fmt.Sprintf("synth: committing monitor offset: %v", err))
+	}
+	if err := w.walLog.Close(); err != nil {
+		panic(fmt.Sprintf("synth: closing ingestion WAL: %v", err))
+	}
+	w.walLog = nil
 }
 
 // pickMonth returns a uniform month in the observation window.

@@ -1,0 +1,178 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// tailFixture writes `keep` records, syncs, appends one more (the tail
+// record under attack) and returns the directory, the tail segment path
+// and the byte offset the tail record starts at.
+func tailFixture(t *testing.T, keep int) (dir, segPath string, tailStart int64) {
+	t.Helper()
+	dir = t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < keep; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("keep-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segPath = filepath.Join(dir, segs[len(segs)-1].name)
+	st, err := os.Stat(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tailStart = st.Size()
+	if _, err := l.Append([]byte("tail-record-payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, segPath, tailStart
+}
+
+func recoverAndCheck(t *testing.T, dir string, wantRecords uint64, label string) {
+	t.Helper()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("%s: Open: %v", label, err)
+	}
+	defer l.Close()
+	if got := l.End(); got != wantRecords {
+		t.Fatalf("%s: End = %d, want %d", label, got, wantRecords)
+	}
+	r, err := l.Reader(0)
+	if err != nil {
+		t.Fatalf("%s: Reader: %v", label, err)
+	}
+	defer r.Close()
+	var n uint64
+	for {
+		p, _, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("%s: Next: %v", label, err)
+		}
+		if want := fmt.Sprintf("keep-%04d", n); string(p) != want {
+			t.Fatalf("%s: record %d = %q, want %q", label, n, p, want)
+		}
+		n++
+	}
+	if n != wantRecords {
+		t.Fatalf("%s: replay returned %d records, want %d", label, n, wantRecords)
+	}
+	// The recovered log must accept appends and make them readable.
+	if idx, err := l.Append([]byte("post-recovery")); err != nil || idx != wantRecords {
+		t.Fatalf("%s: append after recovery: idx=%d err=%v", label, idx, err)
+	}
+}
+
+// TestTornTailTruncateEveryOffset truncates the segment at every byte
+// length inside the tail record's frame; Open must recover exactly the
+// intact prefix every time and leave the log appendable.
+func TestTornTailTruncateEveryOffset(t *testing.T) {
+	const keep = 7
+	_, refSeg, tailStart := tailFixture(t, keep)
+	full, err := os.ReadFile(refSeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tailLen := int64(len(full)) - tailStart
+	if tailLen <= headerSize {
+		t.Fatalf("degenerate fixture: tail frame is %d bytes", tailLen)
+	}
+	// Each cut length gets a pristine fixture (the writer is deterministic,
+	// so every fixture holds identical bytes).
+	for cut := int64(0); cut < tailLen; cut++ {
+		dir, segPath, _ := tailFixture(t, keep)
+		if err := os.Truncate(segPath, tailStart+cut); err != nil {
+			t.Fatal(err)
+		}
+		recoverAndCheck(t, dir, keep, fmt.Sprintf("truncate at tail+%d", cut))
+	}
+}
+
+// TestTornTailCorruptEveryOffset flips one byte at every position of the
+// tail record's frame; CRC (or the length bound) must catch each one, and
+// Open must truncate back to the intact prefix.
+func TestTornTailCorruptEveryOffset(t *testing.T) {
+	const keep = 5
+	_, refSeg, tailStart := tailFixture(t, keep)
+	full, err := os.ReadFile(refSeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tailLen := int64(len(full)) - tailStart
+
+	for pos := int64(0); pos < tailLen; pos++ {
+		dir, segPath, _ := tailFixture(t, keep)
+		f, err := os.OpenFile(segPath, os.O_RDWR, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]byte, 1)
+		if _, err := f.ReadAt(b, tailStart+pos); err != nil {
+			t.Fatal(err)
+		}
+		b[0] ^= 0x5a
+		if _, err := f.WriteAt(b, tailStart+pos); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		// A corrupted length field can make the frame *look* longer or
+		// shorter; either way the valid prefix is the keep records. The one
+		// unprotected case would be a corrupt length that still frames a
+		// checksum-passing record — impossible here because the payload CRC
+		// is over exactly the framed bytes.
+		recoverAndCheck(t, dir, keep, fmt.Sprintf("corrupt byte tail+%d", pos))
+	}
+}
+
+// TestTornTailAcrossReopenChain damages, recovers, appends and damages
+// again — recovery must compose.
+func TestTornTailAcrossReopenChain(t *testing.T) {
+	dir, segPath, tailStart := tailFixture(t, 3)
+	if err := os.Truncate(segPath, tailStart+3); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.End(); got != 3 {
+		t.Fatalf("End after first recovery = %d, want 3", got)
+	}
+	if _, err := l.Append([]byte("second-generation")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Damage the new tail too.
+	st, _ := os.Stat(segPath)
+	if err := os.Truncate(segPath, st.Size()-1); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.End(); got != 3 {
+		t.Fatalf("End after second recovery = %d, want 3", got)
+	}
+}

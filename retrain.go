@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"frappe/internal/modelreg"
+	"frappe/internal/mypagekeeper"
 	"frappe/internal/telemetry"
+	"frappe/internal/wal"
 )
 
 // Retrainer is the continuous-training driver the paper's §5 deployment
@@ -81,6 +83,47 @@ type RetrainConfig struct {
 	Notes string
 	// Logger receives round outcomes; nil means slog.Default.
 	Logger *slog.Logger
+	// Stream, when non-nil, feeds the retrainer from an ingestion WAL
+	// instead of an always-live monitor: before each round the stream's
+	// replica monitor is caught up to the log's end, rounds with no new
+	// events past the committed consumer offset are skipped without even
+	// snapshotting, and the offset is committed after each completed
+	// round — a restarted retrainer resumes from the recorded offset
+	// rather than re-deciding on data it has already seen.
+	Stream *RetrainStream
+}
+
+// RetrainStream tails an ingestion write-ahead log for the retrainer.
+type RetrainStream struct {
+	// Log is the ingestion WAL to tail.
+	Log *wal.Log
+	// Monitor is the replica the log is replayed into; Snapshot should
+	// read its labeled view. It starts empty and is caught up lazily.
+	Monitor *mypagekeeper.Monitor
+	// Consumer is the offset-tracking consumer name (default "retrainer").
+	Consumer string
+
+	// pos is the in-memory replay cursor: every record before it has been
+	// applied to Monitor. The committed consumer offset trails it — it
+	// records what the retrainer has *decided on*, not merely applied.
+	pos uint64
+}
+
+func (s *RetrainStream) consumer() string {
+	if s.Consumer == "" {
+		return "retrainer"
+	}
+	return s.Consumer
+}
+
+// catchUp replays [pos, End) into the replica and returns the new cursor.
+func (s *RetrainStream) catchUp() (uint64, error) {
+	stats, err := mypagekeeper.Replay(s.Monitor, s.Log, s.pos, nil)
+	if err != nil {
+		return s.pos, fmt.Errorf("frappe: retrain stream replay from %d: %w", s.pos, err)
+	}
+	s.pos = stats.Next
+	return s.pos, nil
 }
 
 // CompileConfig configures the retrainer's compiled-inference step.
@@ -153,6 +196,9 @@ func NewRetrainer(reg *ModelRegistry, cfg RetrainConfig) (*Retrainer, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	if cfg.Stream != nil && (cfg.Stream.Log == nil || cfg.Stream.Monitor == nil) {
+		return nil, errors.New("frappe: RetrainConfig.Stream needs both Log and Monitor")
+	}
 	return &Retrainer{reg: reg, cfg: cfg}, nil
 }
 
@@ -166,20 +212,19 @@ func (rt *Retrainer) RunOnce(ctx context.Context) (RetrainResult, error) {
 		retrainTotal.With("error").Inc()
 	default:
 		retrainTotal.With(res.Outcome).Inc()
+		// The round decided on everything replayed so far: record that
+		// durably, so a restarted retrainer resumes past it. A failed
+		// commit only costs a re-decision next round.
+		if s := rt.cfg.Stream; s != nil {
+			if cerr := s.Log.CommitConsumer(s.consumer(), s.pos); cerr != nil {
+				rt.cfg.Logger.Warn("retrain stream offset commit failed", "err", cerr)
+			}
+		}
 	}
 	return res, err
 }
 
 func (rt *Retrainer) runOnce(ctx context.Context) (RetrainResult, error) {
-	records, labels, err := rt.cfg.Snapshot(ctx)
-	if err != nil {
-		return RetrainResult{}, fmt.Errorf("frappe: retrain snapshot: %w", err)
-	}
-	if len(records) != len(labels) {
-		return RetrainResult{}, errors.New("frappe: retrain snapshot records/labels mismatch")
-	}
-	fingerprint := TrainingFingerprint(records, labels)
-
 	// Load the incumbent first: an unchanged corpus means nothing to learn.
 	var (
 		incumbent    *Classifier
@@ -194,6 +239,40 @@ func (rt *Retrainer) runOnce(ctx context.Context) (RetrainResult, error) {
 		// a warning, and the gate below degrades to "no incumbent".
 		rt.cfg.Logger.Warn("incumbent unloadable; gate degraded to first-publish", "err", err)
 	}
+
+	// WAL-streamed rounds: catch the replica up to the log's end, then
+	// skip the round outright — no snapshot, no fingerprint — when
+	// nothing has arrived past the offset the last completed round
+	// committed. The snapshot can be expensive; the offset compare is two
+	// integers.
+	if s := rt.cfg.Stream; s != nil {
+		streamPos, err := s.catchUp()
+		if err != nil {
+			return RetrainResult{}, err
+		}
+		if hasIncumbent {
+			committed, err := s.Log.ConsumerOffset(s.consumer())
+			if err != nil {
+				return RetrainResult{}, fmt.Errorf("frappe: retrain stream offset: %w", err)
+			}
+			if committed == streamPos {
+				rt.cfg.Logger.Info("no WAL events past committed offset; skipping retrain",
+					"consumer", s.consumer(), "offset", committed)
+				return RetrainResult{Outcome: RetrainUnchanged,
+					Reason: fmt.Sprintf("no WAL events past committed offset %d", committed)}, nil
+			}
+		}
+	}
+
+	records, labels, err := rt.cfg.Snapshot(ctx)
+	if err != nil {
+		return RetrainResult{}, fmt.Errorf("frappe: retrain snapshot: %w", err)
+	}
+	if len(records) != len(labels) {
+		return RetrainResult{}, errors.New("frappe: retrain snapshot records/labels mismatch")
+	}
+	fingerprint := TrainingFingerprint(records, labels)
+
 	if hasIncumbent && incManifest.TrainingFingerprint == fingerprint {
 		rt.cfg.Logger.Info("labeled view unchanged; skipping retrain",
 			"fingerprint", fingerprint[:12], "incumbent", incManifest.ModelID())

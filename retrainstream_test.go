@@ -1,0 +1,182 @@
+package frappe
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"frappe/internal/fbplatform"
+	"frappe/internal/mypagekeeper"
+	"frappe/internal/wal"
+)
+
+// walWithPosts appends n posts (and one blacklist add, for kind coverage)
+// to a fresh WAL-backed ingestion session over m.
+func walWithPosts(t *testing.T, l *wal.Log, m *mypagekeeper.Monitor, from, n int) {
+	t.Helper()
+	ing := m.StartIngestWith(mypagekeeper.IngestConfig{Workers: 2, WAL: l})
+	for i := from; i < from+n; i++ {
+		ing.Observe(fbplatform.Post{
+			AppID:  fmt.Sprintf("2%014d", i%7),
+			UserID: i % 50,
+			Link:   fmt.Sprintf("http://campaign.example/p%d", i),
+		})
+	}
+	ing.AddBlacklistedURL("http://campaign.example/p0")
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newReplica() *mypagekeeper.Monitor {
+	m := mypagekeeper.New(mypagekeeper.DefaultClassifierConfig())
+	m.SubscribeRange(0, 100)
+	return m
+}
+
+// TestRetrainStreamResumesFromOffset drives the retrainer from an
+// ingestion WAL: rounds with no new events are skipped without
+// snapshotting, new events advance the committed consumer offset, and a
+// restarted retrainer (fresh replica, same log and registry) resumes from
+// the recorded offset instead of re-deciding on replayed data.
+func TestRetrainStreamResumesFromOffset(t *testing.T) {
+	_, d := sharedWorld(t)
+	records, labels := LabeledSample(d)
+	walDir := t.TempDir()
+
+	// Producer side: a WAL-backed ingestion session writes the log the
+	// retrainer will tail.
+	producer := newReplica()
+	l, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	walWithPosts(t, l, producer, 0, 40)
+	firstEnd := l.End()
+
+	reg, err := OpenModelRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica := newReplica()
+	stream := &RetrainStream{Log: l, Monitor: replica}
+	var snapshots int
+	// The snapshot derives from the replica: its size shifts with the
+	// replayed post count, so new WAL events change the training
+	// fingerprint and an un-caught-up replica would be visible here.
+	snapshot := func(context.Context) ([]AppRecord, []bool, error) {
+		snapshots++
+		k := len(records) - replica.Stats().PostsObserved%5
+		return records[:k], labels[:k], nil
+	}
+	rt, err := NewRetrainer(reg, RetrainConfig{
+		Snapshot:  snapshot,
+		Options:   Options{Features: LiteFeatures(), Seed: 2},
+		CVFolds:   -1,
+		Tolerance: 1, // promotion gating is not under test here
+		Stream:    stream,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round 1: the replica is caught up to the log end before training.
+	res, err := rt.RunOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != RetrainPublished {
+		t.Fatalf("round 1 outcome = %q (%s), want published", res.Outcome, res.Reason)
+	}
+	if got := replica.Stats().PostsObserved; got != 40 {
+		t.Fatalf("replica saw %d posts after catch-up, want 40", got)
+	}
+	if off, _ := l.ConsumerOffset("retrainer"); off != firstEnd {
+		t.Fatalf("committed offset = %d, want %d", off, firstEnd)
+	}
+	if snapshots != 1 {
+		t.Fatalf("snapshot called %d times, want 1", snapshots)
+	}
+
+	// Round 2: nothing new in the log — skipped before the snapshot runs.
+	res, err = rt.RunOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != RetrainUnchanged || !strings.Contains(res.Reason, "committed offset") {
+		t.Fatalf("idle round outcome = %q (%s), want offset-based unchanged", res.Outcome, res.Reason)
+	}
+	if snapshots != 1 {
+		t.Fatalf("idle round still snapshotted (calls = %d)", snapshots)
+	}
+
+	// New events arrive; round 3 catches up and trains again.
+	walWithPosts(t, l, producer, 40, 3)
+	res, err = rt.RunOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != RetrainPublished {
+		t.Fatalf("round 3 outcome = %q (%s), want published", res.Outcome, res.Reason)
+	}
+	if got := replica.Stats().PostsObserved; got != 43 {
+		t.Fatalf("replica saw %d posts after second catch-up, want 43", got)
+	}
+	if off, _ := l.ConsumerOffset("retrainer"); off != l.End() {
+		t.Fatalf("committed offset = %d, want log end %d", off, l.End())
+	}
+
+	// "Restart": a new retrainer with a fresh replica over the same log
+	// and registry replays from zero, sees the committed offset already at
+	// the end, and skips without snapshotting — resume from the recorded
+	// offset, no reprocessing.
+	replica2 := newReplica()
+	var snapshots2 int
+	rt2, err := NewRetrainer(reg, RetrainConfig{
+		Snapshot: func(context.Context) ([]AppRecord, []bool, error) {
+			snapshots2++
+			return records, labels, nil
+		},
+		Options:   Options{Features: LiteFeatures(), Seed: 2},
+		CVFolds:   -1,
+		Tolerance: 1,
+		Stream:    &RetrainStream{Log: l, Monitor: replica2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = rt2.RunOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != RetrainUnchanged || !strings.Contains(res.Reason, "committed offset") {
+		t.Fatalf("restarted round outcome = %q (%s), want offset-based unchanged", res.Outcome, res.Reason)
+	}
+	if snapshots2 != 0 {
+		t.Fatalf("restarted retrainer snapshotted %d times, want 0", snapshots2)
+	}
+	if got := replica2.Stats().PostsObserved; got != 43 {
+		t.Fatalf("restarted replica saw %d posts, want 43", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetrainStreamValidation: a stream missing its log or replica is a
+// configuration error, not a nil-pointer panic three rounds later.
+func TestRetrainStreamValidation(t *testing.T) {
+	reg, err := OpenModelRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := func(context.Context) ([]AppRecord, []bool, error) { return nil, nil, nil }
+	if _, err := NewRetrainer(reg, RetrainConfig{Snapshot: snapshot, Stream: &RetrainStream{}}); err == nil {
+		t.Fatal("want error for stream without log and monitor")
+	}
+	if _, err := NewRetrainer(reg, RetrainConfig{Snapshot: snapshot,
+		Stream: &RetrainStream{Log: &wal.Log{}}}); err == nil {
+		t.Fatal("want error for stream without monitor")
+	}
+}

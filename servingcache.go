@@ -121,9 +121,14 @@ func (c *verdictCache) do(ctx context.Context, appID, modelID string, fn func(co
 			a.Cached = true
 			return a
 		case <-ctx.Done():
+			// The joiner's own context gave out, not the upstream: the
+			// flight it was waiting on is still running and may succeed.
+			// Blaming the upstream here (as this branch once did) made a
+			// client-side timeout surface as a 502 and pollute upstream
+			// error accounting.
 			sp.SetError(ctx.Err())
 			sp.End()
-			return Assessment{AppID: appID, Error: ctx.Err().Error(), Cause: CauseUpstream}
+			return Assessment{AppID: appID, Error: ctx.Err().Error(), Cause: CauseCanceled}
 		}
 	}
 	fl := &verdictFlight{done: make(chan struct{}), modelID: modelID}

@@ -196,6 +196,59 @@ func TestVerdictCacheFlightNotJoinedAcrossSwap(t *testing.T) {
 	}
 }
 
+// TestVerdictCacheJoinerCancellationCause: a joiner whose own context
+// dies while waiting on another request's in-flight assessment is a
+// client-side cancellation, not an upstream failure — it must carry
+// CauseCanceled (504), not CauseUpstream (502), and must not stop the
+// leader's flight from completing and caching normally.
+func TestVerdictCacheJoinerCancellationCause(t *testing.T) {
+	c := newVerdictCache(time.Minute)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan Assessment, 1)
+	go func() {
+		leaderDone <- c.do(context.Background(), "app", "", func(context.Context) Assessment {
+			close(entered)
+			<-release
+			return Assessment{AppID: "app", Score: 0.9}
+		})
+	}()
+	<-entered
+
+	jctx, cancel := context.WithCancel(context.Background())
+	joinerDone := make(chan Assessment, 1)
+	go func() {
+		joinerDone <- c.do(jctx, "app", "", func(context.Context) Assessment {
+			t.Error("joiner recomputed instead of joining the flight")
+			return Assessment{AppID: "app"}
+		})
+	}()
+	cancel()
+	got := <-joinerDone
+	if got.Cause != CauseCanceled {
+		t.Errorf("canceled joiner cause = %q, want %q", got.Cause, CauseCanceled)
+	}
+	if got.Error != context.Canceled.Error() {
+		t.Errorf("canceled joiner error = %q, want %q", got.Error, context.Canceled)
+	}
+	if got.Cached {
+		t.Errorf("canceled joiner claims to be cached: %+v", got)
+	}
+
+	// The flight the joiner abandoned is unaffected: the leader's result
+	// lands and is cached for the next caller.
+	close(release)
+	if leader := <-leaderDone; leader.Score != 0.9 || leader.Error != "" {
+		t.Fatalf("leader flight corrupted: %+v", leader)
+	}
+	if a := c.do(context.Background(), "app", "", func(context.Context) Assessment {
+		t.Error("leader verdict should have been cached")
+		return Assessment{AppID: "app"}
+	}); !a.Cached || a.Score != 0.9 {
+		t.Fatalf("leader verdict not served from cache: %+v", a)
+	}
+}
+
 func TestVerdictCacheDoesNotCacheFailures(t *testing.T) {
 	c := newVerdictCache(time.Minute)
 	var calls int

@@ -59,6 +59,11 @@ const (
 	CauseBreakerOpen = "breaker_open"
 	// CauseUpstream: the upstream crawl failed transiently (HTTP 502).
 	CauseUpstream = "upstream"
+	// CauseCanceled: the caller's own context was canceled or timed out
+	// while waiting for a verdict (HTTP 504). Not an upstream failure —
+	// the in-flight crawl it was waiting on may well still succeed for
+	// the request that owns it.
+	CauseCanceled = "canceled"
 )
 
 // Watchdog assessment metrics (process default registry):
@@ -177,8 +182,10 @@ func (w *Watchdog) Rank(ctx context.Context, appIDs []string) []Assessment {
 // outcomes onto distinct statuses: a clean verdict is 200; a deleted app is
 // 404 (still a verdict — the body carries the malicious-by-deletion
 // assessment); an open upstream circuit breaker is 503 with a Retry-After;
-// any other upstream failure is 502. /rank always returns 200 and carries
-// per-row errors, matching its don't-abort contract. All endpoints are
+// any other upstream failure is 502; a request that ran out its own
+// deadline waiting on a shared in-flight assessment is 504. /rank always
+// returns 200 and carries per-row errors, matching its don't-abort
+// contract. All endpoints are
 // instrumented as service "watchdog" on the default telemetry registry.
 func WatchdogHandler(w *Watchdog, timeout time.Duration) http.Handler {
 	return WatchdogHandlerWith(w, timeout, nil)
@@ -227,6 +234,8 @@ func WatchdogHandlerWith(w *Watchdog, timeout time.Duration, rel *Reloader) http
 			rw.Header().Set("Retry-After", retryAfter)
 		case CauseUpstream:
 			status = http.StatusBadGateway
+		case CauseCanceled:
+			status = http.StatusGatewayTimeout
 		}
 		if status != http.StatusOK {
 			// The ctx carries the request span, so the trace-aware slog
