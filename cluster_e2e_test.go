@@ -1,0 +1,453 @@
+package frappe
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"frappe/internal/cluster"
+	"frappe/internal/mypagekeeper"
+	"frappe/internal/stack"
+	"frappe/internal/telemetry"
+	"frappe/internal/wal"
+)
+
+// End-to-end cluster serving: 3 watchdog replicas behind the
+// internal/cluster front door. The acceptance story: killing and
+// restarting any single replica during sustained /check load yields zero
+// failed client requests, verdicts identical to a single-node run, and a
+// registry publish converges the whole fleet onto one model version.
+
+// clusterFixture is a running 3-replica topology: shared world services,
+// one model registry all replicas load from, an ingestion WAL for rejoin
+// bootstrap, the replica set, the cluster front door, and its LB server.
+type clusterFixture struct {
+	reg    *ModelRegistry
+	m1     ModelManifest
+	rs     *stack.ReplicaSet
+	c      *cluster.Cluster
+	lb     *httptest.Server
+	ctx    context.Context
+	walDir string
+
+	graphURL, wotURL string
+	probe            []AppRecord
+
+	mu     sync.Mutex
+	health map[string]*HealthState
+}
+
+// replicaHandler builds one replica's full serving handler: a fresh
+// registry-backed watchdog, reloader, drain-aware health and member
+// identity — what one watchdogd process would run.
+func (f *clusterFixture) replicaHandler(t *testing.T, id string) http.Handler {
+	t.Helper()
+	wd, err := NewWatchdogFromRegistry(f.reg, WatchdogConfig{
+		GraphURL:   f.graphURL,
+		WOTURL:     f.wotURL,
+		VerdictTTL: time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("replica %s: watchdog from registry: %v", id, err)
+	}
+	rel := NewReloader(wd, f.reg, ReloadConfig{Probe: f.probe})
+	h := NewHealthState()
+	f.mu.Lock()
+	f.health[id] = h
+	f.mu.Unlock()
+	return NewWatchdogHandler(wd, HandlerConfig{
+		Timeout:  15 * time.Second,
+		Reloader: rel,
+		Health:   h,
+		MemberID: id,
+	})
+}
+
+// rejoinHandler is replicaHandler plus the rejoin bootstrap a restarted
+// watchdogd performs with -wal-replay: rebuild the blacklist replica from
+// the ingestion WAL and commit this member's consumer offset.
+func (f *clusterFixture) rejoinHandler(t *testing.T, id string) http.Handler {
+	t.Helper()
+	wlog, err := wal.Open(f.walDir, wal.Options{})
+	if err != nil {
+		t.Fatalf("rejoin %s: opening WAL: %v", id, err)
+	}
+	defer wlog.Close()
+	replica := mypagekeeper.New(mypagekeeper.DefaultClassifierConfig())
+	replica.SubscribeRange(0, 100)
+	stats, err := mypagekeeper.Replay(replica, wlog, 0, nil)
+	if err != nil {
+		t.Fatalf("rejoin %s: WAL replay: %v", id, err)
+	}
+	if stats.Records == 0 {
+		t.Fatalf("rejoin %s: WAL replay saw no records", id)
+	}
+	if err := wlog.CommitConsumer("watchdogd-"+id, stats.Next); err != nil {
+		t.Fatalf("rejoin %s: committing consumer offset: %v", id, err)
+	}
+	return f.replicaHandler(t, id)
+}
+
+// newClusterFixture starts n replicas and the front door. The prober runs
+// fast (25ms) so the tests' de-route/rejoin waits stay sub-second.
+func newClusterFixture(t *testing.T, n int) *clusterFixture {
+	t.Helper()
+	w, d := sharedWorld(t)
+	st, err := StartServices(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st.Close)
+
+	reg, err := OpenModelRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := trainLifecycle(t, 2, 4)
+	m1, err := PublishClassifier(reg, v1, ModelManifest{Notes: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, _ := LabeledSample(d)
+	probe := records
+	if len(probe) > 8 {
+		probe = probe[:8]
+	}
+
+	// The ingestion WAL a restarted member replays at rejoin.
+	walDir := t.TempDir()
+	producer := mypagekeeper.New(mypagekeeper.DefaultClassifierConfig())
+	producer.SubscribeRange(0, 100)
+	wlog, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	walWithPosts(t, wlog, producer, 0, 30)
+	wlog.Close()
+
+	f := &clusterFixture{
+		reg: reg, m1: m1, walDir: walDir,
+		graphURL: st.GraphURL, wotURL: st.WOTURL,
+		probe:  probe,
+		health: make(map[string]*HealthState),
+	}
+
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = "w" + string(rune('1'+i))
+	}
+	rs, err := stack.StartReplicas(ids, func(_ int, id string) http.Handler {
+		return f.replicaHandler(t, id)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rs.Close)
+	f.rs = rs
+
+	members := make([]cluster.Member, n)
+	for i := range members {
+		members[i] = cluster.Member{ID: rs.ID(i), URL: rs.URL(i)}
+	}
+	c, err := cluster.New(cluster.Config{
+		Members:       members,
+		ProbeInterval: 25 * time.Millisecond,
+		// A short breaker cooldown so a restarted member's open circuit
+		// half-opens within the test window instead of the 10s default.
+		BreakerCooldown: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	c.Start(ctx)
+	f.c, f.ctx = c, ctx
+
+	lb := httptest.NewServer(telemetry.Middleware(nil, "frappelb", c.Handler()))
+	t.Cleanup(lb.Close)
+	f.lb = lb
+
+	if !c.WaitHealthy(ctx, n, 5*time.Second) {
+		t.Fatalf("cluster never reached %d healthy members", n)
+	}
+	return f
+}
+
+// normalizeAssessment strips the per-request fields (trace identity,
+// cache provenance) so verdicts from different processes compare on
+// substance: app, verdict, score, deletion, cause, model version.
+func normalizeAssessment(a Assessment) Assessment {
+	a.TraceID = ""
+	a.Cached = false
+	return a
+}
+
+// TestClusterKillRestartUnderLoad is the acceptance e2e: sustained /check
+// load through the front door while one replica is killed (abrupt
+// connection loss) and later restarted with a WAL-replay rejoin. Every
+// client request must complete as a verdict, the restarted member must
+// rejoin, and the cluster's verdicts must match a single-node watchdog's.
+func TestClusterKillRestartUnderLoad(t *testing.T) {
+	f := newClusterFixture(t, 3)
+	ids := liveApps(t, 4)
+	if len(ids) == 0 {
+		t.Skip("world has no live apps")
+	}
+
+	// Single-node baseline for verdict parity, on the same registry and
+	// upstream services.
+	singleWd, err := NewWatchdogFromRegistry(f.reg, WatchdogConfig{
+		GraphURL: f.graphURL, WOTURL: f.wotURL, VerdictTTL: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := httptest.NewServer(WatchdogHandler(singleWd, 15*time.Second))
+	defer single.Close()
+	baseline := make(map[string]Assessment, len(ids))
+	for _, id := range ids {
+		_, a := getAssessment(t, single.URL+"/check?app="+id)
+		baseline[id] = normalizeAssessment(a)
+	}
+
+	var (
+		stop     atomic.Bool
+		requests atomic.Int64
+		failures atomic.Int64
+	)
+	const workers = 6
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				id := ids[(g+i)%len(ids)]
+				resp, err := http.Get(f.lb.URL + "/check?app=" + id)
+				if err != nil {
+					failures.Add(1)
+					t.Errorf("worker %d: request error: %v", g, err)
+					continue
+				}
+				var a Assessment
+				decErr := json.NewDecoder(resp.Body).Decode(&a)
+				resp.Body.Close()
+				requests.Add(1)
+				switch {
+				case decErr != nil:
+					failures.Add(1)
+					t.Errorf("worker %d: undecodable response: %v", g, decErr)
+				case resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound:
+					failures.Add(1)
+					t.Errorf("worker %d: status %d (assessment %+v)", g, resp.StatusCode, a)
+				}
+			}
+		}(g)
+	}
+
+	// Kill the replica that owns the first test key, so the kill provably
+	// lands on a member in the live routing path (killing a member none of
+	// the keys hash to would exercise nothing).
+	resp0, err := http.Get(f.lb.URL + "/check?app=" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := resp0.Header.Get("X-Cluster-Member")
+	resp0.Body.Close()
+	victim := -1
+	for i := 0; i < f.rs.Len(); i++ {
+		if f.rs.ID(i) == owner {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		t.Fatalf("owner %q of %s is not a replica", owner, ids[0])
+	}
+
+	// Let load build, then kill it mid-run: its listener and all live
+	// connections die abruptly, the same failure mode a SIGKILLed process
+	// presents. The ring walk must absorb every affected request.
+	time.Sleep(100 * time.Millisecond)
+	f.rs.Kill(victim)
+	time.Sleep(300 * time.Millisecond)
+
+	// Restart on the same port with the WAL-replay rejoin bootstrap, and
+	// wait for the prober to route it again.
+	if err := f.rs.Restart(victim, f.rejoinHandler(t, f.rs.ID(victim))); err != nil {
+		t.Fatal(err)
+	}
+	if !f.c.WaitHealthy(f.ctx, 3, 5*time.Second) {
+		t.Fatalf("restarted member never rejoined; healthy = %v", f.c.HealthyMembers())
+	}
+	time.Sleep(150 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	if n := requests.Load(); n < workers {
+		t.Fatalf("only %d requests completed; load generator broken", n)
+	}
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d of %d requests failed across the kill/restart", n, requests.Load())
+	}
+
+	// Verdict parity: the cluster's answers match the single-node run
+	// byte-for-byte once per-request fields are stripped.
+	for _, id := range ids {
+		_, a := getAssessment(t, f.lb.URL+"/check?app="+id)
+		if got, want := normalizeAssessment(a), baseline[id]; got != want {
+			t.Errorf("cluster verdict for %s diverged from single node:\n got %+v\nwant %+v", id, got, want)
+		}
+	}
+
+	// The aggregated exposition names every member and the cluster gauges.
+	resp, err := http.Get(f.lb.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for i := 0; i < 3; i++ {
+		if !strings.Contains(text, `member="`+f.rs.ID(i)+`"`) {
+			t.Errorf("aggregated /metrics missing member %s", f.rs.ID(i))
+		}
+	}
+	for _, family := range []string{"frappe_cluster_members_healthy", "frappe_cluster_failover_total"} {
+		if !strings.Contains(text, family) {
+			t.Errorf("aggregated /metrics missing %s", family)
+		}
+	}
+	t.Logf("cluster absorbed %d requests across kill/restart, 0 failures", requests.Load())
+}
+
+// TestClusterModelConvergence: a registry publish plus one front-door
+// /model/reload fan-out leaves every replica serving the new version —
+// the fleet-wide extension of the single-node hot swap.
+func TestClusterModelConvergence(t *testing.T) {
+	f := newClusterFixture(t, 3)
+	ids := liveApps(t, 2)
+	if len(ids) == 0 {
+		t.Skip("world has no live apps")
+	}
+
+	v2 := trainLifecycle(t, 3, 0)
+	m2, err := PublishClassifier(f.reg, v2, ModelManifest{Notes: "v2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.ModelID() == f.m1.ModelID() {
+		t.Fatal("v2 content-identical to v1; convergence would be vacuous")
+	}
+
+	resp, err := http.Post(f.lb.URL+"/model/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fanout struct {
+		Members []struct {
+			Member  string `json:"member"`
+			Outcome string `json:"outcome"`
+			Serving string `json:"serving"`
+		} `json:"members"`
+		Converged bool `json:"converged"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fanout); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !fanout.Converged {
+		t.Fatalf("reload fan-out: status %d converged=%v (%+v)", resp.StatusCode, fanout.Converged, fanout)
+	}
+	for _, m := range fanout.Members {
+		if m.Serving != m2.ModelID() {
+			t.Errorf("member %s serving %q after fan-out, want %q", m.Member, m.Serving, m2.ModelID())
+		}
+	}
+
+	// /cluster agrees: all three members report the new version.
+	cresp, err := http.Get(f.lb.URL + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		Members []struct {
+			ID           string `json:"id"`
+			Healthy      bool   `json:"healthy"`
+			ModelVersion string `json:"model_version"`
+		} `json:"members"`
+		Healthy int `json:"healthy"`
+	}
+	if err := json.NewDecoder(cresp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if info.Healthy != 3 || len(info.Members) != 3 {
+		t.Fatalf("/cluster reports %d healthy of %d members", info.Healthy, len(info.Members))
+	}
+	for _, m := range info.Members {
+		if m.ModelVersion != m2.ModelID() {
+			t.Errorf("member %s at %q, want %q", m.ID, m.ModelVersion, m2.ModelID())
+		}
+	}
+
+	// Verdicts routed through the front door are stamped with v2.
+	for _, id := range ids {
+		_, a := getAssessment(t, f.lb.URL+"/check?app="+id)
+		if a.ModelVersion != m2.ModelID() {
+			t.Errorf("post-convergence verdict for %s stamped %q, want %q", id, a.ModelVersion, m2.ModelID())
+		}
+	}
+}
+
+// TestClusterDrainDeRoutes: a replica that flips its /healthz to draining
+// is de-routed by the prober — requests keep succeeding on the survivors
+// and never name the draining member — and rejoins when it un-drains.
+func TestClusterDrainDeRoutes(t *testing.T) {
+	f := newClusterFixture(t, 3)
+	ids := liveApps(t, 3)
+	if len(ids) == 0 {
+		t.Skip("world has no live apps")
+	}
+
+	drained := f.rs.ID(0)
+	f.mu.Lock()
+	h := f.health[drained]
+	f.mu.Unlock()
+	h.SetDraining(true)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for len(f.c.HealthyMembers()) != 2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := f.c.HealthyMembers(); len(got) != 2 {
+		t.Fatalf("draining member never de-routed; healthy = %v", got)
+	}
+
+	for _, id := range ids {
+		resp, err := http.Get(f.lb.URL + "/check?app=" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		member := resp.Header.Get("X-Cluster-Member")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+			t.Errorf("check %s during drain: status %d", id, resp.StatusCode)
+		}
+		if member == drained {
+			t.Errorf("check %s routed to draining member %s", id, drained)
+		}
+	}
+
+	h.SetDraining(false)
+	if !f.c.WaitHealthy(f.ctx, 3, 5*time.Second) {
+		t.Fatalf("undrained member never rejoined; healthy = %v", f.c.HealthyMembers())
+	}
+}

@@ -9,7 +9,9 @@
 //	frappebench -serve [-serve-clients 8] [-serve-duration 10s]
 //	            [-serve-apps 32] [-serve-verdict-ttl 5s] [-tracing on|off]
 //	            [-serve-compile off|exact|rff] [-serve-variants]
-//	            [-bench-json FILE]
+//	            [-serve-cluster N] [-bench-json FILE]
+//	frappebench -serve-addr http://127.0.0.1:8400 [-serve-clients 8]
+//	            [-serve-duration 10s] [-serve-apps 32] [-bench-json FILE]
 //
 // -quick skips the classifier cross-validation experiments (the slowest
 // part) and prints only the measurement and forensics results.
@@ -30,7 +32,11 @@
 // -tracing off disables request tracing for the run (isolating its cost),
 // -serve-compile serves through a compiled inference artifact, and
 // -serve-variants appends uncached, untraced exact-vs-RFF passes so one
-// run records the full inference-path comparison.
+// run records the full inference-path comparison. -serve-cluster N
+// appends a pass driving N replicas behind the internal/cluster front
+// door — the 1-vs-N serving comparison in one run. -serve-addr drives an
+// external endpoint (a running watchdogd or frappelb) instead; the app
+// pool still comes from the locally generated world.
 //
 // -bench-json writes per-stage wall-clock timings (world generation,
 // dataset build, classifier training, cross-validation) read back from the
@@ -203,6 +209,10 @@ func main() {
 	serveCompile := flag.String("serve-compile", "off", "serve through a compiled artifact: off, exact or rff (-serve only)")
 	serveVariants := flag.Bool("serve-variants", false,
 		"after the primary -serve pass, run uncached/untraced exact-vs-RFF variant passes")
+	serveAddr := flag.String("serve-addr", "",
+		"drive this external endpoint (a running watchdogd or frappelb) instead of an in-process server; the app pool comes from the locally generated world, so the endpoint must serve the same -scale/-seed world")
+	serveCluster := flag.Int("serve-cluster", 0,
+		"after the primary -serve pass, drive N in-process replicas behind the cluster front door for a 1-vs-N comparison (0 = off)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSONFlag := flag.Bool("log-json", false, "log as JSON instead of text")
 	flag.Parse()
@@ -219,9 +229,9 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *serveMode {
+	if *serveMode || *serveAddr != "" {
 		start := time.Now()
-		res, err := runServe(logger, serveConfig{
+		scfg := serveConfig{
 			scale:    *scale,
 			seed:     *seed,
 			clients:  *serveClients,
@@ -231,7 +241,18 @@ func main() {
 			tracing:  *tracingFlag == "on",
 			compile:  *serveCompile,
 			variants: *serveVariants,
-		})
+			addr:     *serveAddr,
+			cluster:  *serveCluster,
+		}
+		var (
+			res *serveResult
+			err error
+		)
+		if scfg.addr != "" {
+			res, err = runServeExternal(logger, scfg)
+		} else {
+			res, err = runServe(logger, scfg)
+		}
 		if err != nil {
 			fatal(logger, err)
 		}

@@ -10,11 +10,14 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"frappe"
+	"frappe/internal/cluster"
+	"frappe/internal/stack"
 	"frappe/internal/telemetry"
 	"frappe/internal/tracing"
 )
@@ -42,8 +45,12 @@ type serveResult struct {
 	// Tracing reports whether request tracing was enabled for the pass.
 	Tracing bool `json:"tracing"`
 	// Compile names the inference form that served the pass: "exact"
-	// (kernel expansion) or a compiled artifact ("rff(d=128,seed=2,float32)").
-	Compile      string  `json:"compile"`
+	// (kernel expansion), a compiled artifact ("rff(d=128,seed=2,float32)"),
+	// or "external" when the pass drove a remote endpoint.
+	Compile string `json:"compile"`
+	// Replicas is the watchdog count behind the measured endpoint: 1 for
+	// the in-process server, N for a cluster pass.
+	Replicas     int     `json:"replicas,omitempty"`
 	DurationSecs float64 `json:"duration_seconds"`
 	Requests     uint64  `json:"requests"`
 	// Verdicts counts conclusive answers: 200 classifications plus 404
@@ -75,6 +82,14 @@ type serveConfig struct {
 	tracing  bool
 	compile  string // off, exact or rff
 	variants bool
+	// addr, when set, points the closed-loop clients at an external
+	// endpoint (a running watchdogd or frappelb) instead of an in-process
+	// server; the app pool still comes from the locally generated world,
+	// so the endpoint must serve the same -scale/-seed world.
+	addr string
+	// cluster, when >= 2, appends a pass driving N in-process replicas
+	// behind the internal/cluster front door — the 1-vs-N comparison.
+	cluster int
 }
 
 // benchCompileTolerance gates the compiled artifact the benchmark serves:
@@ -178,10 +193,27 @@ func runServe(logger *slog.Logger, cfg serveConfig) (*serveResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.cluster >= 2 {
+		// The 1-vs-N comparison: the primary pass above is the single
+		// in-process server; this pass puts cfg.cluster replicas of the
+		// same classifier behind the consistent-hash front door.
+		primary.Replicas = 1
+		label := fmt.Sprintf("cluster_%d", cfg.cluster)
+		res, err := serveClusterPass(logger, label, clf, st, cfg, pool, primary.Compile)
+		if err != nil {
+			return nil, fmt.Errorf("cluster pass: %w", err)
+		}
+		if primary.Variants == nil {
+			primary.Variants = make(map[string]*serveResult)
+		}
+		primary.Variants[label] = res
+	}
 	if cfg.variants {
 		// The variant passes isolate the uncached inference path: no
 		// verdict cache, no tracing, exact vs compiled-RFF scoring.
-		primary.Variants = make(map[string]*serveResult)
+		if primary.Variants == nil {
+			primary.Variants = make(map[string]*serveResult)
+		}
 		for _, v := range []struct{ name, mode string }{
 			{"exact_uncached_untraced", "off"},
 			{"rff_uncached_untraced", "rff"},
@@ -195,6 +227,96 @@ func runServe(logger *slog.Logger, cfg serveConfig) (*serveResult, error) {
 	}
 	tracing.Default().SetEnabled(true)
 	return primary, nil
+}
+
+// serveClusterPass drives n replicas of clf behind the internal/cluster
+// front door: each replica is its own Watchdog (own verdict cache and
+// singleflight, the partition the ring keeps hot), the LB routes and
+// fails over exactly as cmd/frappelb does, and the closed-loop clients
+// hammer the LB.
+func serveClusterPass(logger *slog.Logger, label string, clf *frappe.Classifier, st *frappe.Stack, cfg serveConfig, pool []string, compiled string) (*serveResult, error) {
+	n := cfg.cluster
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("w%d", i+1)
+	}
+	var buildErr error
+	rs, err := stack.StartReplicas(ids, func(_ int, id string) http.Handler {
+		wd, err := frappe.NewWatchdogWith(clf, frappe.WatchdogConfig{
+			GraphURL:   st.GraphURL,
+			WOTURL:     st.WOTURL,
+			VerdictTTL: cfg.ttl,
+		})
+		if err != nil {
+			buildErr = err
+			return http.NotFoundHandler()
+		}
+		return frappe.NewWatchdogHandler(wd, frappe.HandlerConfig{
+			Timeout:  10 * time.Second,
+			MemberID: id,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rs.Close()
+	if buildErr != nil {
+		return nil, fmt.Errorf("building replica watchdog: %w", buildErr)
+	}
+
+	members := make([]cluster.Member, n)
+	for i := range members {
+		members[i] = cluster.Member{ID: rs.ID(i), URL: rs.URL(i)}
+	}
+	c, err := cluster.New(cluster.Config{Members: members})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c.Start(ctx)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("listening: %w", err)
+	}
+	srv := &http.Server{Handler: telemetry.Middleware(nil, "frappelb", c.Handler())}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	res, err := driveEndpoint(logger, label, "http://"+ln.Addr().String(), cfg.clients, cfg.duration, pool, true)
+	if err != nil {
+		return nil, err
+	}
+	res.VerdictTTLSecs = cfg.ttl.Seconds()
+	res.Tracing = cfg.tracing
+	res.Compile = compiled
+	res.Replicas = n
+	return res, nil
+}
+
+// runServeExternal drives an already-running endpoint (a watchdogd or a
+// frappelb front door) with the closed-loop client set. The app pool is
+// derived from the locally generated world, so the endpoint must serve
+// the same -scale/-seed world for the requests to mean anything.
+func runServeExternal(logger *slog.Logger, cfg serveConfig) (*serveResult, error) {
+	fmt.Printf("Generating world at scale %.2f for the external app pool ...\n", cfg.scale)
+	wcfg := frappe.DefaultConfig(cfg.scale)
+	if cfg.seed != 0 {
+		wcfg.Seed = cfg.seed
+	}
+	w := frappe.GenerateWorld(wcfg)
+	pool := livePool(w, cfg.appPool)
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("no live apps in the generated world")
+	}
+	res, err := driveEndpoint(logger, "external", strings.TrimRight(cfg.addr, "/"),
+		cfg.clients, cfg.duration, pool, false)
+	if err != nil {
+		return nil, err
+	}
+	res.Compile = "external"
+	return res, nil
 }
 
 // measureInference times the warm single-verdict path against whatever
@@ -228,14 +350,24 @@ func drivePass(logger *slog.Logger, label string, wd *frappe.Watchdog, clients i
 	srv := &http.Server{Handler: frappe.WatchdogHandler(wd, 10*time.Second)}
 	go srv.Serve(ln)
 	defer srv.Close()
-	base := "http://" + ln.Addr().String()
+	return driveEndpoint(logger, label, "http://"+ln.Addr().String(), clients, duration, pool, true)
+}
 
-	fmt.Printf("Serving pass %q: %d clients, %d-app pool, %v ...\n",
-		label, clients, len(pool), duration)
+// driveEndpoint is the measurement core: closed-loop clients against any
+// /check endpoint — in-process server, cluster front door, or an external
+// URL. measureCache reads the process verdict-cache counters around the
+// pass; turn it off when the endpoint lives in another process (its
+// counters are not ours to read).
+func driveEndpoint(logger *slog.Logger, label, base string, clients int, duration time.Duration, pool []string, measureCache bool) (*serveResult, error) {
+	fmt.Printf("Serving pass %q: %d clients, %d-app pool, %v against %s ...\n",
+		label, clients, len(pool), duration, base)
 
 	reg := telemetry.Default()
-	cacheBefore := cacheLookups(reg)
-	hitsBefore := reg.CounterValue("frappe_verdict_cache_total", "hit")
+	var cacheBefore, hitsBefore uint64
+	if measureCache {
+		cacheBefore = cacheLookups(reg)
+		hitsBefore = reg.CounterValue("frappe_verdict_cache_total", "hit")
+	}
 
 	var requests, verdicts, errCount atomic.Uint64
 	lats := make([][]time.Duration, clients)
@@ -299,9 +431,11 @@ func drivePass(logger *slog.Logger, label string, wd *frappe.Watchdog, clients i
 			"mean": ms(mean(all)),
 		},
 	}
-	if lookups := cacheLookups(reg) - cacheBefore; lookups > 0 {
-		hits := reg.CounterValue("frappe_verdict_cache_total", "hit") - hitsBefore
-		res.CacheHitRate = float64(hits) / float64(lookups)
+	if measureCache {
+		if lookups := cacheLookups(reg) - cacheBefore; lookups > 0 {
+			hits := reg.CounterValue("frappe_verdict_cache_total", "hit") - hitsBefore
+			res.CacheHitRate = float64(hits) / float64(lookups)
+		}
 	}
 
 	fmt.Printf(`

@@ -1,0 +1,179 @@
+// Command frappelb is the watchdog fleet's front door: it routes
+// /check?app=ID to one of N watchdogd replicas over a consistent-hash
+// ring keyed on the app ID, health-checks the membership, and fails
+// requests over along the ring when a member dies mid-flight — so a
+// client sees one endpoint while any single replica can be killed and
+// restarted underneath it without a failed request.
+//
+// Usage:
+//
+//	frappelb -member w1=http://127.0.0.1:8466 \
+//	         -member w2=http://127.0.0.1:8467 \
+//	         -member w3=http://127.0.0.1:8468 \
+//	         [-listen 127.0.0.1:8400] [-vnodes 128]
+//	         [-probe-interval 500ms] [-probe-timeout 2s]
+//	         [-route-timeout 15s] [-member-timeout 5s]
+//	         [-drain-grace 2s]
+//	         [-debug-addr ""] [-log-level info] [-log-json]
+//
+// Endpoints:
+//
+//	GET  /check?app=ID     assessment from the app's ring owner, failing
+//	                       over clockwise on transport error / 5xx / open
+//	                       breaker; X-Cluster-Member names the replica
+//	                       that answered
+//	GET  /rank?app=A&app=B ranked batch, routed by the first app ID
+//	GET  /model            serving-model manifest from a healthy member
+//	POST /model/reload     fan out to every member; 200 once the fleet
+//	                       converges on one model version
+//	GET  /cluster          membership: health, ring shares, routed
+//	                       counts, per-member model versions
+//	GET  /metrics          aggregated fleet metrics, one block per member
+//	                       re-labelled member="<id>", plus the LB's own
+//	                       frappe_cluster_* series
+//	GET  /healthz          the LB's own liveness (503 while draining)
+//
+// Replicas coordinate through the model registry (point them all at one
+// -registry DIR; POST /model/reload here converges them in one round)
+// and bootstrap blacklist state from the ingestion WAL (-wal-replay on
+// each watchdogd). The LB itself is stateless — restart it freely.
+//
+// SIGINT/SIGTERM drain like watchdogd: /healthz flips to 503 for
+// -drain-grace before Server.Shutdown finishes in-flight requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"frappe/internal/cluster"
+	"frappe/internal/telemetry"
+)
+
+// memberFlags collects repeatable -member id=url flags.
+type memberFlags []cluster.Member
+
+func (m *memberFlags) String() string {
+	parts := make([]string, len(*m))
+	for i, mem := range *m {
+		parts[i] = mem.ID + "=" + mem.URL
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m *memberFlags) Set(v string) error {
+	id, url, ok := strings.Cut(v, "=")
+	if !ok || id == "" || url == "" {
+		return fmt.Errorf("want id=url, got %q", v)
+	}
+	*m = append(*m, cluster.Member{ID: id, URL: strings.TrimRight(url, "/")})
+	return nil
+}
+
+func main() {
+	var members memberFlags
+	flag.Var(&members, "member", "replica as id=url (repeatable; at least one required)")
+	listen := flag.String("listen", "127.0.0.1:8400", "listen address")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per member on the hash ring (0 = default 128)")
+	probeInterval := flag.Duration("probe-interval", 0, "health poll cadence (0 = default 500ms)")
+	probeTimeout := flag.Duration("probe-timeout", 0, "per-probe timeout (0 = default 2s)")
+	routeTimeout := flag.Duration("route-timeout", 0,
+		"bound on one proxied request across all fail-over attempts (0 = default 15s)")
+	memberTimeout := flag.Duration("member-timeout", 0,
+		"bound on one attempt against one member (0 = httpx default)")
+	breakerThreshold := flag.Int("breaker-threshold", 0,
+		"consecutive member failures before its circuit opens (0 = default, negative = disabled)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0,
+		"how long an open member circuit waits before probing (0 = default)")
+	drainGrace := flag.Duration("drain-grace", 2*time.Second,
+		"how long /healthz reports 503 draining before Shutdown (0 = immediate)")
+	debugAddr := flag.String("debug-addr", "",
+		"debug listen address for /debug/vars and /debug/pprof (empty = disabled; /metrics is on the main port)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "log as JSON instead of text")
+	flag.Parse()
+
+	logger := telemetry.SetupProcessLogger(telemetry.LogConfig{
+		Component: "frappelb", Level: *logLevel, JSON: *logJSON,
+	})
+
+	if len(members) == 0 {
+		fmt.Fprintln(os.Stderr,
+			"usage: frappelb -member id=url [-member id=url ...] [-listen ADDR]")
+		os.Exit(1)
+	}
+
+	c, err := cluster.New(cluster.Config{
+		Members:          members,
+		VirtualNodes:     *vnodes,
+		ProbeInterval:    *probeInterval,
+		ProbeTimeout:     *probeTimeout,
+		RouteTimeout:     *routeTimeout,
+		MemberTimeout:    *memberTimeout,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+	})
+	if err != nil {
+		logger.Error("configuring cluster", "err", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	c.Start(ctx)
+
+	if *debugAddr != "" {
+		ds, derr := telemetry.StartDebugServer(*debugAddr, nil)
+		if derr != nil {
+			logger.Error("starting debug server", "addr", *debugAddr, "err", derr)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		logger.Info("debug server listening", "addr", ds.Addr)
+	}
+
+	srv := &http.Server{
+		Addr: *listen,
+		// The middleware starts the lb-side trace root, which the httpx
+		// member client propagates to replicas as traceparent — one trace
+		// spans client → LB → member.
+		Handler:           telemetry.Middleware(nil, "frappelb", c.Handler()),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	for _, m := range members {
+		logger.Info("member configured", "id", m.ID, "url", m.URL)
+	}
+	logger.Info("front door routing", "addr", *listen, "members", len(members))
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("server exited", "err", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		c.SetDraining(true)
+		if *drainGrace > 0 {
+			logger.Info("draining: healthz now 503", "grace", *drainGrace)
+			time.Sleep(*drainGrace)
+		}
+		logger.Info("shutting down; draining in-flight requests")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			logger.Error("graceful shutdown", "err", err)
+			os.Exit(1)
+		}
+	}
+	logger.Info("stopped")
+}

@@ -10,6 +10,7 @@
 //	          [-timeout 5s] [-retries 2]
 //	          [-breaker-threshold 5] [-breaker-cooldown 10s]
 //	          [-verdict-ttl 30s] [-wal-dir DIR] [-wal-replay]
+//	          [-member-id w1] [-drain-grace 2s]
 //	          [-debug-addr 127.0.0.1:0] [-log-level info] [-log-json]
 //
 // Endpoints:
@@ -22,7 +23,8 @@
 //	GET  /model                  manifest of the serving model
 //	POST /model/reload           poll the registry now and hot-swap if a
 //	                             new version is active
-//	GET  /healthz                liveness
+//	GET  /metrics                Prometheus text exposition
+//	GET  /healthz                liveness (503 "draining" during shutdown)
 //
 // With -registry, the classifier is loaded from the registry's active
 // version (checksum-verified — a corrupt artifact is rejected with a clear
@@ -42,8 +44,9 @@
 // and commits the "watchdogd" consumer offset — the first step toward
 // propagating blacklist updates to a fleet of watchdogs.
 //
-// SIGINT/SIGTERM drain in-flight requests through http.Server.Shutdown
-// before exiting. The debug listener serves /metrics (Prometheus text
+// SIGINT/SIGTERM drain in two stages: /healthz flips to 503 "draining"
+// for -drain-grace (so a health-polling front door de-routes this replica
+// first), then http.Server.Shutdown finishes in-flight requests. The debug listener serves /metrics (Prometheus text
 // format), /debug/vars (expvar) and /debug/pprof; its resolved address is
 // printed at startup. -debug-addr "" disables it.
 package main
@@ -88,6 +91,10 @@ func main() {
 		"ingestion WAL directory to track (reports consumer offset and replay lag)")
 	walReplay := flag.Bool("wal-replay", false,
 		"replay the WAL in -wal-dir into a local blacklist replica at startup and commit the watchdogd consumer offset")
+	memberID := flag.String("member-id", "",
+		"stable cluster member identity; stamped on responses as X-Frappe-Member (empty = standalone)")
+	drainGrace := flag.Duration("drain-grace", 2*time.Second,
+		"how long /healthz reports 503 draining before Shutdown, so a front door de-routes this replica first (0 = immediate)")
 	debugAddr := flag.String("debug-addr", "127.0.0.1:0",
 		"debug listen address for /metrics, /debug/vars and /debug/pprof (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -230,14 +237,21 @@ func main() {
 		}()
 	}
 
+	health := frappe.NewHealthState()
 	srv := &http.Server{
-		Addr:              *listen,
-		Handler:           frappe.WatchdogHandlerWith(wd, 15*time.Second, rel),
+		Addr: *listen,
+		Handler: frappe.NewWatchdogHandler(wd, frappe.HandlerConfig{
+			Timeout:  15 * time.Second,
+			Reloader: rel,
+			Health:   health,
+			MemberID: *memberID,
+		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	logger.Info("assessing apps", "addr", *listen, "graph", *graphURL, "wot", *wotURL)
+	logger.Info("assessing apps", "addr", *listen, "member", *memberID,
+		"graph", *graphURL, "wot", *wotURL)
 
 	select {
 	case err := <-errc:
@@ -246,6 +260,14 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
+		// Drain in two stages: flip /healthz to 503 so the front door's
+		// prober de-routes this replica, hold the grace window while it
+		// notices, then let Shutdown finish whatever is still in flight.
+		health.SetDraining(true)
+		if *drainGrace > 0 {
+			logger.Info("draining: healthz now 503", "grace", *drainGrace)
+			time.Sleep(*drainGrace)
+		}
 		logger.Info("shutting down; draining in-flight requests")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()

@@ -1,0 +1,324 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"frappe/internal/telemetry"
+)
+
+// fakeMember is a scripted replica: it answers /check with its own id,
+// /healthz from a flippable switch, and arbitrary handlers for the rest.
+type fakeMember struct {
+	id      string
+	srv     *httptest.Server
+	healthy atomic.Bool
+	fail5xx atomic.Bool
+	served  atomic.Int64
+}
+
+func newFakeMember(t *testing.T, id string) *fakeMember {
+	t.Helper()
+	m := &fakeMember{id: id}
+	m.healthy.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		if !m.healthy.Load() {
+			http.Error(rw, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		rw.Write([]byte("ok"))
+	})
+	mux.HandleFunc("/check", func(rw http.ResponseWriter, r *http.Request) {
+		if m.fail5xx.Load() {
+			http.Error(rw, `{"error":"upstream"}`, http.StatusBadGateway)
+			return
+		}
+		m.served.Add(1)
+		rw.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(rw, `{"member":%q,"app":%q}`, m.id, r.URL.Query().Get("app"))
+	})
+	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintf(rw, "# HELP fake_requests_total Requests served.\n"+
+			"# TYPE fake_requests_total counter\n"+
+			"fake_requests_total %d\n"+
+			"fake_labeled{path=\"/check\"} 1\n", m.served.Load())
+	})
+	mux.HandleFunc("/model/reload", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(rw, `{"outcome":"current","serving":{"version":1,"sha256":"abcdef0123456789"}}`)
+	})
+	m.srv = httptest.NewServer(mux)
+	t.Cleanup(m.srv.Close)
+	return m
+}
+
+// testCluster builds a cluster over fakes with an isolated registry and a
+// fast prober (not started unless the test says so).
+func testCluster(t *testing.T, fakes []*fakeMember, tweak func(*Config)) (*Cluster, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.New()
+	members := make([]Member, len(fakes))
+	for i, f := range fakes {
+		members[i] = Member{ID: f.id, URL: f.srv.URL}
+	}
+	cfg := Config{
+		Members:       members,
+		ProbeInterval: 10 * time.Millisecond,
+		Telemetry:     reg,
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, reg
+}
+
+func checkVia(t *testing.T, h http.Handler, app string) (int, string, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/check?app="+app, nil))
+	var body struct {
+		Member string `json:"member"`
+	}
+	_ = json.Unmarshal(rec.Body.Bytes(), &body)
+	return rec.Code, rec.Header().Get("X-Cluster-Member"), body.Member
+}
+
+// TestRoutingAffinity: the same app always lands on the same member, the
+// winning member is named in X-Cluster-Member, and the partition spreads
+// across the fleet.
+func TestRoutingAffinity(t *testing.T) {
+	fakes := []*fakeMember{newFakeMember(t, "a"), newFakeMember(t, "b"), newFakeMember(t, "c")}
+	c, reg := testCluster(t, fakes, nil)
+	h := c.Handler()
+
+	owners := make(map[string]string)
+	spread := make(map[string]bool)
+	for i := 0; i < 60; i++ {
+		app := fmt.Sprintf("app-%d", i)
+		code, header, member := checkVia(t, h, app)
+		if code != http.StatusOK {
+			t.Fatalf("check %s: status %d", app, code)
+		}
+		if header != member {
+			t.Fatalf("check %s: header names %q, body answered by %q", app, header, member)
+		}
+		owners[app] = member
+		spread[member] = true
+	}
+	for app, owner := range owners {
+		for rep := 0; rep < 3; rep++ {
+			if _, _, member := checkVia(t, h, app); member != owner {
+				t.Fatalf("app %s moved %s -> %s with stable membership", app, owner, member)
+			}
+		}
+	}
+	if len(spread) != 3 {
+		t.Errorf("60 apps only reached members %v", spread)
+	}
+	total := uint64(0)
+	for _, f := range fakes {
+		total += reg.CounterValue("frappe_cluster_requests_total", f.id)
+	}
+	if total < 60 {
+		t.Errorf("routed counter total = %d, want >= 60", total)
+	}
+}
+
+// TestFailoverOn5xx: a member answering 5xx is skipped in favour of the
+// ring's next replica; with every member 5xxing, the client receives the
+// members' own error body (last resort), not a synthetic 502.
+func TestFailoverOn5xx(t *testing.T) {
+	fakes := []*fakeMember{newFakeMember(t, "a"), newFakeMember(t, "b")}
+	c, reg := testCluster(t, fakes, nil)
+	h := c.Handler()
+
+	_, _, owner := checkVia(t, h, "app-x")
+	var owned, other *fakeMember
+	for _, f := range fakes {
+		if f.id == owner {
+			owned = f
+		} else {
+			other = f
+		}
+	}
+	owned.fail5xx.Store(true)
+	code, header, member := checkVia(t, h, "app-x")
+	if code != http.StatusOK || member != other.id || header != other.id {
+		t.Fatalf("after owner 5xx: status %d from %q (header %q), want 200 from %q",
+			code, member, header, other.id)
+	}
+	if n := reg.CounterValue("frappe_cluster_failover_total", "5xx"); n == 0 {
+		t.Error("5xx fail-over left no counter trace")
+	}
+
+	other.fail5xx.Store(true)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/check?app=app-x", nil))
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("all members 5xx: status %d, want 502", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "upstream") {
+		t.Errorf("all members 5xx: client got %q, want a member's own error body", rec.Body.String())
+	}
+}
+
+// TestTransportFailureMarksUnhealthy: a member that stops answering at
+// the TCP level is failed over AND marked unhealthy immediately — the
+// request that found the corpse de-routes it for everyone.
+func TestTransportFailureMarksUnhealthy(t *testing.T) {
+	fakes := []*fakeMember{newFakeMember(t, "a"), newFakeMember(t, "b"), newFakeMember(t, "c")}
+	c, reg := testCluster(t, fakes, nil)
+	h := c.Handler()
+
+	_, _, owner := checkVia(t, h, "app-y")
+	for _, f := range fakes {
+		if f.id == owner {
+			f.srv.Close()
+		}
+	}
+	code, _, member := checkVia(t, h, "app-y")
+	if code != http.StatusOK || member == owner {
+		t.Fatalf("after killing owner %s: status %d from %q", owner, code, member)
+	}
+	if got := len(c.HealthyMembers()); got != 2 {
+		t.Errorf("healthy members = %d after transport failure, want 2", got)
+	}
+	if got := reg.GaugeValue("frappe_cluster_members_healthy"); got != 2 {
+		t.Errorf("frappe_cluster_members_healthy = %v, want 2", got)
+	}
+	if n := reg.CounterValue("frappe_cluster_failover_total", "error"); n == 0 {
+		t.Error("transport fail-over left no counter trace")
+	}
+}
+
+// TestProberFlipsHealth: the prober takes a member out when its /healthz
+// turns 503 (the drain protocol) and brings it back when it recovers.
+func TestProberFlipsHealth(t *testing.T) {
+	fakes := []*fakeMember{newFakeMember(t, "a"), newFakeMember(t, "b")}
+	c, reg := testCluster(t, fakes, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c.Start(ctx)
+
+	waitHealthyCount := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		for len(c.HealthyMembers()) != want && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if got := len(c.HealthyMembers()); got != want {
+			t.Fatalf("healthy members = %d, want %d", got, want)
+		}
+	}
+	waitHealthyCount(2)
+	fakes[0].healthy.Store(false)
+	waitHealthyCount(1)
+	if got := c.HealthyMembers(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("healthy = %v, want [b]", got)
+	}
+	if got := reg.GaugeValue("frappe_cluster_member_healthy", "a"); got != 0 {
+		t.Errorf("member a health gauge = %v, want 0", got)
+	}
+	fakes[0].healthy.Store(true)
+	waitHealthyCount(2)
+	if got := reg.GaugeValue("frappe_cluster_member_healthy", "a"); got != 1 {
+		t.Errorf("member a health gauge = %v after recovery, want 1", got)
+	}
+}
+
+// TestAggregatedMetrics: member expositions come back labeled member=id,
+// bare and already-labeled series both, HELP/TYPE deduped across members,
+// with the LB's own frappe_cluster_* families alongside.
+func TestAggregatedMetrics(t *testing.T) {
+	fakes := []*fakeMember{newFakeMember(t, "a"), newFakeMember(t, "b")}
+	c, _ := testCluster(t, fakes, nil)
+	h := c.Handler()
+	checkVia(t, h, "app-1") // one routed request so counters have series
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	text, _ := io.ReadAll(rec.Body)
+	body := string(text)
+
+	for _, want := range []string{
+		`fake_requests_total{member="a"}`,
+		`fake_requests_total{member="b"}`,
+		`fake_labeled{member="a",path="/check"}`,
+		"frappe_cluster_members_healthy 2",
+		"frappe_cluster_failover_total",
+		`frappe_cluster_ring_share{member="a"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("aggregated metrics missing %q", want)
+		}
+	}
+	if n := strings.Count(body, "# TYPE fake_requests_total"); n != 1 {
+		t.Errorf("fake_requests_total TYPE announced %d times, want 1", n)
+	}
+
+	// An unreachable member degrades to a comment, not a dark scrape.
+	fakes[1].srv.Close()
+	checkVia(t, h, "app-1") // trips the transport failure -> marks b down
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body = rec.Body.String()
+	if !strings.Contains(body, "# member b not scraped") {
+		t.Errorf("downed member not annotated in scrape:\n%s", body)
+	}
+	if !strings.Contains(body, `fake_requests_total{member="a"}`) {
+		t.Error("healthy member vanished from the scrape with a peer down")
+	}
+}
+
+// TestReloadFanout: POST /model/reload converges when all members agree
+// on a version, and reports non-convergence when one cannot be reached.
+func TestReloadFanout(t *testing.T) {
+	fakes := []*fakeMember{newFakeMember(t, "a"), newFakeMember(t, "b")}
+	c, _ := testCluster(t, fakes, nil)
+	h := c.Handler()
+
+	post := func() (int, bool) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/model/reload", nil))
+		var body struct {
+			Converged bool `json:"converged"`
+		}
+		_ = json.Unmarshal(rec.Body.Bytes(), &body)
+		return rec.Code, body.Converged
+	}
+	if code, converged := post(); code != http.StatusOK || !converged {
+		t.Fatalf("agreeing fleet: status %d converged=%v, want 200 true", code, converged)
+	}
+	fakes[1].srv.Close()
+	if code, converged := post(); code != http.StatusBadGateway || converged {
+		t.Fatalf("unreachable member: status %d converged=%v, want 502 false", code, converged)
+	}
+}
+
+// TestConfigValidation: bad member tables are rejected up front.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty member table accepted")
+	}
+	if _, err := New(Config{Members: []Member{{ID: "", URL: "http://x"}}}); err == nil {
+		t.Error("member without id accepted")
+	}
+	if _, err := New(Config{Members: []Member{
+		{ID: "a", URL: "http://x"}, {ID: "a", URL: "http://y"},
+	}}); err == nil {
+		t.Error("duplicate member id accepted")
+	}
+}

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Aggregated /metrics: the front door scrapes each healthy member's
+// /metrics (Prometheus text format), re-emits every series with a
+// member="<id>" label spliced in, and appends its own registry
+// (frappe_cluster_* families included) — so one scrape of the LB sees the
+// whole fleet, series distinguishable by member.
+
+// handleAggregatedMetrics serves the combined exposition. Member scrapes
+// run in parallel and are best-effort: an unreachable member contributes
+// a comment line, not an error — the scrape must not go dark because one
+// replica is mid-restart.
+func (c *Cluster) handleAggregatedMetrics(rw http.ResponseWriter, r *http.Request) {
+	c.mu.RLock()
+	states := make([]*memberState, 0, len(c.states))
+	for _, st := range c.states {
+		states = append(states, st)
+	}
+	c.mu.RUnlock()
+	sort.Slice(states, func(i, j int) bool { return states[i].member.ID < states[j].member.ID })
+
+	type scrape struct {
+		body []byte
+		err  error
+	}
+	scrapes := make([]scrape, len(states))
+	var wg sync.WaitGroup
+	for i, st := range states {
+		if !st.healthy.Load() {
+			scrapes[i].err = fmt.Errorf("unhealthy")
+			continue
+		}
+		wg.Add(1)
+		go func(i int, st *memberState) {
+			defer wg.Done()
+			resp, err := c.client.Get(r.Context(), st.member.URL+"/metrics")
+			switch {
+			case err != nil:
+				scrapes[i].err = err
+			case resp.StatusCode != http.StatusOK:
+				scrapes[i].err = fmt.Errorf("status %d", resp.StatusCode)
+			default:
+				scrapes[i].body = resp.Body
+			}
+		}(i, st)
+	}
+	wg.Wait()
+
+	rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var buf bytes.Buffer
+	// The LB's own registry leads, and its family names seed the HELP/TYPE
+	// dedup set so member scrapes of the same families (e.g. the shared
+	// frappe_http_* middleware series) do not repeat the headers.
+	_ = c.reg.WritePrometheus(&buf)
+	seen := familiesIn(buf.Bytes())
+	for i, st := range states {
+		if scrapes[i].err != nil {
+			fmt.Fprintf(&buf, "# member %s not scraped: %s\n", st.member.ID, scrapes[i].err)
+			continue
+		}
+		relabel(&buf, scrapes[i].body, st.member.ID, seen)
+	}
+	rw.Write(buf.Bytes())
+}
+
+// familiesIn collects the HELP/TYPE announcements already present in
+// rendered exposition text, keyed by comment kind + family name (a
+// family's HELP and TYPE lines are distinct and both must survive dedup).
+func familiesIn(text []byte) map[string]bool {
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(bytes.NewReader(text))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if key, ok := commentKey(line); ok {
+			seen[key] = true
+		}
+	}
+	return seen
+}
+
+// commentKey extracts a dedup key ("HELP name" / "TYPE name") from a
+// "# HELP name ..." or "# TYPE name ..." line.
+func commentKey(line string) (string, bool) {
+	for _, kind := range []string{"HELP", "TYPE"} {
+		if rest, ok := strings.CutPrefix(line, "# "+kind+" "); ok {
+			name := rest
+			if i := strings.IndexByte(rest, ' '); i > 0 {
+				name = rest[:i]
+			}
+			return kind + " " + name, true
+		}
+	}
+	return "", false
+}
+
+// relabel rewrites one member's exposition text, splicing member="<id>"
+// into every series line and skipping HELP/TYPE comments for families a
+// previous block already announced. Metric lines are `name value`,
+// `name{labels} value`, or histogram `name_bucket{...,le="x"} value` —
+// in every case the splice point is right after the name.
+func relabel(buf *bytes.Buffer, text []byte, member string, seen map[string]bool) {
+	memberLabel := `member="` + member + `"`
+	sc := bufio.NewScanner(bytes.NewReader(text))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if key, ok := commentKey(line); ok {
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+			}
+			buf.WriteString(line)
+			buf.WriteByte('\n')
+			continue
+		}
+		brace := strings.IndexByte(line, '{')
+		space := strings.IndexByte(line, ' ')
+		switch {
+		case brace >= 0 && (space < 0 || brace < space):
+			// name{labels} value → name{member="id",labels} value
+			buf.WriteString(line[:brace+1])
+			buf.WriteString(memberLabel)
+			if brace+1 < len(line) && line[brace+1] != '}' {
+				buf.WriteByte(',')
+			}
+			buf.WriteString(line[brace+1:])
+		case space > 0:
+			// name value → name{member="id"} value
+			buf.WriteString(line[:space])
+			buf.WriteByte('{')
+			buf.WriteString(memberLabel)
+			buf.WriteByte('}')
+			buf.WriteString(line[space:])
+		default:
+			buf.WriteString(line)
+		}
+		buf.WriteByte('\n')
+	}
+}

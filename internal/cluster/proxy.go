@@ -1,0 +1,375 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"frappe/internal/httpx"
+)
+
+// The front-door API. /check and /rank are proxied onto the ring;
+// everything else is cluster administration:
+//
+//	GET  /check?app=ID     routed to the app's ring owner, failing over
+//	                       clockwise on transport error / 5xx / open
+//	                       breaker; the winning member is named in the
+//	                       X-Cluster-Member response header
+//	GET  /rank?app=A&app=B routed by the first app ID (one member ranks
+//	                       the whole batch; its verdict cache covers its
+//	                       own partition best)
+//	GET  /model            proxied to the first healthy member
+//	POST /model/reload     fanned out to every member; 200 only when all
+//	                       reachable members settle on the same version
+//	GET  /cluster          membership JSON: health, ring shares, routed
+//	                       counts, per-member model versions
+//	GET  /metrics          aggregated member metrics re-labelled with
+//	                       member="<id>", plus the front door's own
+//	                       registry (metrics.go)
+//	GET  /healthz          the LB's own liveness (503 while draining)
+
+// routeAttempt records one member try for the error body.
+type routeAttempt struct {
+	Member string `json:"member"`
+	Reason string `json:"reason"`
+}
+
+// Handler returns the front-door HTTP handler. Wrap it in
+// telemetry.Middleware for request metrics and the lb-side trace root.
+func (c *Cluster) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		if c.draining.Load() {
+			http.Error(rw, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		rw.WriteHeader(http.StatusOK)
+		rw.Write([]byte("ok"))
+	})
+	mux.HandleFunc("/check", func(rw http.ResponseWriter, r *http.Request) {
+		app := r.URL.Query().Get("app")
+		if app == "" {
+			http.Error(rw, `{"error":"missing app"}`, http.StatusBadRequest)
+			return
+		}
+		c.route(rw, r, app)
+	})
+	mux.HandleFunc("/rank", func(rw http.ResponseWriter, r *http.Request) {
+		ids := r.URL.Query()["app"]
+		if len(ids) == 0 {
+			http.Error(rw, `{"error":"missing app parameters"}`, http.StatusBadRequest)
+			return
+		}
+		c.route(rw, r, ids[0])
+	})
+	mux.HandleFunc("/model", func(rw http.ResponseWriter, r *http.Request) {
+		// No key to partition by; any healthy member's answer is
+		// authoritative once the fleet converges on CURRENT.
+		healthy := c.HealthyMembers()
+		if len(healthy) == 0 {
+			writeJSON(rw, http.StatusServiceUnavailable, map[string]string{"error": "no healthy members"})
+			return
+		}
+		c.routeVia(rw, r, []string{healthy[0]})
+	})
+	mux.HandleFunc("/model/reload", c.handleReloadFanout)
+	mux.HandleFunc("/cluster", c.handleClusterInfo)
+	mux.HandleFunc("/metrics", c.handleAggregatedMetrics)
+	return mux
+}
+
+// route proxies r to key's ring sequence.
+func (c *Cluster) route(rw http.ResponseWriter, r *http.Request, key string) {
+	c.routeVia(rw, r, c.ring.Sequence(key))
+}
+
+// routeVia walks the member sequence: healthy members first, and — when
+// every member in the sequence is marked down — one last-resort pass over
+// all of them, because an LB with a stale health view should degrade to
+// trying rather than refusing. A transport error marks the member down
+// immediately (the prober brings it back); a 5xx answer is kept as the
+// response of last resort so the client sees the replica's own error
+// body, not a synthetic one, when nobody can do better.
+func (c *Cluster) routeVia(rw http.ResponseWriter, r *http.Request, seq []string) {
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.RouteTimeout)
+	defer cancel()
+
+	candidates := make([]*memberState, 0, len(seq))
+	for _, id := range seq {
+		if st := c.state(id); st != nil && st.healthy.Load() {
+			candidates = append(candidates, st)
+		}
+	}
+	lastResort := len(candidates) == 0
+	if lastResort {
+		for _, id := range seq {
+			if st := c.state(id); st != nil {
+				candidates = append(candidates, st)
+			}
+		}
+	}
+
+	var (
+		last       *httpx.Response
+		lastMember string
+		attempts   []routeAttempt
+	)
+	uri := r.URL.RequestURI()
+walk:
+	for _, st := range candidates {
+		if ctx.Err() != nil {
+			break
+		}
+		target := st.member.URL + uri
+		resp, err := c.client.Get(ctx, target)
+		switch {
+		case errors.Is(err, httpx.ErrCircuitOpen):
+			// The member's breaker is open: skip without touching its
+			// health — the breaker half-opens on its own schedule.
+			c.failoverTotal.With("breaker_open").Inc()
+			attempts = append(attempts, routeAttempt{st.member.ID, "breaker_open"})
+			continue
+		case err != nil:
+			if ctx.Err() != nil {
+				// The client's own deadline died mid-attempt; nothing the
+				// next member could fix.
+				attempts = append(attempts, routeAttempt{st.member.ID, "canceled"})
+				break walk
+			}
+			c.failoverTotal.With("error").Inc()
+			attempts = append(attempts, routeAttempt{st.member.ID, err.Error()})
+			if !lastResort {
+				c.markUnhealthy(st, err.Error())
+			}
+			continue
+		case resp.StatusCode >= 500:
+			// The member answered but unhealthily (its own upstream 502,
+			// breaker 503, ...). Another replica may hold a cached verdict
+			// or a closed breaker; keep this answer as the fallback.
+			c.failoverTotal.With("5xx").Inc()
+			attempts = append(attempts, routeAttempt{st.member.ID, resp.Status})
+			last, lastMember = resp, st.member.ID
+			continue
+		}
+		st.routed.Add(1)
+		c.routedTotal.With(st.member.ID).Inc()
+		writeProxied(rw, resp, st.member.ID)
+		return
+	}
+	if last != nil {
+		c.state(lastMember).routed.Add(1)
+		c.routedTotal.With(lastMember).Inc()
+		writeProxied(rw, last, lastMember)
+		return
+	}
+	slog.Default().WarnContext(ctx, "cluster: no member answered", "path", r.URL.Path, "attempts", len(attempts))
+	writeJSON(rw, http.StatusBadGateway, map[string]interface{}{
+		"error":    "no cluster member answered",
+		"attempts": attempts,
+	})
+}
+
+// writeProxied relays a member's response to the client.
+func writeProxied(rw http.ResponseWriter, resp *httpx.Response, member string) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		rw.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		rw.Header().Set("Retry-After", ra)
+	}
+	rw.Header().Set("X-Cluster-Member", member)
+	rw.WriteHeader(resp.StatusCode)
+	rw.Write(resp.Body)
+}
+
+// reloadResult is one member's /model/reload outcome in the fan-out body.
+type reloadResult struct {
+	Member  string `json:"member"`
+	Status  int    `json:"status,omitempty"`
+	Outcome string `json:"outcome,omitempty"`
+	Serving string `json:"serving,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// handleReloadFanout POSTs /model/reload to every member in parallel, so
+// a registry publish converges across the fleet in one round instead of
+// waiting out each replica's poll interval. 200 only when every member
+// that answered settled on one model version and none failed.
+func (c *Cluster) handleReloadFanout(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(rw, `{"error":"POST only"}`, http.StatusMethodNotAllowed)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.RouteTimeout)
+	defer cancel()
+
+	c.mu.RLock()
+	states := make([]*memberState, 0, len(c.states))
+	for _, st := range c.states {
+		states = append(states, st)
+	}
+	c.mu.RUnlock()
+
+	results := make([]reloadResult, len(states))
+	var wg sync.WaitGroup
+	for i, st := range states {
+		wg.Add(1)
+		go func(i int, st *memberState) {
+			defer wg.Done()
+			res := reloadResult{Member: st.member.ID}
+			resp, err := c.client.Post(ctx, st.member.URL+"/model/reload", "application/json", nil)
+			if err != nil {
+				res.Error = err.Error()
+			} else {
+				res.Status = resp.StatusCode
+				var body struct {
+					Outcome string `json:"outcome"`
+					Serving struct {
+						Version int    `json:"version"`
+						SHA256  string `json:"sha256"`
+					} `json:"serving"`
+					Error string `json:"error"`
+				}
+				if jerr := json.Unmarshal(resp.Body, &body); jerr == nil {
+					res.Outcome = body.Outcome
+					res.Error = body.Error
+					res.Serving = modelID(body.Serving.Version, body.Serving.SHA256)
+				}
+			}
+			results[i] = res
+		}(i, st)
+	}
+	wg.Wait()
+
+	status := http.StatusOK
+	versions := make(map[string]struct{})
+	for _, res := range results {
+		if res.Error != "" || res.Status >= 400 {
+			status = http.StatusBadGateway
+		}
+		if res.Serving != "" {
+			versions[res.Serving] = struct{}{}
+		}
+	}
+	if len(versions) > 1 {
+		status = http.StatusBadGateway
+	}
+	writeJSON(rw, status, map[string]interface{}{
+		"members":   results,
+		"converged": status == http.StatusOK && len(versions) == 1,
+	})
+}
+
+// modelID mirrors modelreg.Manifest.ModelID without importing it: version
+// number plus an 8-hex checksum prefix.
+func modelID(version int, sha string) string {
+	if sha == "" {
+		return ""
+	}
+	if len(sha) > 8 {
+		sha = sha[:8]
+	}
+	return fmt.Sprintf("v%d-%s", version, sha)
+}
+
+// memberInfo is one member's row in the /cluster document.
+type memberInfo struct {
+	ID           string  `json:"id"`
+	URL          string  `json:"url"`
+	Healthy      bool    `json:"healthy"`
+	LastError    string  `json:"last_error,omitempty"`
+	Routed       uint64  `json:"routed"`
+	RingShare    float64 `json:"ring_share"`
+	ModelVersion string  `json:"model_version,omitempty"`
+}
+
+// handleClusterInfo reports membership, ring ownership and per-member
+// serving model versions (a live, best-effort /model poll of healthy
+// members — the convergence view the hot-swap e2e asserts on).
+func (c *Cluster) handleClusterInfo(rw http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.ProbeTimeout)
+	defer cancel()
+	shares := c.ring.Shares()
+
+	c.mu.RLock()
+	states := make([]*memberState, 0, len(c.states))
+	for _, st := range c.states {
+		states = append(states, st)
+	}
+	c.mu.RUnlock()
+
+	infos := make([]memberInfo, len(states))
+	var wg sync.WaitGroup
+	for i, st := range states {
+		wg.Add(1)
+		go func(i int, st *memberState) {
+			defer wg.Done()
+			info := memberInfo{
+				ID:        st.member.ID,
+				URL:       st.member.URL,
+				Healthy:   st.healthy.Load(),
+				Routed:    st.routed.Load(),
+				RingShare: shares[st.member.ID],
+			}
+			if s, _ := st.lastErr.Load().(string); s != "" {
+				info.LastError = s
+			}
+			if info.Healthy {
+				if resp, err := c.client.Get(ctx, st.member.URL+"/model"); err == nil && resp.StatusCode == http.StatusOK {
+					var body struct {
+						ModelID string `json:"model_id"`
+					}
+					if json.Unmarshal(resp.Body, &body) == nil {
+						info.ModelVersion = body.ModelID
+					}
+				}
+			}
+			infos[i] = info
+		}(i, st)
+	}
+	wg.Wait()
+	sortMemberInfos(infos)
+
+	writeJSON(rw, http.StatusOK, map[string]interface{}{
+		"members": infos,
+		"healthy": len(c.HealthyMembers()),
+	})
+}
+
+func sortMemberInfos(infos []memberInfo) {
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && infos[j].ID < infos[j-1].ID; j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+}
+
+func writeJSON(rw http.ResponseWriter, status int, v interface{}) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	if err := json.NewEncoder(rw).Encode(v); err != nil {
+		slog.Default().Error("cluster: encoding response", "err", err)
+	}
+}
+
+// WaitHealthy is a test/startup convenience: it blocks until at least n
+// members are healthy or the deadline passes, reporting success.
+func (c *Cluster) WaitHealthy(ctx context.Context, n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if len(c.HealthyMembers()) >= n {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	return len(c.HealthyMembers()) >= n
+}

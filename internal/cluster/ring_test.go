@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// sampleKeys returns a deterministic key sample shaped like app IDs.
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("2%014d", i*7919)
+	}
+	return keys
+}
+
+func ringWith(members int) *Ring {
+	r := NewRing(0)
+	for i := 0; i < members; i++ {
+		r.Add(fmt.Sprintf("w%d", i+1))
+	}
+	return r
+}
+
+// TestRingDistributionUniformity: key counts per member stay near n/k for
+// 1, 3 and 8 members — a chi-square-style bound plus a hard cap on any
+// single member's skew. Everything is deterministic (fnv64a over a fixed
+// sample), so the thresholds are exact regression guards, not statistics.
+func TestRingDistributionUniformity(t *testing.T) {
+	keys := sampleKeys(20000)
+	for _, k := range []int{1, 3, 8} {
+		t.Run(fmt.Sprintf("%d-members", k), func(t *testing.T) {
+			r := ringWith(k)
+			counts := make(map[string]int, k)
+			for _, key := range keys {
+				owner := r.Owner(key)
+				if owner == "" {
+					t.Fatal("empty owner on a populated ring")
+				}
+				counts[owner]++
+			}
+			if len(counts) != k {
+				t.Fatalf("only %d of %d members own keys: %v", len(counts), k, counts)
+			}
+			expected := float64(len(keys)) / float64(k)
+			chi2 := 0.0
+			for member, n := range counts {
+				d := float64(n) - expected
+				chi2 += d * d / expected
+				if ratio := float64(n) / expected; ratio < 0.70 || ratio > 1.30 {
+					t.Errorf("member %s owns %d keys, %.2fx the fair share", member, n, ratio)
+				}
+			}
+			// 128 vnodes/member puts the per-member share spread around
+			// ±10%, which for 20k keys lands chi2 well under this; a broken
+			// hash or sort sends it orders of magnitude higher.
+			if chi2 > 600 {
+				t.Errorf("chi2 = %.1f across %d members; distribution badly skewed: %v", chi2, k, counts)
+			}
+			t.Logf("%d members: chi2 = %.1f, counts = %v", k, chi2, counts)
+		})
+	}
+}
+
+// TestRingMinimalRemap: removing one of N members remaps exactly the keys
+// it owned — every other key keeps its owner — and that slice is ~1/N of
+// the sample.
+func TestRingMinimalRemap(t *testing.T) {
+	keys := sampleKeys(10000)
+	for _, k := range []int{3, 8} {
+		t.Run(fmt.Sprintf("%d-members", k), func(t *testing.T) {
+			r := ringWith(k)
+			before := make(map[string]string, len(keys))
+			removed := "w2"
+			owned := 0
+			for _, key := range keys {
+				before[key] = r.Owner(key)
+				if before[key] == removed {
+					owned++
+				}
+			}
+			r.Remove(removed)
+			changed := 0
+			for _, key := range keys {
+				after := r.Owner(key)
+				if after == removed {
+					t.Fatalf("key %s still owned by removed member", key)
+				}
+				if after != before[key] {
+					if before[key] != removed {
+						t.Fatalf("key %s moved %s -> %s though neither is the removed member",
+							key, before[key], after)
+					}
+					changed++
+				}
+			}
+			if changed != owned {
+				t.Errorf("%d keys remapped, but the removed member owned %d", changed, owned)
+			}
+			frac := float64(changed) / float64(len(keys))
+			fair := 1.0 / float64(k)
+			if frac < fair/2 || frac > fair*2 {
+				t.Errorf("remapped fraction %.3f far from fair share %.3f", frac, fair)
+			}
+			t.Logf("%d members: removing one remapped %.1f%% (fair %.1f%%)",
+				k, 100*frac, 100*fair)
+		})
+	}
+}
+
+// TestRingSequence: the fail-over order starts at the owner, visits every
+// member exactly once, and is stable for a fixed membership.
+func TestRingSequence(t *testing.T) {
+	r := ringWith(5)
+	for _, key := range sampleKeys(50) {
+		seq := r.Sequence(key)
+		if len(seq) != 5 {
+			t.Fatalf("sequence for %s has %d members, want 5: %v", key, len(seq), seq)
+		}
+		if seq[0] != r.Owner(key) {
+			t.Fatalf("sequence for %s starts at %s, owner is %s", key, seq[0], r.Owner(key))
+		}
+		seen := make(map[string]bool, len(seq))
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("sequence for %s repeats %s: %v", key, m, seq)
+			}
+			seen[m] = true
+		}
+		again := r.Sequence(key)
+		for i := range seq {
+			if seq[i] != again[i] {
+				t.Fatalf("sequence for %s unstable: %v vs %v", key, seq, again)
+			}
+		}
+	}
+}
+
+// TestRingShares: exact arc-length shares sum to 1 and track the sampled
+// key distribution.
+func TestRingShares(t *testing.T) {
+	r := ringWith(3)
+	shares := r.Shares()
+	if len(shares) != 3 {
+		t.Fatalf("shares for %d members: %v", len(shares), shares)
+	}
+	total := 0.0
+	for member, s := range shares {
+		if s <= 0 || s >= 1 {
+			t.Errorf("member %s share %.4f outside (0,1)", member, s)
+		}
+		total += s
+	}
+	if total < 0.9999 || total > 1.0001 {
+		t.Errorf("shares sum to %.6f, want 1", total)
+	}
+	// The sampled ownership fraction should track the exact arc share.
+	keys := sampleKeys(20000)
+	counts := make(map[string]float64, 3)
+	for _, key := range keys {
+		counts[r.Owner(key)] += 1.0 / float64(len(keys))
+	}
+	for member, s := range shares {
+		if d := counts[member] - s; d > 0.02 || d < -0.02 {
+			t.Errorf("member %s: sampled fraction %.4f vs arc share %.4f", member, counts[member], s)
+		}
+	}
+}
+
+// TestRingEdgeCases: empty ring, idempotent add, absent remove,
+// single-member ownership.
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Owner("anything"); got != "" {
+		t.Errorf("empty ring owner = %q", got)
+	}
+	if seq := r.Sequence("anything"); seq != nil {
+		t.Errorf("empty ring sequence = %v", seq)
+	}
+	r.Remove("ghost") // no-op
+	r.Add("only")
+	r.Add("only") // idempotent
+	if got := r.Size(); got != 1 {
+		t.Fatalf("size after duplicate add = %d", got)
+	}
+	for _, key := range sampleKeys(10) {
+		if got := r.Owner(key); got != "only" {
+			t.Fatalf("single-member ring routed %s to %q", key, got)
+		}
+	}
+	if s := r.Shares()["only"]; s < 0.9999 {
+		t.Errorf("single member share = %.4f, want 1", s)
+	}
+}

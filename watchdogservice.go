@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"frappe/internal/httpx"
@@ -171,12 +172,53 @@ func (w *Watchdog) Rank(ctx context.Context, appIDs []string) []Assessment {
 	return out
 }
 
+// HealthState is a replica's routable/draining switch. A server flips it
+// to draining before http.Server.Shutdown and holds it there for a grace
+// window, so health-polling upstreams (frappelb's prober) de-route the
+// member while in-flight requests still complete — new connections get a
+// 503 /healthz instead of an abrupt connection refusal.
+type HealthState struct {
+	draining atomic.Bool
+}
+
+// NewHealthState returns a routable (not draining) health state.
+func NewHealthState() *HealthState { return &HealthState{} }
+
+// SetDraining flips the state; while draining, /healthz answers 503.
+func (h *HealthState) SetDraining(v bool) { h.draining.Store(v) }
+
+// Draining reports the current state.
+func (h *HealthState) Draining() bool { return h.draining.Load() }
+
+// HandlerConfig parameterises the watchdog service handler beyond its
+// Watchdog: request timeout, lifecycle administration, and the cluster
+// membership surface (member identity, drain-aware health, a scrapeable
+// /metrics on the serving port).
+type HandlerConfig struct {
+	// Timeout bounds each request (0 = 10s).
+	Timeout time.Duration
+	// Reloader enables POST /model/reload; nil answers 501.
+	Reloader *Reloader
+	// Health, when non-nil, drives /healthz: 200 "ok" while routable, 503
+	// "draining" once SetDraining(true). Nil means always 200.
+	Health *HealthState
+	// MemberID names this replica in a cluster; when set, every response
+	// carries it in an X-Frappe-Member header and /healthz includes it,
+	// so the front door (and tests) can tell which member answered.
+	MemberID string
+	// Metrics, when non-nil, is served in Prometheus text format at
+	// /metrics on the serving mux — the endpoint frappelb's aggregator
+	// scrapes. Nil serves the process-default registry.
+	Metrics *telemetry.Registry
+}
+
 // WatchdogHandler exposes a Watchdog over HTTP:
 //
 //	GET /check?app=APPID            -> one Assessment
 //	GET /rank?app=A&app=B&app=C     -> ranked []Assessment
 //	GET /model                      -> manifest of the serving model
-//	GET /healthz                    -> 200 ok
+//	GET /metrics                    -> Prometheus text exposition
+//	GET /healthz                    -> 200 ok (503 while draining)
 //
 // Each request is bounded by timeout (default 10s). /check maps assessment
 // outcomes onto distinct statuses: a clean verdict is 200; a deleted app is
@@ -188,7 +230,7 @@ func (w *Watchdog) Rank(ctx context.Context, appIDs []string) []Assessment {
 // contract. All endpoints are
 // instrumented as service "watchdog" on the default telemetry registry.
 func WatchdogHandler(w *Watchdog, timeout time.Duration) http.Handler {
-	return WatchdogHandlerWith(w, timeout, nil)
+	return NewWatchdogHandler(w, HandlerConfig{Timeout: timeout})
 }
 
 // WatchdogHandlerWith is WatchdogHandler plus model-lifecycle
@@ -202,8 +244,19 @@ func WatchdogHandler(w *Watchdog, timeout time.Duration) http.Handler {
 // With a nil reloader, /model/reload answers 501 Not Implemented (the
 // server has no registry to reload from) and /model still works.
 func WatchdogHandlerWith(w *Watchdog, timeout time.Duration, rel *Reloader) http.Handler {
+	return NewWatchdogHandler(w, HandlerConfig{Timeout: timeout, Reloader: rel})
+}
+
+// NewWatchdogHandler is the full-surface constructor; see HandlerConfig.
+func NewWatchdogHandler(w *Watchdog, cfg HandlerConfig) http.Handler {
+	timeout := cfg.Timeout
+	rel := cfg.Reloader
 	if timeout <= 0 {
 		timeout = 10 * time.Second
+	}
+	metricsReg := cfg.Metrics
+	if metricsReg == nil {
+		metricsReg = telemetry.Default()
 	}
 	retryAfter := strconv.Itoa(int((httpx.DefaultBreakerCooldown + time.Second - 1) / time.Second))
 	if w.cfg.BreakerCooldown > 0 {
@@ -211,9 +264,15 @@ func WatchdogHandlerWith(w *Watchdog, timeout time.Duration, rel *Reloader) http
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		if cfg.Health != nil && cfg.Health.Draining() {
+			rw.WriteHeader(http.StatusServiceUnavailable)
+			rw.Write([]byte("draining"))
+			return
+		}
 		rw.WriteHeader(http.StatusOK)
 		rw.Write([]byte("ok"))
 	})
+	mux.Handle("/metrics", metricsReg.Handler())
 	mux.HandleFunc("/check", func(rw http.ResponseWriter, r *http.Request) {
 		appID := r.URL.Query().Get("app")
 		if appID == "" {
@@ -281,7 +340,15 @@ func WatchdogHandlerWith(w *Watchdog, timeout time.Duration, rel *Reloader) http
 		}
 		writeAssessJSON(rw, status, st)
 	})
-	return telemetry.Middleware(nil, "watchdog", mux)
+	var h http.Handler = mux
+	if cfg.MemberID != "" {
+		inner := h
+		h = http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			rw.Header().Set("X-Frappe-Member", cfg.MemberID)
+			inner.ServeHTTP(rw, r)
+		})
+	}
+	return telemetry.Middleware(nil, "watchdog", h)
 }
 
 func writeAssessJSON(rw http.ResponseWriter, status int, v interface{}) {
